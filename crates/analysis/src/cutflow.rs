@@ -1,0 +1,131 @@
+//! Cutflow accounting.
+//!
+//! Every HEP analysis reports how many events survive each selection
+//! stage. A [`Cutflow`] is stored inside the partial [`HistogramSet`] as a
+//! one-bin-per-cut histogram, so it accumulates through exactly the same
+//! commutative/associative merge machinery as the physics histograms —
+//! no special-casing anywhere in the distribution stack.
+
+use vine_data::{Hist1D, HistogramSet};
+
+/// The reserved histogram name cutflows are stored under.
+pub const CUTFLOW_HIST: &str = "cutflow";
+
+/// Sequential selection-stage counter.
+#[derive(Clone, Debug)]
+pub struct Cutflow {
+    names: Vec<&'static str>,
+    hist: Hist1D,
+}
+
+impl Cutflow {
+    /// A cutflow over the given ordered stage names.
+    ///
+    /// # Panics
+    /// If `names` is empty.
+    pub fn new(names: &[&'static str]) -> Self {
+        assert!(!names.is_empty(), "cutflow needs at least one stage");
+        Cutflow {
+            names: names.to_vec(),
+            hist: Hist1D::new(names.len(), 0.0, names.len() as f64),
+        }
+    }
+
+    /// Record an event that passed the first `passed` stages (0 = failed
+    /// the first cut; `names.len()` = passed everything).
+    pub fn record(&mut self, passed: usize) {
+        for stage in 0..passed.min(self.names.len()) {
+            self.hist.fill(stage as f64 + 0.5);
+        }
+    }
+
+    /// Events that passed the named stage so far.
+    pub fn passing(&self, name: &str) -> Option<u64> {
+        let idx = self.names.iter().position(|&n| n == name)?;
+        Some(self.hist.counts()[idx] as u64)
+    }
+
+    /// Stage names, in order.
+    pub fn stages(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Move the cutflow into a histogram set under [`CUTFLOW_HIST`].
+    pub fn store_into(self, set: &mut HistogramSet) {
+        set.set_h1(CUTFLOW_HIST, self.hist);
+    }
+
+    /// Read stage counts back out of an (accumulated) histogram set.
+    /// Returns `(stage index, count)` pairs in stage order.
+    pub fn read(set: &HistogramSet) -> Option<Vec<(usize, u64)>> {
+        let h = set.h1(CUTFLOW_HIST)?;
+        Some(
+            h.counts()
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i, c as u64))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_monotone_stage_counts() {
+        let mut cf = Cutflow::new(&["trigger", "jets", "btag"]);
+        cf.record(3); // passes everything
+        cf.record(2); // fails btag
+        cf.record(0); // fails trigger
+        assert_eq!(cf.passing("trigger"), Some(2));
+        assert_eq!(cf.passing("jets"), Some(2));
+        assert_eq!(cf.passing("btag"), Some(1));
+        assert_eq!(cf.passing("nope"), None);
+    }
+
+    #[test]
+    fn overlong_pass_count_clamps() {
+        let mut cf = Cutflow::new(&["a"]);
+        cf.record(99);
+        assert_eq!(cf.passing("a"), Some(1));
+    }
+
+    #[test]
+    fn merges_through_histogram_sets() {
+        let mk = |n: usize| {
+            let mut cf = Cutflow::new(&["a", "b"]);
+            for _ in 0..n {
+                cf.record(2);
+            }
+            let mut set = HistogramSet::new();
+            cf.store_into(&mut set);
+            set
+        };
+        let mut total = mk(3);
+        total.merge(&mk(4));
+        let rows = Cutflow::read(&total).unwrap();
+        assert_eq!(rows, vec![(0, 7), (1, 7)]);
+    }
+
+    #[test]
+    fn cutflow_is_monotone_nonincreasing() {
+        let mut cf = Cutflow::new(&["a", "b", "c"]);
+        for passed in [3, 1, 2, 0, 3, 2] {
+            cf.record(passed);
+        }
+        let mut set = HistogramSet::new();
+        cf.store_into(&mut set);
+        let rows = Cutflow::read(&set).unwrap();
+        for w in rows.windows(2) {
+            assert!(w[0].1 >= w[1].1, "cutflow increased: {rows:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_cutflow_panics() {
+        Cutflow::new(&[]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Four-vector kinematics over (pₜ, η, φ, m) coordinates.
+
+/// A particle/jet four-momentum in collider coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PtEtaPhiM {
+    /// Transverse momentum, GeV.
+    pub pt: f64,
+    /// Pseudorapidity.
+    pub eta: f64,
+    /// Azimuthal angle, radians in (−π, π].
+    pub phi: f64,
+    /// Mass, GeV.
+    pub m: f64,
+}
+
+impl PtEtaPhiM {
+    /// Construct from components.
+    pub fn new(pt: f64, eta: f64, phi: f64, m: f64) -> Self {
+        PtEtaPhiM { pt, eta, phi, m }
+    }
+
+    /// A massless four-vector (photon).
+    pub fn massless(pt: f64, eta: f64, phi: f64) -> Self {
+        PtEtaPhiM { pt, eta, phi, m: 0.0 }
+    }
+
+    /// Cartesian momentum x-component.
+    pub fn px(&self) -> f64 {
+        self.pt * self.phi.cos()
+    }
+
+    /// Cartesian momentum y-component.
+    pub fn py(&self) -> f64 {
+        self.pt * self.phi.sin()
+    }
+
+    /// Cartesian momentum z-component.
+    pub fn pz(&self) -> f64 {
+        self.pt * self.eta.sinh()
+    }
+
+    /// Energy, from the mass-shell relation.
+    pub fn energy(&self) -> f64 {
+        let p2 = self.pt * self.pt * (1.0 + self.eta.sinh().powi(2));
+        (p2 + self.m * self.m).sqrt()
+    }
+}
+
+/// Invariant mass of a system of four-vectors.
+pub fn invariant_mass(parts: &[PtEtaPhiM]) -> f64 {
+    let (mut e, mut px, mut py, mut pz) = (0.0, 0.0, 0.0, 0.0);
+    for p in parts {
+        e += p.energy();
+        px += p.px();
+        py += p.py();
+        pz += p.pz();
+    }
+    (e * e - px * px - py * py - pz * pz).max(0.0).sqrt()
+}
+
+/// Azimuthal separation wrapped into [0, π].
+pub fn delta_phi(a: f64, b: f64) -> f64 {
+    let mut d = (a - b).abs() % (2.0 * std::f64::consts::PI);
+    if d > std::f64::consts::PI {
+        d = 2.0 * std::f64::consts::PI - d;
+    }
+    d
+}
+
+/// ΔR = √(Δη² + Δφ²), the standard cone separation.
+pub fn delta_r(eta1: f64, phi1: f64, eta2: f64, phi2: f64) -> f64 {
+    let deta = eta1 - eta2;
+    let dphi = delta_phi(phi1, phi2);
+    (deta * deta + dphi * dphi).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_particle_mass_is_its_mass() {
+        let p = PtEtaPhiM::new(50.0, 1.2, 0.3, 4.5);
+        assert!((invariant_mass(&[p]) - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn massless_back_to_back_pair() {
+        // Two massless particles, equal pt, opposite phi, eta 0:
+        // m = sqrt(2 pt1 pt2 (1 - cos(pi))) = 2 pt.
+        let a = PtEtaPhiM::massless(40.0, 0.0, 0.0);
+        let b = PtEtaPhiM::massless(40.0, 0.0, std::f64::consts::PI);
+        assert!((invariant_mass(&[a, b]) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_massless_pair_has_zero_mass() {
+        let a = PtEtaPhiM::massless(40.0, 1.0, 0.5);
+        let b = PtEtaPhiM::massless(20.0, 1.0, 0.5);
+        assert!(invariant_mass(&[a, b]) < 1e-6);
+    }
+
+    #[test]
+    fn energy_respects_mass_shell() {
+        let p = PtEtaPhiM::new(30.0, 0.0, 0.0, 10.0);
+        // At eta=0: E^2 = pt^2 + m^2.
+        assert!((p.energy() - (900.0f64 + 100.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_is_boost_invariant_along_z() {
+        // Shifting both particles' eta by a constant is a longitudinal
+        // boost; the invariant mass must not change.
+        let a = PtEtaPhiM::massless(35.0, 0.2, 1.0);
+        let b = PtEtaPhiM::massless(55.0, -0.7, -2.0);
+        let m0 = invariant_mass(&[a, b]);
+        for boost in [-1.5, 0.8, 2.0] {
+            let a2 = PtEtaPhiM::massless(35.0, 0.2 + boost, 1.0);
+            let b2 = PtEtaPhiM::massless(55.0, -0.7 + boost, -2.0);
+            let m = invariant_mass(&[a2, b2]);
+            assert!((m - m0).abs() < 1e-6, "boost {boost}: {m} vs {m0}");
+        }
+    }
+
+    #[test]
+    fn delta_phi_wraps() {
+        assert!((delta_phi(3.0, -3.0) - (2.0 * std::f64::consts::PI - 6.0)).abs() < 1e-12);
+        assert!((delta_phi(0.5, 0.2) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_r_is_euclidean_in_eta_phi() {
+        assert!((delta_r(0.0, 0.0, 3.0, 0.0) - 3.0).abs() < 1e-12);
+        assert!((delta_r(0.0, 0.0, 0.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+}

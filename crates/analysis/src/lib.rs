@@ -1,0 +1,34 @@
+//! # vine-analysis — the application layer (Coffea's role)
+//!
+//! The paper's applications are Coffea programs: user-defined *processor*
+//! functions mapped over chunks of columnar event data, whose partial
+//! histograms are then *accumulated* into final results (§II-A). This crate
+//! provides:
+//!
+//! * [`processor`] — the [`processor::Processor`] trait and accumulation
+//!   helpers (the "processor" / "accumulation" functions of §III-C);
+//! * [`kinematics`] — four-vector helpers (invariant masses, Δφ);
+//! * [`dv3`] — the **DV3** analysis: Higgs → bb̄ / gg candidate search in
+//!   multi-jet events;
+//! * [`triphoton`] — the **RS-TriPhoton** analysis: heavy-resonance →
+//!   photon + (light particle → two photons) search in three-photon final
+//!   states;
+//! * [`workloads`] — Table II's workload configurations (DV3-Small through
+//!   DV3-Huge, RS-TriPhoton) and the translation of a workload into a
+//!   [`vine_dag::TaskGraph`] with either single-node or tree-shaped
+//!   reductions (the Fig 11 knob).
+
+pub mod cutflow;
+pub mod dv3;
+pub mod kinematics;
+pub mod processor;
+pub mod triphoton;
+pub mod variations;
+pub mod workloads;
+
+pub use cutflow::Cutflow;
+pub use dv3::Dv3Processor;
+pub use processor::{run_processor_pipeline, Processor};
+pub use triphoton::TriPhotonProcessor;
+pub use variations::{Variation, VariedProcessor};
+pub use workloads::{AppKind, ReductionShape, WorkloadSpec};

@@ -1,0 +1,101 @@
+//! The processor/accumulator contract (§III-C).
+//!
+//! A [`Processor`] is the user-defined function a Coffea analysis maps over
+//! event chunks; it turns a columnar [`EventBatch`] into a partial
+//! [`HistogramSet`]. Accumulation is [`HistogramSet::merge`] — commutative
+//! and associative, so any reduction shape yields the same physics.
+
+use vine_data::{EventBatch, HistogramSet};
+
+/// A user-defined analysis function applied independently to each chunk.
+///
+/// Implementations must be `Send + Sync`: the real executor (`vine-exec`)
+/// invokes one shared processor instance from many worker threads, exactly
+/// as a TaskVine LibraryTask serves concurrent FunctionCalls.
+pub trait Processor: Send + Sync {
+    /// Short name (used in task names and library identities).
+    fn name(&self) -> &str;
+
+    /// Process one chunk into partial histograms.
+    fn process(&self, batch: &EventBatch) -> HistogramSet;
+
+    /// A relative cost factor for simulation calibration (1.0 = nominal).
+    fn work_factor(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Run a processor over several batches and accumulate the results —
+/// the reference (sequential) semantics every distributed execution must
+/// reproduce bit-for-bit.
+pub fn run_processor_pipeline<P: Processor + ?Sized>(
+    processor: &P,
+    batches: &[EventBatch],
+) -> HistogramSet {
+    let mut acc = HistogramSet::new();
+    for b in batches {
+        acc.merge(&processor.process(b));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_data::Hist1D;
+
+    /// A processor that histograms MET, for contract tests.
+    struct MetProcessor;
+
+    impl Processor for MetProcessor {
+        fn name(&self) -> &str {
+            "met"
+        }
+
+        fn process(&self, batch: &EventBatch) -> HistogramSet {
+            let mut h = Hist1D::new(10, 0.0, 100.0);
+            if let Some(met) = batch.scalar("MET_pt") {
+                h.fill_all(met);
+            }
+            let mut out = HistogramSet::new();
+            out.set_h1("met", h);
+            out.events_processed = batch.len() as u64;
+            out
+        }
+    }
+
+    fn batch(met: Vec<f64>) -> EventBatch {
+        let mut b = EventBatch::new(met.len());
+        b.set_scalar("MET_pt", met);
+        b
+    }
+
+    #[test]
+    fn pipeline_accumulates_all_batches() {
+        let batches = vec![batch(vec![10.0, 20.0]), batch(vec![30.0])];
+        let out = run_processor_pipeline(&MetProcessor, &batches);
+        assert_eq!(out.events_processed, 3);
+        assert_eq!(out.h1("met").unwrap().total(), 3.0);
+    }
+
+    #[test]
+    fn pipeline_on_empty_input_is_empty() {
+        let out = run_processor_pipeline(&MetProcessor, &[]);
+        assert_eq!(out.events_processed, 0);
+        assert!(out.h1("met").is_none());
+    }
+
+    #[test]
+    fn pipeline_order_does_not_matter() {
+        let a = batch(vec![10.0, 55.0]);
+        let b = batch(vec![90.0]);
+        let ab = run_processor_pipeline(&MetProcessor, &[a.clone(), b.clone()]);
+        let ba = run_processor_pipeline(&MetProcessor, &[b, a]);
+        assert_eq!(ab.h1("met"), ba.h1("met"));
+    }
+
+    #[test]
+    fn default_work_factor_is_one() {
+        assert_eq!(MetProcessor.work_factor(), 1.0);
+    }
+}

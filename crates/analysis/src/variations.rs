@@ -1,0 +1,199 @@
+//! Systematic variations.
+//!
+//! Real CMS analyses evaluate every observable under dozens of shifted
+//! detector calibrations (jet energy scale up/down, photon energy scale,
+//! event-weight variations, …). Each variation re-runs the selection on
+//! transformed kinematics and emits its own copy of every histogram —
+//! which is why the partial results of an analysis like RS-TriPhoton are
+//! hundreds of MB to GB, the very intermediates whose handling the paper
+//! reshapes.
+//!
+//! [`VariedProcessor`] wraps any [`Processor`], runs the nominal pass plus
+//! one pass per [`Variation`], and namespaces the varied histograms as
+//! `"<variation>/<name>"`.
+
+use vine_data::{EventBatch, HistogramSet};
+
+use crate::processor::Processor;
+
+/// A systematic shift applied to the event record before processing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Variation {
+    /// Scale all jet transverse momenta by `1 + shift`.
+    JetEnergyScale {
+        /// Short label, e.g. `"jesUp"`.
+        label: &'static str,
+        /// Fractional shift (e.g. `0.02` for +2 %).
+        shift: f64,
+    },
+    /// Scale all photon transverse momenta by `1 + shift`.
+    PhotonEnergyScale {
+        /// Short label, e.g. `"pesDown"`.
+        label: &'static str,
+        /// Fractional shift.
+        shift: f64,
+    },
+}
+
+impl Variation {
+    /// The variation's label (histogram namespace).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variation::JetEnergyScale { label, .. } => label,
+            Variation::PhotonEnergyScale { label, .. } => label,
+        }
+    }
+
+    /// The conventional ±2 % jet-energy-scale pair.
+    pub fn jes_pair() -> Vec<Variation> {
+        vec![
+            Variation::JetEnergyScale { label: "jesUp", shift: 0.02 },
+            Variation::JetEnergyScale { label: "jesDown", shift: -0.02 },
+        ]
+    }
+
+    /// Apply the shift to a batch, returning the transformed copy.
+    pub fn apply(&self, batch: &EventBatch) -> EventBatch {
+        let (column, factor) = match *self {
+            Variation::JetEnergyScale { shift, .. } => ("Jet_pt", 1.0 + shift),
+            Variation::PhotonEnergyScale { shift, .. } => ("Photon_pt", 1.0 + shift),
+        };
+        let mut out = EventBatch::new(batch.len());
+        for name in batch.scalar_names() {
+            out.set_scalar(name.to_string(), batch.scalar(name).expect("listed").to_vec());
+        }
+        for name in batch.jagged_names() {
+            let col = batch.jagged(name).expect("listed");
+            if name == column {
+                out.set_jagged(name.to_string(), col.map_values(|v| v * factor));
+            } else {
+                out.set_jagged(name.to_string(), col.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Wraps a processor with a set of systematic variations.
+pub struct VariedProcessor<P> {
+    inner: P,
+    variations: Vec<Variation>,
+}
+
+impl<P: Processor> VariedProcessor<P> {
+    /// Wrap `inner`, evaluating it nominally plus once per variation.
+    pub fn new(inner: P, variations: Vec<Variation>) -> Self {
+        VariedProcessor { inner, variations }
+    }
+
+    /// The wrapped variations.
+    pub fn variations(&self) -> &[Variation] {
+        &self.variations
+    }
+}
+
+impl<P: Processor> Processor for VariedProcessor<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn work_factor(&self) -> f64 {
+        // One full pass per variation on top of the nominal one.
+        self.inner.work_factor() * (1.0 + self.variations.len() as f64)
+    }
+
+    fn process(&self, batch: &EventBatch) -> HistogramSet {
+        let mut out = self.inner.process(batch);
+        let nominal_events = out.events_processed;
+        for var in &self.variations {
+            let shifted = var.apply(batch);
+            let result = self.inner.process(&shifted);
+            let h1_names: Vec<String> = result.h1_names().map(|s| s.to_string()).collect();
+            for name in h1_names {
+                out.set_h1(
+                    format!("{}/{}", var.label(), name),
+                    result.h1(&name).expect("listed").clone(),
+                );
+            }
+            let h2_names: Vec<String> = result.h2_names().map(|s| s.to_string()).collect();
+            for name in h2_names {
+                out.set_h2(
+                    format!("{}/{}", var.label(), name),
+                    result.h2(&name).expect("listed").clone(),
+                );
+            }
+        }
+        // Events are counted once, not once per variation.
+        out.events_processed = nominal_events;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dv3::Dv3Processor;
+    use vine_data::EventGenerator;
+
+    fn batch(n: usize) -> EventBatch {
+        EventGenerator::default().generate("var-test", 0, 0, n)
+    }
+
+    #[test]
+    fn apply_scales_only_the_target_column() {
+        let b = batch(100);
+        let var = Variation::JetEnergyScale { label: "jesUp", shift: 0.02 };
+        let shifted = var.apply(&b);
+        let orig = b.jagged("Jet_pt").unwrap().values();
+        let new = shifted.jagged("Jet_pt").unwrap().values();
+        for (o, n) in orig.iter().zip(new) {
+            assert!((n - o * 1.02).abs() < 1e-9);
+        }
+        assert_eq!(b.jagged("Jet_eta"), shifted.jagged("Jet_eta"));
+        assert_eq!(b.scalar("MET_pt"), shifted.scalar("MET_pt"));
+    }
+
+    #[test]
+    fn varied_processor_emits_namespaced_copies() {
+        let p = VariedProcessor::new(Dv3Processor::default(), Variation::jes_pair());
+        let out = p.process(&batch(1000));
+        assert!(out.h1("dijet_mass").is_some());
+        assert!(out.h1("jesUp/dijet_mass").is_some());
+        assert!(out.h1("jesDown/dijet_mass").is_some());
+        // Events counted once despite three passes.
+        assert_eq!(out.events_processed, 1000);
+    }
+
+    #[test]
+    fn jes_up_selects_more_events_than_down() {
+        // Raising jet pT moves events over the 30 GeV threshold; lowering
+        // drops them below it.
+        let p = VariedProcessor::new(
+            Dv3Processor::default(),
+            vec![
+                Variation::JetEnergyScale { label: "up", shift: 0.1 },
+                Variation::JetEnergyScale { label: "down", shift: -0.1 },
+            ],
+        );
+        let out = p.process(&batch(4000));
+        let up = out.h1("up/dijet_mass").unwrap().total();
+        let nominal = out.h1("dijet_mass").unwrap().total();
+        let down = out.h1("down/dijet_mass").unwrap().total();
+        assert!(up > nominal, "up {up} !> nominal {nominal}");
+        assert!(down < nominal, "down {down} !< nominal {nominal}");
+    }
+
+    #[test]
+    fn variations_multiply_output_size() {
+        let nominal = Dv3Processor::default().process(&batch(500));
+        let varied = VariedProcessor::new(Dv3Processor::default(), Variation::jes_pair())
+            .process(&batch(500));
+        assert!(varied.byte_size() > 2 * nominal.byte_size());
+    }
+
+    #[test]
+    fn work_factor_grows_with_variations() {
+        let p = VariedProcessor::new(Dv3Processor::default(), Variation::jes_pair());
+        assert_eq!(p.work_factor(), 3.0);
+    }
+}

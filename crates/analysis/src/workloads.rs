@@ -1,0 +1,372 @@
+//! Table II: the paper's workload configurations, and their task graphs.
+//!
+//! | Application | Input | Tasks |
+//! |---|---|---|
+//! | DV3-Small | 25 GB | (scaled 60–300 cores) |
+//! | DV3-Medium | 200 GB | (scaled 60–300 cores) |
+//! | DV3-Large | 1.2 TB | 17 000 |
+//! | DV3-Huge | 1.2 TB | 185 000 |
+//! | RS-TriPhoton | 500 GB | 4 000 |
+//!
+//! A workload turns into the paper's Fig 3/Fig 5 topology: one `Process`
+//! task per input chunk, then per-dataset accumulation — either a *single
+//! node* reduction (the original RS-TriPhoton shape that overflows worker
+//! disks, Fig 11 left) or a bounded-arity *tree* (Fig 11 right).
+//!
+//! Intermediate sizes are calibrated to the paper's observations: DV3
+//! partials of ~200 MB make Work Queue push ≈40 GB through the manager to
+//! each of 200 workers (Fig 7), and RS-TriPhoton partials of ~1 GB make a
+//! single-node reduction of a 200-partial dataset spike one worker's cache
+//! by ~200 GB on top of its resident data (Fig 11).
+
+use vine_dag::rewrite::add_tree_reduce;
+use vine_dag::{TaskGraph, TaskKind};
+use vine_simcore::units::{GB, KB, MB};
+
+/// Which analysis an experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppKind {
+    /// The DV3 Higgs → bb̄/gg search.
+    Dv3,
+    /// The RS-TriPhoton heavy-resonance search.
+    RsTriPhoton,
+}
+
+/// Shape of the per-dataset accumulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReductionShape {
+    /// One reduction task consumes every partial of the dataset at once
+    /// (the original application; Fig 11 left).
+    SingleNode,
+    /// Bounded-arity reduction tree (the DaskVine rewrite; Fig 11 right).
+    Tree {
+        /// Maximum fan-in per accumulation task.
+        arity: usize,
+    },
+}
+
+/// A fully-parameterized workload (one row of Table II plus shape knobs).
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Display name, e.g. `"DV3-Large"`.
+    pub name: &'static str,
+    /// Which analysis runs.
+    pub kind: AppKind,
+    /// Total input bytes across all datasets.
+    pub input_bytes: u64,
+    /// Number of `Process` (map) tasks.
+    pub process_tasks: usize,
+    /// Number of independent datasets (each reduced separately).
+    pub n_datasets: usize,
+    /// Bytes of each partial result (a `Process` task's output).
+    pub process_output_bytes: u64,
+    /// Bytes of an accumulation task's output.
+    pub accum_output_bytes: u64,
+    /// Relative compute cost of one `Process` task (1.0 = nominal DV3).
+    pub work_scale: f64,
+    /// Accumulation shape.
+    pub reduction: ReductionShape,
+}
+
+impl WorkloadSpec {
+    /// DV3-Large: the paper's "standard" run — 17 000 tasks over 1.2 TB.
+    pub fn dv3_large() -> Self {
+        WorkloadSpec {
+            name: "DV3-Large",
+            kind: AppKind::Dv3,
+            input_bytes: 1_200 * GB,
+            process_tasks: 15_940, // + tree accumulation ≈ 17 000 total
+            n_datasets: 8,
+            process_output_bytes: 200 * MB,
+            accum_output_bytes: 200 * MB,
+            work_scale: 1.0,
+            reduction: ReductionShape::Tree { arity: 16 },
+        }
+    }
+
+    /// DV3-Huge: 185 000 tasks, same 1.2 TB, "more extensive computation".
+    pub fn dv3_huge() -> Self {
+        WorkloadSpec {
+            name: "DV3-Huge",
+            kind: AppKind::Dv3,
+            input_bytes: 1_200 * GB,
+            process_tasks: 173_400, // + accumulation ≈ 185 000 total
+            n_datasets: 8,
+            process_output_bytes: 40 * MB,
+            accum_output_bytes: 40 * MB,
+            work_scale: 1.0,
+            reduction: ReductionShape::Tree { arity: 16 },
+        }
+    }
+
+    /// DV3-Medium: 200 GB input, chunking proportional to DV3-Large.
+    pub fn dv3_medium() -> Self {
+        WorkloadSpec {
+            name: "DV3-Medium",
+            kind: AppKind::Dv3,
+            input_bytes: 200 * GB,
+            process_tasks: 2_656,
+            n_datasets: 4,
+            process_output_bytes: 200 * MB,
+            accum_output_bytes: 200 * MB,
+            work_scale: 1.0,
+            reduction: ReductionShape::Tree { arity: 16 },
+        }
+    }
+
+    /// DV3-Small: 25 GB input.
+    pub fn dv3_small() -> Self {
+        WorkloadSpec {
+            name: "DV3-Small",
+            kind: AppKind::Dv3,
+            input_bytes: 25 * GB,
+            process_tasks: 332,
+            n_datasets: 2,
+            process_output_bytes: 200 * MB,
+            accum_output_bytes: 200 * MB,
+            work_scale: 1.0,
+            reduction: ReductionShape::Tree { arity: 16 },
+        }
+    }
+
+    /// RS-TriPhoton: 4 000 tasks over 500 GB in 20 datasets, with large
+    /// (~1 GB) partial results. Defaults to the *rewritten* tree shape;
+    /// pass through [`WorkloadSpec::with_reduction`] for the original
+    /// single-node shape (Fig 11 left).
+    pub fn rs_triphoton() -> Self {
+        WorkloadSpec {
+            name: "RS-TriPhoton",
+            kind: AppKind::RsTriPhoton,
+            input_bytes: 500 * GB,
+            process_tasks: 3_500,
+            n_datasets: 20,
+            process_output_bytes: GB,
+            accum_output_bytes: GB,
+            work_scale: 1.8,
+            reduction: ReductionShape::Tree { arity: 8 },
+        }
+    }
+
+    /// All Table II rows, in the paper's order.
+    pub fn table2() -> Vec<WorkloadSpec> {
+        vec![
+            Self::dv3_small(),
+            Self::dv3_medium(),
+            Self::dv3_large(),
+            Self::dv3_huge(),
+            Self::rs_triphoton(),
+        ]
+    }
+
+    /// Replace the reduction shape.
+    pub fn with_reduction(mut self, reduction: ReductionShape) -> Self {
+        self.reduction = reduction;
+        self
+    }
+
+    /// Scale the workload down by `factor` (fewer tasks, less data) while
+    /// preserving its shape — used by quick tests and Criterion benches.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        let factor = factor.max(1);
+        self.input_bytes /= factor as u64;
+        self.process_tasks = (self.process_tasks / factor).max(self.n_datasets);
+        self
+    }
+
+    /// Bytes of input consumed by each `Process` task.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.input_bytes / self.process_tasks as u64
+    }
+
+    /// Build the workflow's task graph.
+    pub fn to_graph(&self) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let per_dataset = self.process_tasks / self.n_datasets;
+        let remainder = self.process_tasks % self.n_datasets;
+        let chunk = self.chunk_bytes();
+        let accum_work_per_input = 0.05 * self.work_scale;
+
+        for d in 0..self.n_datasets {
+            let n_chunks = per_dataset + usize::from(d < remainder);
+            let mut partials = Vec::with_capacity(n_chunks);
+            for c in 0..n_chunks {
+                let input = g.add_external_file(format!("{}.ds{d}.chunk{c}", self.name), chunk);
+                let (_, outs) = g.add_task(
+                    format!("{}.ds{d}.process{c}", self.name),
+                    TaskKind::Process,
+                    vec![input],
+                    &[self.process_output_bytes],
+                    self.work_scale,
+                );
+                partials.push(outs[0]);
+            }
+            match self.reduction {
+                ReductionShape::SingleNode => {
+                    g.add_task(
+                        format!("{}.ds{d}.reduce", self.name),
+                        TaskKind::Accumulate,
+                        partials.clone(),
+                        &[self.accum_output_bytes],
+                        accum_work_per_input * partials.len() as f64,
+                    );
+                }
+                ReductionShape::Tree { arity } => {
+                    add_tree_reduce(
+                        &mut g,
+                        &format!("{}.ds{d}.reduce", self.name),
+                        &partials,
+                        arity,
+                        self.accum_output_bytes,
+                        accum_work_per_input,
+                    );
+                }
+            }
+        }
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+
+    /// Build the matching dataset catalogs (for the real executor), one
+    /// per dataset, with ~`chunk_bytes` chunks.
+    pub fn to_datasets(&self) -> Vec<vine_data::Dataset> {
+        let bytes_per_event = 2 * KB;
+        let per_dataset_bytes = self.input_bytes / self.n_datasets as u64;
+        let per_dataset_chunks = (self.process_tasks / self.n_datasets).max(1);
+        let events_per_dataset = (per_dataset_bytes / bytes_per_event).max(1);
+        // One file per ~5 chunks, as in the paper's chunks_per_file: 5.
+        let chunks_per_file = 5u32;
+        let files = per_dataset_chunks.div_ceil(chunks_per_file as usize).max(1);
+        let events_per_file = events_per_dataset.div_ceil(files as u64).max(1);
+        (0..self.n_datasets)
+            .map(|d| {
+                let mut ds = vine_data::Dataset::synthesize(
+                    format!("{}.ds{d}", self.name),
+                    per_dataset_bytes,
+                    bytes_per_event,
+                    events_per_file,
+                    chunks_per_file,
+                );
+                if self.kind == AppKind::RsTriPhoton {
+                    // RS-TriPhoton datasets carry injected signal.
+                    ds.generator.triphoton_signal_fraction = 0.01;
+                }
+                ds
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_simcore::units::TB;
+
+    #[test]
+    fn table2_matches_paper_rows() {
+        let rows = WorkloadSpec::table2();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].input_bytes, 25 * GB);
+        assert_eq!(rows[1].input_bytes, 200 * GB);
+        assert_eq!(rows[2].input_bytes, 1_200 * GB);
+        assert_eq!(rows[3].input_bytes, 1_200 * GB);
+        assert_eq!(rows[4].input_bytes, 500 * GB);
+        assert_eq!(rows[4].n_datasets, 20);
+    }
+
+    #[test]
+    fn dv3_large_totals_seventeen_thousand_tasks() {
+        let g = WorkloadSpec::dv3_large().to_graph();
+        let total = g.task_count();
+        assert!(
+            (16_500..=17_500).contains(&total),
+            "DV3-Large task count {total} not ≈ 17 000"
+        );
+        assert_eq!(g.external_bytes() / GB, 1_199); // 1.2 TB up to rounding
+    }
+
+    #[test]
+    fn dv3_huge_totals_185k_tasks() {
+        let g = WorkloadSpec::dv3_huge().to_graph();
+        let total = g.task_count();
+        assert!(
+            (180_000..=190_000).contains(&total),
+            "DV3-Huge task count {total} not ≈ 185 000"
+        );
+    }
+
+    #[test]
+    fn rs_triphoton_totals_4k_tasks() {
+        let g = WorkloadSpec::rs_triphoton().to_graph();
+        let total = g.task_count();
+        assert!(
+            (3_800..=4_400).contains(&total),
+            "RS-TriPhoton task count {total} not ≈ 4 000"
+        );
+    }
+
+    #[test]
+    fn single_node_reduction_has_huge_fan_in() {
+        let spec = WorkloadSpec::rs_triphoton().with_reduction(ReductionShape::SingleNode);
+        let g = spec.to_graph();
+        // 3 500 process tasks / 20 datasets = 175 partials per reduce.
+        assert_eq!(g.max_fan_in(), 175);
+        let (_, accum, _) = g.kind_counts();
+        assert_eq!(accum, 20);
+    }
+
+    #[test]
+    fn tree_reduction_bounds_fan_in() {
+        let g = WorkloadSpec::rs_triphoton().to_graph();
+        assert_eq!(g.max_fan_in(), 8);
+    }
+
+    #[test]
+    fn graphs_validate() {
+        for spec in [
+            WorkloadSpec::dv3_small(),
+            WorkloadSpec::dv3_medium(),
+            WorkloadSpec::rs_triphoton(),
+        ] {
+            assert!(spec.to_graph().validate().is_ok(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn intermediate_data_exceeds_input_for_dv3_large() {
+        // §III: "intermediate data ... may be even larger than the initial
+        // set of data".
+        let spec = WorkloadSpec::dv3_large();
+        let intermediates = spec.process_tasks as u64 * spec.process_output_bytes;
+        assert!(intermediates > spec.input_bytes);
+        assert!(intermediates > 3 * TB);
+    }
+
+    #[test]
+    fn scaled_down_preserves_shape() {
+        let spec = WorkloadSpec::dv3_large().scaled_down(100);
+        assert_eq!(spec.n_datasets, 8);
+        assert_eq!(spec.process_tasks, 159);
+        let g = spec.to_graph();
+        assert!(g.validate().is_ok());
+        let (p, a, _) = g.kind_counts();
+        assert_eq!(p, 159);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn datasets_cover_input_bytes() {
+        let spec = WorkloadSpec::dv3_small().scaled_down(10);
+        let dss = spec.to_datasets();
+        assert_eq!(dss.len(), spec.n_datasets);
+        let total: u64 = dss.iter().map(|d| d.total_bytes()).sum();
+        // Within rounding of the requested input.
+        let lo = spec.input_bytes * 9 / 10;
+        assert!(total >= lo && total <= spec.input_bytes + GB, "{total}");
+    }
+
+    #[test]
+    fn chunk_bytes_near_70mb_for_dv3_large() {
+        let c = WorkloadSpec::dv3_large().chunk_bytes();
+        assert!((60 * MB..90 * MB).contains(&c), "{c}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Benchmarks of the real threaded executor: standard tasks vs serverless
+//! function calls on an actual DV3 analysis (the paper's §IV-B contrast,
+//! measured on this machine).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vine_analysis::Dv3Processor;
+use vine_data::Dataset;
+use vine_exec::{ExecMode, Executor};
+
+fn datasets() -> Vec<Dataset> {
+    vec![Dataset::synthesize("bench.ds", 4_000_000, 1000, 500, 2)]
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let dss = datasets();
+    let proc = Dv3Processor::default();
+    let mut group = c.benchmark_group("executor");
+    for (label, mode) in [("standard_tasks", ExecMode::Standard), ("function_calls", ExecMode::Serverless)] {
+        group.bench_function(label, |b| {
+            let exec = Executor { threads: 2, mode, import_work: 200_000, arity: 4 };
+            b.iter(|| black_box(exec.run(&proc, &dss).tasks_executed))
+        });
+    }
+    group.finish();
+}
+
+fn bench_processor(c: &mut Criterion) {
+    let ds = &datasets()[0];
+    let chunk = ds.files[0].chunks[0];
+    let batch = ds.materialize(&chunk);
+    let proc = Dv3Processor::default();
+    c.bench_function("processor/dv3_500_events", |b| {
+        b.iter(|| black_box(vine_analysis::Processor::process(&proc, &batch)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_modes, bench_processor
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation studies of TaskVine's design choices (replication, data-aware
+//! placement, peer-transfer throttling, data source). See DESIGN.md §5.
+//!
+//! Usage: ablations `[scale_down]`  (default 10)
+
+use vine_bench::experiments::ablations;
+use vine_bench::report;
+use vine_simcore::units::fmt_bytes;
+
+fn section(title: &str, rows: &[ablations::AblationRow]) {
+    let header = ["Variant", "Runtime", "Task executions", "Peer transfer volume"];
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                if r.completed { format!("{:.0}s", r.makespan_s) } else { "FAILED".into() },
+                r.executions.to_string(),
+                fmt_bytes(r.peer_bytes),
+            ]
+        })
+        .collect();
+    println!("\n== {title} ==\n");
+    println!("{}", report::render_table(&header, &data));
+    let slug: String = title
+        .split_whitespace()
+        .next()
+        .unwrap_or("x")
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '-')
+        .collect();
+    let file = format!("ablation_{}.csv", slug.to_lowercase());
+    report::write_csv(&file, &report::to_csv(&header, &data));
+}
+
+fn main() {
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    eprintln!("Ablations at scale 1/{scale} ...");
+    section("Replication under preemption (DV3-Large)", &ablations::replication(42, scale));
+    section("Placement policy (DV3-Large)", &ablations::placement(42, scale));
+    section("Peer-transfer throttle (RS-TriPhoton)", &ablations::throttle(42, scale));
+    section("Datasource: site storage vs wide-area XRootD (DV3-Medium)", &ablations::datasource(42, scale));
+}

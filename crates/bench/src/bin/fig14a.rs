@@ -1,0 +1,43 @@
+//! Reproduce Fig 14a: TaskVine vs Dask.Distributed scaling on
+//! DV3-Small and DV3-Medium (60–300 cores).
+//!
+//! Usage: fig14a `[scale_down]`  (default 1 = paper scale)
+
+use vine_bench::experiments::fig14a;
+use vine_bench::report;
+
+fn main() {
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    eprintln!("Fig 14a: TaskVine vs Dask.Distributed, DV3-Small/Medium (scale 1/{scale}) ...");
+    let pts = fig14a::run(42, scale);
+
+    let header = ["Workload", "Scheduler", "Cores", "Runtime"];
+    let data: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.workload.to_string(),
+                p.scheduler.to_string(),
+                p.cores.to_string(),
+                p.makespan_s
+                    .map(|m| format!("{m:.0}s"))
+                    .unwrap_or_else(|| "FAILED".into()),
+            ]
+        })
+        .collect();
+    println!("\nFIG 14a: Scheduler scaling comparison\n");
+    println!("{}", report::render_table(&header, &data));
+    // Headline ratio at max cores.
+    for wl in ["DV3-Small", "DV3-Medium"] {
+        let find = |sched: &str| {
+            pts.iter()
+                .filter(|p| p.workload == wl && p.scheduler == sched)
+                .max_by_key(|p| p.cores)
+                .and_then(|p| p.makespan_s)
+        };
+        if let (Some(tv), Some(dd)) = (find("TaskVine"), find("Dask.Distributed")) {
+            println!("{wl} at 300 cores: Dask/TaskVine = {:.2}x  (paper: ~2x)", dd / tv);
+        }
+    }
+    report::write_csv("fig14a.csv", &report::to_csv(&header, &data));
+}

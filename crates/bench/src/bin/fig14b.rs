@@ -1,0 +1,38 @@
+//! Reproduce Fig 14b: scaling DV3-Large and RS-TriPhoton from 120 to
+//! 2400 cores on TaskVine (plus Dask.Distributed's failure at this scale).
+//!
+//! Usage: fig14b `[scale_down]`  (default 1 = paper scale)
+
+use vine_bench::experiments::fig14b;
+use vine_bench::report;
+
+fn main() {
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    eprintln!("Fig 14b: large-scale scaling (scale 1/{scale}) ...");
+    let pts = fig14b::run(42, scale);
+
+    let header = ["Workload", "Scheduler", "Cores", "Runtime"];
+    let data: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.workload.to_string(),
+                p.scheduler.to_string(),
+                p.cores.to_string(),
+                p.makespan_s
+                    .map(|m| format!("{m:.0}s"))
+                    .unwrap_or_else(|| "FAILED (crashes/hangs)".into()),
+            ]
+        })
+        .collect();
+    println!("\nFIG 14b: Scaling of standard configurations\n");
+    println!("{}", report::render_table(&header, &data));
+    for wl in ["DV3-Large", "RS-TriPhoton"] {
+        if let Some(best) = fig14b::best_cores(&pts, wl) {
+            println!("{wl}: best makespan at {best} cores");
+        }
+    }
+    println!("Paper: DV3-Large peaks at 1200 cores; RS-TriPhoton keeps gaining to 2400;");
+    println!("       Dask.Distributed cannot execute these workflows at this scale.");
+    report::write_csv("fig14b.csv", &report::to_csv(&header, &data));
+}

@@ -1,0 +1,36 @@
+//! Reproduce Fig 8: task execution time distribution, standard tasks vs
+//! function calls on DV3-Large.
+//!
+//! Usage: fig8 `[scale_down]`  (default 1 = paper scale)
+
+use vine_bench::experiments::fig8;
+use vine_bench::report;
+
+fn main() {
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    eprintln!("Fig 8: task time distribution, DV3-Large (scale 1/{scale}) ...");
+    let d = fig8::run(42, scale);
+
+    let header = ["Bin lower edge (s)", "Standard tasks", "Function calls"];
+    let mut data = Vec::new();
+    for i in 0..d.standard.counts().len() {
+        data.push(vec![
+            format!("{:.3}", d.standard.bin_lo(i)),
+            d.standard.counts()[i].to_string(),
+            d.functions.counts()[i].to_string(),
+        ]);
+    }
+    println!("\nFIG 8: Task execution time distribution (log2 bins)\n");
+    println!("{}", report::render_table(&header, &data));
+    println!(
+        "In [1s, 16s): standard {:.1}%, functions {:.1}%  (paper: majority in 1-10s)",
+        100.0 * d.standard.fraction_between(1.0, 16.0),
+        100.0 * d.functions.fraction_between(1.0, 16.0),
+    );
+    println!(
+        "Below 4s: standard {:.1}%, functions {:.1}%  (functions shift left)",
+        100.0 * d.standard.fraction_between(0.0, 4.0),
+        100.0 * d.functions.fraction_between(0.0, 4.0),
+    );
+    report::write_csv("fig8.csv", &report::to_csv(&header, &data));
+}

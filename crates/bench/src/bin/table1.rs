@@ -1,0 +1,30 @@
+//! Reproduce Table I: overall stack performance on DV3-Large.
+//!
+//! Usage: table1 `[scale_down]`  (default 1 = paper scale: 17 000 tasks,
+//! 200 x 12-core workers; e.g. 10 runs a 1/10-size configuration)
+
+use vine_bench::experiments::table1;
+use vine_bench::report;
+
+fn main() {
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    eprintln!("Table I: DV3-Large stack evolution (scale 1/{scale}) ...");
+    let rows = table1::run(42, scale);
+    let header = ["Stack", "Change", "Runtime", "Speedup", "Paper Runtime", "Paper Speedup"];
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("Stack {}", r.stack),
+                r.change.to_string(),
+                format!("{:.0}s", r.runtime_s),
+                format!("{:.2}x", r.speedup),
+                format!("{:.0}s", r.paper_runtime_s),
+                format!("{:.2}x", r.paper_speedup),
+            ]
+        })
+        .collect();
+    println!("\nTABLE I: Overall Stack Performance (measured vs paper)\n");
+    println!("{}", report::render_table(&header, &data));
+    report::write_csv("table1.csv", &report::to_csv(&header, &data));
+}

@@ -1,0 +1,40 @@
+//! Reproduce Table II: the application workload configurations.
+
+use vine_bench::experiments::table2;
+use vine_bench::report;
+
+fn main() {
+    let rows = table2::run();
+    let header = [
+        "Application",
+        "Input",
+        "Tasks",
+        "Process",
+        "Accum",
+        "Datasets",
+        "Chunk",
+        "Intermediates",
+        "Depth",
+    ];
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                table2::fmt_size(r.input_bytes),
+                r.total_tasks.to_string(),
+                r.process_tasks.to_string(),
+                r.accum_tasks.to_string(),
+                r.datasets.to_string(),
+                table2::fmt_size(r.chunk_bytes),
+                table2::fmt_size(r.intermediate_bytes),
+                r.critical_path.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nTABLE II: Application workloads (generated graphs)\n");
+    println!("{}", report::render_table(&header, &data));
+    println!("Paper: DV3-Large = 17K tasks / 1.2 TB; DV3-Huge = 185K tasks / 1.2 TB;");
+    println!("       RS-TriPhoton = 4K tasks / 500 GB; Small/Medium = 25 GB / 200 GB.");
+    report::write_csv("table2.csv", &report::to_csv(&header, &data));
+}

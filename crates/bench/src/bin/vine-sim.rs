@@ -1,0 +1,205 @@
+//! vine-sim — run any workload × stack × cluster configuration from the
+//! command line.
+//!
+//! ```text
+//! vine-sim [--workload NAME] [--stack N | --scheduler dask] [--workers N]
+//!          [--scale N] [--seed N] [--single-node-reduction]
+//!          [--no-peer-transfers] [--placement round-robin]
+//!          [--replicas N] [--remote-inputs] [--dot FILE]
+//! ```
+//!
+//! Workloads: dv3-small, dv3-medium, dv3-large (default), dv3-huge,
+//! rs-triphoton.
+
+use vine_analysis::{ReductionShape, WorkloadSpec};
+use vine_bench::plot;
+use vine_cluster::{ClusterSpec, WorkerSpec};
+use vine_core::{DataSource, Engine, EngineConfig, Placement};
+use vine_simcore::units::{fmt_bytes, gbit_per_sec};
+
+struct Args {
+    workload: String,
+    stack: usize,
+    dask: bool,
+    workers: usize,
+    scale: usize,
+    seed: u64,
+    single_node: bool,
+    no_peer: bool,
+    round_robin: bool,
+    replicas: Option<u32>,
+    remote_inputs: bool,
+    dot: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: "dv3-large".into(),
+        stack: 4,
+        dask: false,
+        workers: 0,
+        scale: 1,
+        seed: 42,
+        single_node: false,
+        no_peer: false,
+        round_robin: false,
+        replicas: None,
+        remote_inputs: false,
+        dot: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--workload" => args.workload = value("--workload")?,
+            "--stack" => {
+                args.stack = value("--stack")?.parse().map_err(|e| format!("--stack: {e}"))?
+            }
+            "--scheduler" => {
+                let v = value("--scheduler")?;
+                match v.as_str() {
+                    "dask" => args.dask = true,
+                    "taskvine" => args.stack = 4,
+                    "workqueue" => args.stack = 2,
+                    other => return Err(format!("unknown scheduler {other}")),
+                }
+            }
+            "--workers" => {
+                args.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--scale" => {
+                args.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--replicas" => {
+                args.replicas =
+                    Some(value("--replicas")?.parse().map_err(|e| format!("--replicas: {e}"))?)
+            }
+            "--single-node-reduction" => args.single_node = true,
+            "--no-peer-transfers" => args.no_peer = true,
+            "--placement" => {
+                let v = value("--placement")?;
+                match v.as_str() {
+                    "round-robin" => args.round_robin = true,
+                    "data-aware" => args.round_robin = false,
+                    other => return Err(format!("unknown placement {other}")),
+                }
+            }
+            "--remote-inputs" => args.remote_inputs = true,
+            "--dot" => args.dot = Some(value("--dot")?),
+            "--help" | "-h" => {
+                return Err("usage: see module docs (vine-sim --workload dv3-large --stack 4 ...)"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut spec = match args.workload.as_str() {
+        "dv3-small" => WorkloadSpec::dv3_small(),
+        "dv3-medium" => WorkloadSpec::dv3_medium(),
+        "dv3-large" => WorkloadSpec::dv3_large(),
+        "dv3-huge" => WorkloadSpec::dv3_huge(),
+        "rs-triphoton" => WorkloadSpec::rs_triphoton(),
+        other => {
+            eprintln!("unknown workload {other}");
+            std::process::exit(2);
+        }
+    }
+    .scaled_down(args.scale);
+    if args.single_node {
+        spec = spec.with_reduction(ReductionShape::SingleNode);
+    }
+
+    let default_workers = match args.workload.as_str() {
+        "dv3-huge" => 600,
+        "rs-triphoton" => 40,
+        _ => 200,
+    };
+    let workers = if args.workers > 0 {
+        args.workers
+    } else {
+        (default_workers / args.scale).max(2)
+    };
+    let worker_spec = if args.workload == "rs-triphoton" {
+        WorkerSpec::rs_triphoton()
+    } else {
+        WorkerSpec::dv3_standard()
+    };
+    let cluster = ClusterSpec { workers, worker: worker_spec, manager_link_bw: gbit_per_sec(12.0) };
+
+    let mut cfg = if args.dask {
+        EngineConfig::dask_distributed(cluster, args.seed)
+    } else {
+        EngineConfig::stack(args.stack, cluster, args.seed)
+    };
+    if args.no_peer {
+        cfg.peer_transfers = false;
+    }
+    if args.round_robin {
+        cfg.placement = Placement::RoundRobin;
+    }
+    if let Some(r) = args.replicas {
+        cfg.replica_target = r;
+    }
+    if args.remote_inputs {
+        cfg.data_source = DataSource::remote_xrootd_default();
+    }
+    cfg.trace.cache = true;
+
+    let graph = spec.to_graph();
+    if let Some(path) = &args.dot {
+        let dot = vine_dag::dot::to_dot(&graph, vine_dag::dot::DotOptions::default());
+        match std::fs::write(path, dot) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+
+    println!(
+        "{}: {} tasks / {} input on {} x {}-core workers, {} (seed {})",
+        spec.name,
+        graph.task_count(),
+        fmt_bytes(graph.external_bytes()),
+        workers,
+        cluster.worker.cores,
+        if args.dask { "Dask.Distributed".into() } else { format!("stack {}", args.stack) },
+        args.seed
+    );
+
+    let r = Engine::new(cfg, graph).run();
+    println!();
+    if !r.completed() {
+        println!("RUN FAILED: {:?}", r.outcome);
+    }
+    println!("makespan            {:>12.0} s", r.makespan_secs());
+    println!("task executions     {:>12}", r.stats.task_executions);
+    println!("mean task time      {:>12.2} s", r.mean_task_secs());
+    println!("preemptions         {:>12}", r.stats.preemptions);
+    println!("cache overflows     {:>12}", r.stats.cache_overflow_failures);
+    println!("bytes via manager   {:>12}", fmt_bytes(r.stats.manager_bytes));
+    println!("peer transfer bytes {:>12}", fmt_bytes(r.stats.peer_bytes));
+    println!("shared FS bytes     {:>12}", fmt_bytes(r.stats.shared_fs_bytes));
+    println!();
+    println!("running tasks:");
+    println!(
+        "{}",
+        plot::ascii_series(&r.running_series, r.makespan_secs().max(1.0), 100, 8)
+    );
+    std::process::exit(if r.completed() { 0 } else { 1 });
+}

@@ -1,0 +1,120 @@
+//! Fig 11 — reduction shaping: single-node vs hierarchical reduction on
+//! RS-TriPhoton.
+//!
+//! The paper: with a single-task reduction per dataset, "all workers
+//! quickly grow to about 200 GB of cache usage, but then a few outliers
+//! rapidly grow even higher to 700 GB or more, and result in the failure
+//! and preemption of the worker"; rewriting the reduction as a tree makes
+//! consumption "both reduced and made more uniform, allowing the analysis
+//! to succeed".
+
+use vine_analysis::{ReductionShape, WorkloadSpec};
+use vine_cluster::{ClusterSpec, WorkerSpec};
+use vine_core::{Engine, EngineConfig, RunResult};
+use vine_simcore::units::gbit_per_sec;
+
+/// Result of one reduction-shape run.
+#[derive(Clone, Debug)]
+pub struct ReductionRun {
+    /// "single-node" or "tree".
+    pub label: &'static str,
+    /// Whether the workflow completed.
+    pub completed: bool,
+    /// Makespan, seconds (of whatever portion ran).
+    pub makespan_s: f64,
+    /// Worker failures from cache overflow (the Xs in Fig 11).
+    pub cache_failures: u64,
+    /// Peak cache occupancy over all workers, bytes.
+    pub peak_cache: u64,
+    /// Mean of per-worker peak cache occupancy, bytes.
+    pub mean_peak_cache: u64,
+    /// Per-worker occupancy series (for the figure's curves).
+    pub result: RunResult,
+}
+
+fn rs_cluster(workers: usize) -> ClusterSpec {
+    ClusterSpec {
+        workers,
+        worker: WorkerSpec::rs_triphoton(),
+        manager_link_bw: gbit_per_sec(12.0),
+    }
+}
+
+fn summarize(label: &'static str, r: RunResult) -> ReductionRun {
+    let series = r.cache_series.as_ref().expect("cache trace enabled");
+    let peaks: Vec<u64> = series.iter().map(|s| s.max_value() as u64).collect();
+    let peak = peaks.iter().copied().max().unwrap_or(0);
+    let mean = if peaks.is_empty() {
+        0
+    } else {
+        peaks.iter().sum::<u64>() / peaks.len() as u64
+    };
+    ReductionRun {
+        label,
+        completed: r.completed(),
+        makespan_s: r.makespan_secs(),
+        cache_failures: r.stats.cache_overflow_failures,
+        peak_cache: peak,
+        mean_peak_cache: mean,
+        result: r,
+    }
+}
+
+/// Run RS-TriPhoton with both reduction shapes on `workers` RS-class
+/// workers. `scale_down = 1` is paper scale (≈4000 tasks, 500 GB).
+pub fn run(seed: u64, workers: usize, scale_down: usize) -> (ReductionRun, ReductionRun) {
+    let scale_down = scale_down.max(1);
+    let mk = |shape: ReductionShape, label: &'static str| {
+        let spec = WorkloadSpec::rs_triphoton()
+            .scaled_down(scale_down)
+            .with_reduction(shape);
+        let mut cfg = EngineConfig::stack4(rs_cluster(workers), seed);
+        cfg.trace.cache = true;
+        // Replication keeps every disk full of evictable spare copies,
+        // which would mask the reduction-shape signal this figure is
+        // about; isolate the shape effect.
+        cfg.replica_target = 1;
+        summarize(label, Engine::new(cfg, spec.to_graph()).run())
+    };
+    (
+        mk(ReductionShape::SingleNode, "single-node"),
+        mk(ReductionShape::Tree { arity: 8 }, "tree"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_reduction_flattens_cache_usage() {
+        // Scaled-down run on few workers with proportionally small disks.
+        let seed = 11;
+        let scale = 10;
+        let workers = 4;
+        let mk = |shape, label| {
+            let spec = WorkloadSpec::rs_triphoton()
+                .scaled_down(scale)
+                .with_reduction(shape);
+            let mut cluster = rs_cluster(workers);
+            cluster.worker.disk_bytes /= scale as u64;
+            let mut cfg = EngineConfig::stack4(cluster, seed);
+            cfg.trace.cache = true;
+            summarize(label, Engine::new(cfg, spec.to_graph()).run())
+        };
+        let single = mk(ReductionShape::SingleNode, "single-node");
+        let tree = mk(ReductionShape::Tree { arity: 8 }, "tree");
+
+        // The tree run completes cleanly.
+        assert!(tree.completed, "tree run failed");
+        // Single-node reductions concentrate far more data on one worker.
+        assert!(
+            single.peak_cache > tree.peak_cache,
+            "single peak {} vs tree peak {}",
+            single.peak_cache,
+            tree.peak_cache
+        );
+        // And overflow failures happen only under the single-node shape.
+        assert_eq!(tree.cache_failures, 0);
+    }
+}

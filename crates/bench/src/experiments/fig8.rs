@@ -1,0 +1,82 @@
+//! Fig 8 — task execution time distribution: standard tasks vs
+//! FunctionCalls on the DV3-Large workload.
+//!
+//! The paper: "A majority of tasks have execution times between 1 s and
+//! 10 s (with some outliers on either side)", and serverless execution
+//! shifts the whole distribution left because per-task overhead
+//! (interpreter start + imports) disappears.
+
+use vine_analysis::WorkloadSpec;
+use vine_cluster::ClusterSpec;
+use vine_core::{Engine, EngineConfig};
+use vine_simcore::trace::LogHistogram;
+
+/// The two measured distributions.
+#[derive(Clone, Debug)]
+pub struct TaskTimeDistributions {
+    /// Stack 3 (standard tasks).
+    pub standard: LogHistogram,
+    /// Stack 4 (function calls).
+    pub functions: LogHistogram,
+}
+
+/// Run both execution modes and return their task-time histograms.
+pub fn run(seed: u64, scale_down: usize) -> TaskTimeDistributions {
+    let scale_down = scale_down.max(1);
+    let spec = WorkloadSpec::dv3_large().scaled_down(scale_down);
+    let workers = (200 / scale_down).max(2);
+    let mk = |stack: usize| {
+        let cfg = EngineConfig::stack(stack, ClusterSpec::standard(workers), seed);
+        let r = Engine::new(cfg, spec.to_graph()).run();
+        assert!(r.completed(), "stack {stack} failed: {:?}", r.outcome);
+        r.task_time_hist.expect("task-time trace on by default")
+    };
+    TaskTimeDistributions { standard: mk(3), functions: mk(4) }
+}
+
+/// Median-ish summary: the lower edge of the first bin at or above the
+/// 50th percentile.
+pub fn approx_median(h: &LogHistogram) -> f64 {
+    let total = h.total();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut seen = 0u64;
+    for (i, &c) in h.counts().iter().enumerate() {
+        seen += c;
+        if seen * 2 >= total {
+            return h.bin_lo(i);
+        }
+    }
+    h.bin_lo(h.counts().len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_between_one_and_ten_seconds() {
+        let d = run(3, 40);
+        // Function-call tasks: bulk in [1, 10)s as the paper reports.
+        let frac = d.functions.fraction_between(1.0, 16.0);
+        assert!(frac > 0.55, "only {frac} of function tasks in bulk");
+    }
+
+    #[test]
+    fn functions_shift_distribution_left() {
+        let d = run(3, 40);
+        // Standard tasks carry ~2 s of interpreter/import overhead, so far
+        // less of their mass sits below 4 s.
+        let below_std = d.standard.fraction_between(0.0, 4.0);
+        let below_fn = d.functions.fraction_between(0.0, 4.0);
+        assert!(
+            below_fn > below_std + 0.15,
+            "below-4s: functions {below_fn} vs standard {below_std}"
+        );
+        // Same number of task executions measured in both runs (no
+        // preemptions at this scale is not guaranteed, so allow slack).
+        let (a, b) = (d.standard.total(), d.functions.total());
+        assert!(a.abs_diff(b) <= a / 10, "{a} vs {b}");
+    }
+}

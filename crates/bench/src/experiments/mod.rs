@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure, plus ablation studies.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14a;
+pub mod fig14b;
+pub mod fig15;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,90 @@
+//! Table II — application workload configurations.
+//!
+//! The paper's inventory of size variants; we print each spec plus the
+//! properties of the generated graph (exact task counts, data volumes,
+//! chunk sizes) so the correspondence is checkable.
+
+use vine_analysis::WorkloadSpec;
+use vine_simcore::units::fmt_bytes;
+
+/// One row of Table II, measured from the generated graph.
+#[derive(Clone, Debug)]
+pub struct WorkloadRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Total input bytes.
+    pub input_bytes: u64,
+    /// Tasks in the generated graph (process + accumulation).
+    pub total_tasks: usize,
+    /// Process (map) tasks.
+    pub process_tasks: usize,
+    /// Accumulation tasks.
+    pub accum_tasks: usize,
+    /// Independent datasets.
+    pub datasets: usize,
+    /// Bytes per input chunk.
+    pub chunk_bytes: u64,
+    /// Total intermediate bytes produced by the map phase.
+    pub intermediate_bytes: u64,
+    /// Dependency-graph depth.
+    pub critical_path: usize,
+}
+
+/// Generate all Table II rows.
+pub fn run() -> Vec<WorkloadRow> {
+    WorkloadSpec::table2()
+        .into_iter()
+        .map(|spec| {
+            let g = spec.to_graph();
+            let (p, a, _) = g.kind_counts();
+            WorkloadRow {
+                name: spec.name,
+                input_bytes: spec.input_bytes,
+                total_tasks: g.task_count(),
+                process_tasks: p,
+                accum_tasks: a,
+                datasets: spec.n_datasets,
+                chunk_bytes: spec.chunk_bytes(),
+                intermediate_bytes: p as u64 * spec.process_output_bytes,
+                critical_path: g.critical_path_len(),
+            }
+        })
+        .collect()
+}
+
+/// Render a size for display.
+pub fn fmt_size(bytes: u64) -> String {
+    fmt_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_simcore::units::{GB, TB};
+
+    #[test]
+    fn rows_match_paper_table2() {
+        let rows = run();
+        assert_eq!(rows.len(), 5);
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+
+        let large = by_name("DV3-Large");
+        assert!((16_500..=17_500).contains(&large.total_tasks));
+        assert_eq!(large.input_bytes, 1_200 * GB);
+
+        let huge = by_name("DV3-Huge");
+        assert!((180_000..=190_000).contains(&huge.total_tasks));
+        assert_eq!(huge.input_bytes, large.input_bytes); // same data
+
+        let rs = by_name("RS-TriPhoton");
+        assert!((3_800..=4_400).contains(&rs.total_tasks));
+        assert_eq!(rs.input_bytes, 500 * GB);
+        assert_eq!(rs.datasets, 20);
+
+        assert_eq!(by_name("DV3-Small").input_bytes, 25 * GB);
+        assert_eq!(by_name("DV3-Medium").input_bytes, 200 * GB);
+
+        // Intermediates exceed input for DV3-Large (§III).
+        assert!(large.intermediate_bytes > TB);
+    }
+}

@@ -1,0 +1,25 @@
+//! # vine-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation, each with a
+//! `run(...)` entry point returning structured rows, plus a binary of the
+//! same name that prints the rows (and writes CSV next to them under
+//! `results/`). The Criterion benches in `benches/` run scaled-down
+//! versions of the same experiments.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I (stack evolution) | [`experiments::table1`] | `table1` |
+//! | Table II (workloads) | [`experiments::table2`] | `table2` |
+//! | Fig 7 (transfer heatmap) | [`experiments::fig7`] | `fig7` |
+//! | Fig 8 (task time distribution) | [`experiments::fig8`] | `fig8` |
+//! | Fig 10 (import hoisting) | [`experiments::fig10`] | `fig10` |
+//! | Fig 11 (reduction shape) | [`experiments::fig11`] | `fig11` |
+//! | Fig 12 (stack timelines) | [`experiments::fig12`] | `fig12` |
+//! | Fig 13 (worker Gantt) | [`experiments::fig13`] | `fig13` |
+//! | Fig 14a (vs Dask.Distributed) | [`experiments::fig14a`] | `fig14a` |
+//! | Fig 14b (scaling to 2400 cores) | [`experiments::fig14b`] | `fig14b` |
+//! | Fig 15 (DV3-Huge at 7200 cores) | [`experiments::fig15`] | `fig15` |
+
+pub mod experiments;
+pub mod plot;
+pub mod report;

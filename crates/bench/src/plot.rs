@@ -1,0 +1,183 @@
+//! Terminal renderings of the paper's figures: step-series line charts
+//! (Figs 12, 15), worker Gantt strips (Fig 13), and node-pair heatmaps
+//! (Fig 7).
+
+use vine_simcore::trace::{IntervalTrace, TimeSeries, TransferMatrix};
+use vine_simcore::{SimDur, SimTime};
+
+/// Render a time series as a fixed-size ASCII chart (one `#` column per
+/// sample bucket, rows = value bands).
+pub fn ascii_series(series: &TimeSeries, until_s: f64, width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0);
+    let until = SimTime::from_secs_f64(until_s.max(1.0));
+    let dt = SimDur::from_secs_f64((until_s / width as f64).max(1e-6));
+    let samples = series.resample(until, dt);
+    let max = samples.iter().map(|&(_, v)| v).fold(0.0, f64::max).max(1.0);
+
+    let mut rows = vec![String::new(); height];
+    for &(_, v) in samples.iter().take(width) {
+        let level = ((v / max) * height as f64).round() as usize;
+        for (r, row) in rows.iter_mut().enumerate() {
+            let band = height - r; // top row = highest band
+            row.push(if level >= band { '#' } else { ' ' });
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max:>8.0} |")
+        } else if r == height - 1 {
+            format!("{:>8.0} |", max / height as f64)
+        } else {
+            format!("{:>8} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(row);
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>8}  0{:>w$.0}s\n", "", until_s, w = width - 1));
+    out
+}
+
+/// Render a Gantt trace as one strip per worker: each column is a time
+/// bucket, shaded by how busy the worker was in it (' ', '.', ':', '#').
+pub fn ascii_gantt(
+    gantt: &IntervalTrace,
+    workers: usize,
+    cores_per_worker: u32,
+    until_s: f64,
+    width: usize,
+    max_rows: usize,
+) -> String {
+    assert!(width > 0);
+    let bucket = until_s.max(1e-9) / width as f64;
+    // busy core-seconds per (worker, bucket)
+    let mut busy = vec![vec![0.0f64; width]; workers];
+    for iv in gantt.intervals() {
+        if iv.entity >= workers {
+            continue;
+        }
+        let (s, e) = (iv.start.as_secs_f64(), iv.end.as_secs_f64().min(until_s));
+        if e <= s {
+            continue;
+        }
+        let first = (s / bucket) as usize;
+        let last = ((e / bucket) as usize).min(width - 1);
+        for (b, cell) in busy[iv.entity]
+            .iter_mut()
+            .enumerate()
+            .take(last + 1)
+            .skip(first)
+        {
+            let lo = (b as f64) * bucket;
+            let hi = lo + bucket;
+            *cell += (e.min(hi) - s.max(lo)).max(0.0);
+        }
+    }
+    let step = workers.div_ceil(max_rows.max(1));
+    let mut out = String::new();
+    for w in (0..workers).step_by(step.max(1)) {
+        out.push_str(&format!("w{w:<4}|"));
+        for &cell in busy[w].iter().take(width) {
+            let frac = cell / (bucket * cores_per_worker as f64);
+            out.push(match frac {
+                f if f <= 0.05 => ' ',
+                f if f <= 0.33 => '.',
+                f if f <= 0.66 => ':',
+                _ => '#',
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("     +{}\n", "-".repeat(width)));
+    out.push_str(&format!("      0{:>w$.0}s\n", until_s, w = width - 1));
+    out
+}
+
+/// Render a transfer matrix as a coarse heatmap (log-scaled shades),
+/// sampling at most `max_cells` rows/columns.
+pub fn ascii_heatmap(m: &TransferMatrix, max_cells: usize) -> String {
+    let n = m.node_count();
+    let step = n.div_ceil(max_cells.max(1)).max(1);
+    let max = (m.max_cell() as f64).max(1.0);
+    let shades = [' ', '.', ':', '+', '*', '#'];
+    let mut out = String::from("      (rows = src, cols = dst; log-scaled)\n");
+    for s in (0..n).step_by(step) {
+        out.push_str(&format!("{s:>4} |"));
+        for d in (0..n).step_by(step) {
+            // Aggregate the block.
+            let mut total = 0u64;
+            for ss in s..(s + step).min(n) {
+                for dd in d..(d + step).min(n) {
+                    total += m.get(ss, dd);
+                }
+            }
+            let shade = if total == 0 {
+                0
+            } else {
+                let f = (total as f64).ln().max(0.0) / max.ln().max(1.0);
+                1 + ((f * (shades.len() - 2) as f64).round() as usize).min(shades.len() - 2)
+            };
+            out.push(shades[shade]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn series_chart_shape() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 0.0);
+        s.push(t(5), 100.0);
+        s.push(t(9), 20.0);
+        let chart = ascii_series(&s, 10.0, 20, 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 7); // 5 bands + axis + labels
+        assert!(lines[0].contains('#'), "peak missing from top band");
+    }
+
+    #[test]
+    fn empty_series_renders() {
+        let s = TimeSeries::new();
+        let chart = ascii_series(&s, 10.0, 10, 3);
+        assert!(chart.lines().count() >= 4);
+    }
+
+    #[test]
+    fn gantt_shades_busy_workers() {
+        let mut g = IntervalTrace::new();
+        // Worker 0 fully busy (1 core) for the whole window; worker 1 idle.
+        g.push(0, t(0), t(10), 0);
+        let art = ascii_gantt(&g, 2, 1, 10.0, 10, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains('#'));
+        assert!(!lines[1].contains('#'));
+    }
+
+    #[test]
+    fn gantt_subsamples_many_workers() {
+        let g = IntervalTrace::new();
+        let art = ascii_gantt(&g, 200, 12, 10.0, 20, 10);
+        // At most ~10 worker rows plus 2 axis rows.
+        assert!(art.lines().count() <= 13);
+    }
+
+    #[test]
+    fn heatmap_marks_hot_cells() {
+        let mut m = TransferMatrix::new(4);
+        m.add(0, 1, 1_000_000);
+        m.add(2, 3, 10);
+        let art = ascii_heatmap(&m, 4);
+        assert!(art.contains('#'));
+    }
+}

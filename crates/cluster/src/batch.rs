@@ -1,0 +1,89 @@
+//! Batch-system worker ramp-up.
+//!
+//! Workers are jobs submitted to HTCondor: they start over a ramp as the
+//! negotiator matches them to machines, and a replacement for a preempted
+//! worker rejoins only after a resubmission delay.
+
+use rand::Rng;
+use vine_simcore::{Dist, SimDur};
+
+/// Timing model for worker arrival and replacement.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchSystem {
+    /// Delay from submission to an individual worker's start.
+    pub startup_delay: Dist,
+    /// Delay from a preemption to the replacement worker's start.
+    pub resubmit_delay: Dist,
+}
+
+impl BatchSystem {
+    /// An opportunistic HTCondor pool: workers trickle in over the first
+    /// ~30 s; replacements take a couple of minutes.
+    pub fn htcondor_opportunistic() -> Self {
+        BatchSystem {
+            startup_delay: Dist::Uniform { lo: 1.0, hi: 30.0 },
+            resubmit_delay: Dist::Exponential { mean: 120.0 },
+        }
+    }
+
+    /// A dedicated allocation where all workers start immediately
+    /// (useful for isolating scheduler effects in tests).
+    pub fn instantaneous() -> Self {
+        BatchSystem {
+            startup_delay: Dist::Constant(0.0),
+            resubmit_delay: Dist::Constant(0.0),
+        }
+    }
+
+    /// Sample the start offsets for `n` workers.
+    pub fn sample_starts<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<SimDur> {
+        (0..n).map(|_| self.startup_delay.sample_dur(rng)).collect()
+    }
+
+    /// Sample the delay before a preempted worker's replacement starts.
+    pub fn sample_resubmit<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDur {
+        self.resubmit_delay.sample_dur(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn instantaneous_starts_are_zero() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let starts = BatchSystem::instantaneous().sample_starts(10, &mut rng);
+        assert!(starts.iter().all(|d| d.is_zero()));
+    }
+
+    #[test]
+    fn opportunistic_starts_within_ramp() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let starts = BatchSystem::htcondor_opportunistic().sample_starts(500, &mut rng);
+        assert_eq!(starts.len(), 500);
+        assert!(starts.iter().all(|d| d.as_secs_f64() < 30.0));
+        assert!(starts.iter().any(|d| d.as_secs_f64() > 15.0));
+        assert!(starts.iter().any(|d| d.as_secs_f64() < 15.0));
+    }
+
+    #[test]
+    fn resubmit_delay_positive_on_average() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let bs = BatchSystem::htcondor_opportunistic();
+        let mean: f64 = (0..2000)
+            .map(|_| bs.sample_resubmit(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / 2000.0;
+        assert!((mean - 120.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let bs = BatchSystem::htcondor_opportunistic();
+        let a = bs.sample_starts(20, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let b = bs.sample_starts(20, &mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

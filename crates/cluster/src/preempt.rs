@@ -1,0 +1,119 @@
+//! Opportunistic preemption model.
+//!
+//! §IV of the paper: workers run on an opportunistic campus pool, and each
+//! run sees "the preemption of up to 1 % of workers", which the manager
+//! observes as worker failures and compensates for by replicating data and
+//! re-running tasks. We model preemption as an independent Poisson process
+//! per worker, parameterized so that the *expected fraction of workers
+//! preempted over a reference run length* matches the paper's ~1 %.
+
+use rand::Rng;
+use vine_simcore::{SimDur, SimTime};
+
+/// Per-worker Poisson preemption.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PreemptionModel {
+    /// Preemption rate per worker, events/second. Zero disables preemption.
+    pub rate_per_sec: f64,
+}
+
+impl PreemptionModel {
+    /// No preemption (dedicated nodes).
+    pub fn none() -> Self {
+        PreemptionModel { rate_per_sec: 0.0 }
+    }
+
+    /// Calibrated so an `expected_fraction` of workers is preempted over a
+    /// run of `reference_run` (e.g. 1 % per hour-long run).
+    pub fn fraction_per_run(expected_fraction: f64, reference_run: SimDur) -> Self {
+        let secs = reference_run.as_secs_f64();
+        assert!(secs > 0.0, "reference run must be positive");
+        PreemptionModel { rate_per_sec: expected_fraction.max(0.0) / secs }
+    }
+
+    /// The paper's campus pool: ~1 % of workers preempted over a
+    /// one-hour-scale run.
+    pub fn campus_pool() -> Self {
+        Self::fraction_per_run(0.01, SimDur::from_secs(3600))
+    }
+
+    /// Sample the next preemption instant for a worker alive at `from`,
+    /// or `None` if preemption is disabled.
+    pub fn next_preemption<R: Rng + ?Sized>(
+        &self,
+        from: SimTime,
+        rng: &mut R,
+    ) -> Option<SimTime> {
+        if self.rate_per_sec <= 0.0 {
+            return None;
+        }
+        // Exponential inter-arrival: -ln(U)/λ.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let dt = -u.ln() / self.rate_per_sec;
+        Some(from + SimDur::from_secs_f64(dt))
+    }
+
+    /// Expected fraction of workers preempted at least once during a run
+    /// of the given length (1 - e^{-λT}).
+    pub fn expected_fraction(&self, run: SimDur) -> f64 {
+        1.0 - (-self.rate_per_sec * run.as_secs_f64()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disabled_model_never_fires() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(PreemptionModel::none().next_preemption(SimTime::ZERO, &mut rng), None);
+    }
+
+    #[test]
+    fn calibration_matches_expected_fraction() {
+        let m = PreemptionModel::fraction_per_run(0.01, SimDur::from_secs(3600));
+        let f = m.expected_fraction(SimDur::from_secs(3600));
+        // 1 - e^{-0.01} ≈ 0.00995.
+        assert!((f - 0.00995).abs() < 1e-4, "{f}");
+    }
+
+    #[test]
+    fn samples_are_after_from() {
+        let m = PreemptionModel::campus_pool();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let from = SimTime::from_secs(100);
+        for _ in 0..100 {
+            let t = m.next_preemption(from, &mut rng).unwrap();
+            assert!(t > from);
+        }
+    }
+
+    #[test]
+    fn empirical_fraction_close_to_one_percent() {
+        let m = PreemptionModel::campus_pool();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let horizon = SimTime::from_secs(3600);
+        let n = 20_000;
+        let preempted = (0..n)
+            .filter(|_| m.next_preemption(SimTime::ZERO, &mut rng).unwrap() <= horizon)
+            .count();
+        let frac = preempted as f64 / n as f64;
+        assert!((frac - 0.01).abs() < 0.003, "fraction {frac}");
+    }
+
+    #[test]
+    fn higher_rate_means_earlier_preemption_on_average() {
+        let slow = PreemptionModel::fraction_per_run(0.01, SimDur::from_secs(3600));
+        let fast = PreemptionModel::fraction_per_run(0.5, SimDur::from_secs(3600));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let avg = |m: &PreemptionModel, rng: &mut rand::rngs::StdRng| {
+            (0..2000)
+                .map(|_| m.next_preemption(SimTime::ZERO, rng).unwrap().as_secs_f64())
+                .sum::<f64>()
+                / 2000.0
+        };
+        assert!(avg(&fast, &mut rng) < avg(&slow, &mut rng) / 10.0);
+    }
+}

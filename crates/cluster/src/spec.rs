@@ -1,0 +1,125 @@
+//! Worker and cluster shapes.
+
+use vine_simcore::units::{gbit_per_sec, GB};
+
+/// Resources of one worker (one batch job owning a whole node share).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkerSpec {
+    /// Concurrent task slots (cores).
+    pub cores: u32,
+    /// Memory, bytes.
+    pub mem_bytes: u64,
+    /// Local scratch disk available to the worker's cache, bytes.
+    pub disk_bytes: u64,
+    /// Access-link bandwidth, bytes/second (symmetric).
+    pub link_bw: f64,
+}
+
+impl WorkerSpec {
+    /// The paper's standard DV3 worker: 12 cores on a 2.50 GHz Xeon node,
+    /// 96 GB RAM, 108 GB disk (§IV), 10 Gbit access link.
+    pub fn dv3_standard() -> Self {
+        WorkerSpec {
+            cores: 12,
+            mem_bytes: 96 * GB,
+            disk_bytes: 108 * GB,
+            link_bw: gbit_per_sec(10.0),
+        }
+    }
+
+    /// RS-TriPhoton worker: larger memory and disk (700 GB disk, 200 GB
+    /// RAM, §V-B).
+    pub fn rs_triphoton() -> Self {
+        WorkerSpec {
+            cores: 12,
+            mem_bytes: 200 * GB,
+            disk_bytes: 700 * GB,
+            link_bw: gbit_per_sec(10.0),
+        }
+    }
+
+    /// The Fig 10 import-hoisting worker: 32 cores.
+    pub fn hoisting_32core() -> Self {
+        WorkerSpec {
+            cores: 32,
+            mem_bytes: 128 * GB,
+            disk_bytes: 200 * GB,
+            link_bw: gbit_per_sec(10.0),
+        }
+    }
+
+    /// Replace the core count.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Replace the disk size.
+    pub fn with_disk(mut self, disk_bytes: u64) -> Self {
+        self.disk_bytes = disk_bytes;
+        self
+    }
+}
+
+/// A whole allocation: `n` identical workers plus the manager's uplink.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of workers requested from the batch system.
+    pub workers: usize,
+    /// Shape of each worker.
+    pub worker: WorkerSpec,
+    /// Manager node access-link bandwidth, bytes/second. The paper's
+    /// manager is a single host; its uplink is the Work Queue bottleneck.
+    pub manager_link_bw: f64,
+}
+
+impl ClusterSpec {
+    /// `n` standard DV3 workers behind a 12 Gbit manager uplink (a
+    /// well-connected head node on a campus cluster).
+    pub fn standard(n: usize) -> Self {
+        ClusterSpec {
+            workers: n,
+            worker: WorkerSpec::dv3_standard(),
+            manager_link_bw: gbit_per_sec(12.0),
+        }
+    }
+
+    /// Total cores across all workers.
+    pub fn total_cores(&self) -> u32 {
+        self.workers as u32 * self.worker.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_worker_matches_paper() {
+        let w = WorkerSpec::dv3_standard();
+        assert_eq!(w.cores, 12);
+        assert_eq!(w.mem_bytes, 96 * GB);
+        assert_eq!(w.disk_bytes, 108 * GB);
+    }
+
+    #[test]
+    fn rs_triphoton_worker_is_bigger() {
+        let w = WorkerSpec::rs_triphoton();
+        assert_eq!(w.disk_bytes, 700 * GB);
+        assert_eq!(w.mem_bytes, 200 * GB);
+    }
+
+    #[test]
+    fn cluster_core_count() {
+        // The paper's largest run: 600 workers x 12 cores = 7200 cores.
+        assert_eq!(ClusterSpec::standard(600).total_cores(), 7200);
+        assert_eq!(ClusterSpec::standard(200).total_cores(), 2400);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let w = WorkerSpec::dv3_standard().with_cores(1).with_disk(GB);
+        assert_eq!(w.cores, 1);
+        assert_eq!(w.disk_bytes, GB);
+    }
+}

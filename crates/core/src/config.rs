@@ -1,0 +1,315 @@
+//! Engine configuration and the Table I stack presets.
+
+use vine_cluster::{BatchSystem, ClusterSpec, PreemptionModel};
+use vine_simcore::units::TB;
+use vine_storage::SharedFs;
+
+use crate::cost::TaskTimeModel;
+
+/// Which scheduler generation runs the workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Baseline Work Queue: manager-centric data movement (Stacks 1–2).
+    WorkQueue,
+    /// TaskVine: node-local caches, data-aware placement, peer transfers
+    /// (Stacks 3–4).
+    TaskVine,
+    /// Dask's native Dask.Distributed scheduler (Fig 14a comparison).
+    DaskDistributed,
+}
+
+/// How tasks execute on workers (§IV-B "Serverless Execution").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Conventional tasks: serialize function + args, start an interpreter,
+    /// import libraries, run (Stacks 1–3).
+    StandardTasks,
+    /// Serverless FunctionCalls against a persistent LibraryTask (Stack 4).
+    FunctionCalls {
+        /// Hoist imports into the library preamble so they are paid once
+        /// per LibraryTask instead of once per invocation (§IV-B).
+        hoist_imports: bool,
+    },
+}
+
+/// Where a task's Python environment (imports) is read from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImportSource {
+    /// TaskVine-managed copy on the worker's local disk.
+    WorkerLocal,
+    /// The cluster shared filesystem (the Fig 10 comparison case).
+    SharedFilesystem,
+}
+
+/// Where external input data (the ROOT files) is served from (§III-A).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DataSource {
+    /// Staged on the facility's shared filesystem (HDFS/VAST) — the
+    /// paper's production setup.
+    SharedFilesystem,
+    /// Fetched on demand from the wide-area XRootD federation. The paper
+    /// deems this "impractical" for repeated runs (§IV-A); the
+    /// `ablation_datasource` experiment quantifies why.
+    RemoteXrootd {
+        /// Aggregate WAN bandwidth into the site, bytes/second.
+        wan_bandwidth: f64,
+        /// Per-stream rate achievable over the WAN, bytes/second.
+        per_stream: f64,
+    },
+}
+
+impl DataSource {
+    /// The paper's remote-access scenario: a shared wide-area path
+    /// (5 Gbit aggregate into the site, ~30 MB/s per stream at
+    /// CERN-to-campus round-trip times).
+    pub fn remote_xrootd_default() -> Self {
+        DataSource::RemoteXrootd { wan_bandwidth: 6.25e8, per_stream: 30e6 }
+    }
+}
+
+/// Task-placement strategy (the "Retaining Data" half of §IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Schedule tasks where their input data already lives (TaskVine).
+    DataAware,
+    /// Data-oblivious round-robin (the ablation baseline).
+    RoundRobin,
+}
+
+/// Which traces to record (all cheap; Gantt can be large at 185 K tasks).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Running/waiting counters (Figs 12, 15).
+    pub timeline: bool,
+    /// Per-worker busy intervals (Fig 13).
+    pub gantt: bool,
+    /// Node-pair transfer matrix (Fig 7).
+    pub transfers: bool,
+    /// Per-worker cache occupancy series (Fig 11).
+    pub cache: bool,
+    /// Task execution time histograms (Fig 8).
+    pub task_times: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            timeline: true,
+            gantt: false,
+            transfers: false,
+            cache: false,
+            task_times: true,
+        }
+    }
+}
+
+/// Everything the engine needs to execute one run.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Scheduler generation.
+    pub scheduler: SchedulerKind,
+    /// Task execution paradigm.
+    pub exec_mode: ExecMode,
+    /// Shared filesystem serving the cluster.
+    pub shared_fs: SharedFs,
+    /// Peer (worker↔worker) transfers enabled (TaskVine only).
+    pub peer_transfers: bool,
+    /// Where task environments are imported from.
+    pub import_source: ImportSource,
+    /// Cluster allocation.
+    pub cluster: ClusterSpec,
+    /// Worker arrival/replacement model.
+    pub batch: BatchSystem,
+    /// Opportunistic preemption model.
+    pub preemption: PreemptionModel,
+    /// Task timing model.
+    pub time_model: TaskTimeModel,
+    /// Maximum concurrent outgoing peer transfers per worker (§IV-B:
+    /// "the manager manages the number of concurrent peer transfers").
+    pub max_peer_transfers_per_worker: usize,
+    /// Maximum concurrent shared-FS → manager staging streams (Work
+    /// Queue). With few streams, the storage system's per-stream rate —
+    /// where HDFS and VAST differ most — becomes visible end to end.
+    pub max_concurrent_stagings: usize,
+    /// Target number of replicas for intermediate files (§IV: the manager
+    /// "compensates by replicating data"). 1 disables replication; 2 means
+    /// every task output is asynchronously copied to a second worker,
+    /// making sole-copy loss — and its lineage re-run cascades — rare.
+    pub replica_target: u32,
+    /// Only replicate intermediates at or below this size. Re-running one
+    /// producer is cheaper than proactively copying very large partials,
+    /// so replication of (say) GB-scale files is not worth the bandwidth.
+    pub replicate_max_bytes: u64,
+    /// Task placement strategy (TaskVine uses `DataAware`).
+    pub placement: Placement,
+    /// Where external inputs are read from.
+    pub data_source: DataSource,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Trace selection.
+    pub trace: TraceConfig,
+    /// Dask.Distributed is reported by the paper to be unable to run
+    /// TB-scale workloads; runs with more input than this abort with
+    /// `RunOutcome::Failed`. `None` disables the rule.
+    pub dask_unstable_above_bytes: Option<u64>,
+}
+
+impl EngineConfig {
+    /// Stack 1 — the original system: Work Queue over HDFS.
+    pub fn stack1(cluster: ClusterSpec, seed: u64) -> Self {
+        EngineConfig {
+            scheduler: SchedulerKind::WorkQueue,
+            exec_mode: ExecMode::StandardTasks,
+            shared_fs: SharedFs::hdfs(),
+            peer_transfers: false,
+            import_source: ImportSource::SharedFilesystem,
+            cluster,
+            batch: BatchSystem::htcondor_opportunistic(),
+            preemption: PreemptionModel::campus_pool(),
+            time_model: TaskTimeModel::default(),
+            max_peer_transfers_per_worker: 3,
+            max_concurrent_stagings: 8,
+            replica_target: 1,
+            replicate_max_bytes: 512 * 1_000_000,
+            placement: Placement::DataAware,
+            data_source: DataSource::SharedFilesystem,
+            seed,
+            trace: TraceConfig::default(),
+            dask_unstable_above_bytes: Some(TB / 2),
+        }
+    }
+
+    /// Stack 2 — storage upgrade: Work Queue over VAST.
+    pub fn stack2(cluster: ClusterSpec, seed: u64) -> Self {
+        EngineConfig {
+            shared_fs: SharedFs::vast(),
+            ..Self::stack1(cluster, seed)
+        }
+    }
+
+    /// Stack 3 — scheduler upgrade: TaskVine (peer transfers, node-local
+    /// caches, replication against preemption), still conventional tasks.
+    pub fn stack3(cluster: ClusterSpec, seed: u64) -> Self {
+        EngineConfig {
+            scheduler: SchedulerKind::TaskVine,
+            peer_transfers: true,
+            replica_target: 2,
+            ..Self::stack2(cluster, seed)
+        }
+    }
+
+    /// Stack 4 — execution upgrade: serverless FunctionCalls with hoisted
+    /// imports from worker-local storage.
+    pub fn stack4(cluster: ClusterSpec, seed: u64) -> Self {
+        EngineConfig {
+            exec_mode: ExecMode::FunctionCalls { hoist_imports: true },
+            import_source: ImportSource::WorkerLocal,
+            ..Self::stack3(cluster, seed)
+        }
+    }
+
+    /// The Fig 14a comparison scheduler: Dask.Distributed.
+    pub fn dask_distributed(cluster: ClusterSpec, seed: u64) -> Self {
+        EngineConfig {
+            scheduler: SchedulerKind::DaskDistributed,
+            // Dask workers are persistent Python processes: no per-task
+            // interpreter start, but environments load per (single-core)
+            // worker and intermediates live in worker memory.
+            exec_mode: ExecMode::FunctionCalls { hoist_imports: true },
+            import_source: ImportSource::SharedFilesystem,
+            peer_transfers: true,
+            ..Self::stack2(cluster, seed)
+        }
+    }
+
+    /// The Table I stack by number (1–4).
+    ///
+    /// # Panics
+    /// If `n` is not in `1..=4`.
+    pub fn stack(n: usize, cluster: ClusterSpec, seed: u64) -> Self {
+        match n {
+            1 => Self::stack1(cluster, seed),
+            2 => Self::stack2(cluster, seed),
+            3 => Self::stack3(cluster, seed),
+            4 => Self::stack4(cluster, seed),
+            _ => panic!("stack number must be 1..=4, got {n}"),
+        }
+    }
+
+    /// Disable all stochastic elements (instant worker start, no
+    /// preemption) — for deterministic unit tests.
+    pub fn deterministic(mut self) -> Self {
+        self.batch = BatchSystem::instantaneous();
+        self.preemption = PreemptionModel::none();
+        self
+    }
+
+    /// Enable every trace sink.
+    pub fn with_full_traces(mut self) -> Self {
+        self.trace = TraceConfig {
+            timeline: true,
+            gantt: true,
+            transfers: true,
+            cache: true,
+            task_times: true,
+        };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::standard(4)
+    }
+
+    #[test]
+    fn stack_presets_differ_in_the_right_knobs() {
+        let s1 = EngineConfig::stack1(cluster(), 1);
+        let s2 = EngineConfig::stack2(cluster(), 1);
+        let s3 = EngineConfig::stack3(cluster(), 1);
+        let s4 = EngineConfig::stack4(cluster(), 1);
+
+        assert_eq!(s1.scheduler, SchedulerKind::WorkQueue);
+        assert_eq!(s1.shared_fs.name, "hdfs");
+        assert_eq!(s2.scheduler, SchedulerKind::WorkQueue);
+        assert_eq!(s2.shared_fs.name, "vast");
+        assert_eq!(s3.scheduler, SchedulerKind::TaskVine);
+        assert!(s3.peer_transfers);
+        assert_eq!(s3.exec_mode, ExecMode::StandardTasks);
+        assert_eq!(
+            s4.exec_mode,
+            ExecMode::FunctionCalls { hoist_imports: true }
+        );
+        assert_eq!(s4.import_source, ImportSource::WorkerLocal);
+    }
+
+    #[test]
+    fn stack_by_number_matches_presets() {
+        let a = EngineConfig::stack(3, cluster(), 7);
+        let b = EngineConfig::stack3(cluster(), 7);
+        assert_eq!(a.scheduler, b.scheduler);
+        assert_eq!(a.shared_fs.name, b.shared_fs.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn stack_five_panics() {
+        EngineConfig::stack(5, cluster(), 1);
+    }
+
+    #[test]
+    fn deterministic_strips_randomness() {
+        let c = EngineConfig::stack4(cluster(), 1).deterministic();
+        assert_eq!(c.preemption.rate_per_sec, 0.0);
+    }
+
+    #[test]
+    fn dask_preset_is_marked_unstable_at_scale() {
+        let c = EngineConfig::dask_distributed(cluster(), 1);
+        assert_eq!(c.scheduler, SchedulerKind::DaskDistributed);
+        assert!(c.dask_unstable_above_bytes.is_some());
+    }
+}

@@ -1,0 +1,224 @@
+//! The task-overhead decomposition (§III-C, §IV-B).
+//!
+//! A conventional task pays, on top of its useful compute:
+//!
+//! ```text
+//! dispatch (manager serial)           ~ 25 ms
+//! result collection (manager serial)  ~ 12 ms
+//! interpreter startup (worker)        ~ 1.5 s
+//! library imports (worker, per task)  ~ metadata storm + bytes read
+//! ```
+//!
+//! A serverless FunctionCall replaces interpreter + per-task imports with a
+//! one-time LibraryTask instantiation per worker, a small fork/IPC cost per
+//! invocation, and (only if imports are *not* hoisted) a per-invocation
+//! import paid inside the forked child (§IV-B "Import Hoisting").
+//!
+//! These constants were calibrated so that the DV3-Large standard run
+//! reproduces Table I's shape; `vine-bench` prints the comparison.
+
+use rand::Rng;
+use vine_simcore::{Dist, SimDur};
+use vine_storage::{DiskProfile, SharedFs};
+
+use crate::config::ImportSource;
+
+/// Timing model for task execution and manager overheads.
+#[derive(Clone, Debug)]
+pub struct TaskTimeModel {
+    /// Useful-compute duration of a nominal (work = 1.0) task. The Fig 8
+    /// distribution: bulk between 1 s and 10 s, heavy right tail.
+    pub base_compute: Dist,
+    /// Manager serial cost to dispatch a conventional task.
+    pub dispatch_standard: SimDur,
+    /// Manager serial cost to dispatch a FunctionCall.
+    pub dispatch_function: SimDur,
+    /// Manager serial cost to collect a conventional task's result.
+    pub collect_standard: SimDur,
+    /// Manager serial cost to collect a FunctionCall result.
+    pub collect_function: SimDur,
+    /// Python interpreter + wrapper startup per conventional task.
+    pub interpreter_startup: SimDur,
+    /// Filesystem metadata operations issued by the task's imports
+    /// (module search path walks, stat calls, bytecode probes).
+    pub import_metadata_ops: u64,
+    /// Bytes of library code/data read by the imports.
+    pub import_read_bytes: u64,
+    /// Fork + argument IPC per FunctionCall invocation.
+    pub function_overhead: SimDur,
+    /// One-time LibraryTask instantiation per worker (process launch,
+    /// excluding the hoisted imports, which are costed separately).
+    pub library_startup: SimDur,
+    /// Profile of the worker's local disk (cache hits, local imports).
+    pub worker_disk: DiskProfile,
+}
+
+impl Default for TaskTimeModel {
+    fn default() -> Self {
+        TaskTimeModel {
+            base_compute: Dist::LogNormal { median: 3.2, sigma: 0.85 },
+            dispatch_standard: SimDur::from_millis(25),
+            dispatch_function: SimDur::from_millis(5),
+            collect_standard: SimDur::from_millis(12),
+            collect_function: SimDur::from_millis(3),
+            interpreter_startup: SimDur::from_millis(1500),
+            import_metadata_ops: 2500,
+            import_read_bytes: 60_000_000,
+            function_overhead: SimDur::from_millis(40),
+            library_startup: SimDur::from_millis(2000),
+            worker_disk: DiskProfile::worker_scratch(),
+        }
+    }
+}
+
+impl TaskTimeModel {
+    /// Sample the useful-compute duration of a task with the given work
+    /// multiplier.
+    pub fn sample_compute<R: Rng + ?Sized>(&self, work: f64, rng: &mut R) -> SimDur {
+        self.base_compute.scaled(work.max(0.0)).sample_dur(rng)
+    }
+
+    /// Cost of performing the import storm once, reading the environment
+    /// from `source`.
+    ///
+    /// Local metadata operations resolve against the in-kernel dentry
+    /// cache after first touch (~60 µs each); shared-filesystem metadata
+    /// operations pay a network round trip each (the Fig 10 asymmetry).
+    pub fn import_cost(&self, source: ImportSource, fs: &SharedFs) -> SimDur {
+        match source {
+            ImportSource::WorkerLocal => {
+                let meta = SimDur::from_secs_f64(60e-6 * self.import_metadata_ops as f64);
+                meta + SimDur::from_secs_f64(
+                    self.import_read_bytes as f64 / self.worker_disk.read_bw,
+                )
+            }
+            ImportSource::SharedFilesystem => {
+                fs.metadata_ops(self.import_metadata_ops)
+                    + SimDur::from_secs_f64(self.import_read_bytes as f64 / fs.per_stream_bw)
+            }
+        }
+    }
+
+    /// Worker-side overhead of one conventional task execution (before the
+    /// useful compute starts).
+    pub fn standard_task_overhead(&self, source: ImportSource, fs: &SharedFs) -> SimDur {
+        self.interpreter_startup + self.import_cost(source, fs)
+    }
+
+    /// Worker-side overhead of one FunctionCall invocation.
+    pub fn function_call_overhead(
+        &self,
+        hoist_imports: bool,
+        source: ImportSource,
+        fs: &SharedFs,
+    ) -> SimDur {
+        if hoist_imports {
+            self.function_overhead
+        } else {
+            self.function_overhead + self.import_cost(source, fs)
+        }
+    }
+
+    /// One-time LibraryTask instantiation cost (includes the hoisted
+    /// imports when `hoist_imports`).
+    pub fn library_instantiation(
+        &self,
+        hoist_imports: bool,
+        source: ImportSource,
+        fs: &SharedFs,
+    ) -> SimDur {
+        if hoist_imports {
+            self.library_startup + self.import_cost(source, fs)
+        } else {
+            self.library_startup
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn model() -> TaskTimeModel {
+        TaskTimeModel::default()
+    }
+
+    #[test]
+    fn compute_distribution_matches_fig8_bulk() {
+        // "A majority of tasks have execution times between 1s and 10s".
+        let m = model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let in_bulk = (0..n)
+            .filter(|_| {
+                let d = m.sample_compute(1.0, &mut rng).as_secs_f64();
+                (1.0..10.0).contains(&d)
+            })
+            .count();
+        let frac = in_bulk as f64 / n as f64;
+        assert!(frac > 0.6, "only {frac} of tasks in the 1-10s bulk");
+    }
+
+    #[test]
+    fn work_scales_compute() {
+        let m = model();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(7);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
+        let a = m.sample_compute(1.0, &mut r1);
+        let b = m.sample_compute(4.0, &mut r2);
+        // Same underlying draw, scaled 4x (up to microsecond rounding).
+        let diff = (b.as_micros() as i64 - 4 * a.as_micros() as i64).abs();
+        assert!(diff <= 3, "b {} vs 4a {}", b.as_micros(), 4 * a.as_micros());
+    }
+
+    #[test]
+    fn local_imports_beat_shared_fs_imports() {
+        // Fig 10: "TaskVine local storage slightly outperforming the VAST
+        // shared filesystem ... attributed to localizing library metadata
+        // searches to the local disk".
+        let m = model();
+        let vast = SharedFs::vast();
+        let local = m.import_cost(ImportSource::WorkerLocal, &vast);
+        let shared = m.import_cost(ImportSource::SharedFilesystem, &vast);
+        assert!(local < shared, "local {local:?} vs shared {shared:?}");
+        // ... and HDFS metadata storms are far worse than either.
+        let hdfs = m.import_cost(ImportSource::SharedFilesystem, &SharedFs::hdfs());
+        assert!(hdfs > shared * 5);
+    }
+
+    #[test]
+    fn hoisting_removes_per_call_import_cost() {
+        let m = model();
+        let fs = SharedFs::vast();
+        let hoisted = m.function_call_overhead(true, ImportSource::WorkerLocal, &fs);
+        let unhoisted = m.function_call_overhead(false, ImportSource::WorkerLocal, &fs);
+        assert_eq!(hoisted, m.function_overhead);
+        assert!(unhoisted > hoisted * 5);
+        // The library pays the import exactly once instead.
+        let lib_h = m.library_instantiation(true, ImportSource::WorkerLocal, &fs);
+        let lib_u = m.library_instantiation(false, ImportSource::WorkerLocal, &fs);
+        assert_eq!(lib_u, m.library_startup);
+        assert!(lib_h > lib_u);
+    }
+
+    #[test]
+    fn serverless_overhead_below_standard_overhead() {
+        // The Stack 3 -> 4 premise: per-task overhead collapses.
+        let m = model();
+        let fs = SharedFs::vast();
+        let standard = m.standard_task_overhead(ImportSource::SharedFilesystem, &fs);
+        let serverless = m.function_call_overhead(true, ImportSource::WorkerLocal, &fs);
+        assert!(
+            standard > serverless * 10,
+            "standard {standard:?} vs serverless {serverless:?}"
+        );
+    }
+
+    #[test]
+    fn function_dispatch_cheaper_than_standard() {
+        let m = model();
+        assert!(m.dispatch_function < m.dispatch_standard);
+        assert!(m.collect_function < m.collect_standard);
+    }
+}

@@ -1,0 +1,42 @@
+//! # vine-core — the TaskVine manager, scheduler policies, and simulation engine
+//!
+//! The paper's contribution (§IV): a task *and data* scheduler that turns
+//! long-running HEP analyses into near-interactive ones. This crate
+//! implements the three scheduler generations the evaluation compares and
+//! the discrete-event engine that executes workloads on a simulated
+//! cluster:
+//!
+//! * **Work Queue** ([`SchedulerKind::WorkQueue`]) — the baseline: a
+//!   manager that stages every input down to workers and streams every
+//!   output back, storing intermediates at the manager. Data-oblivious
+//!   placement. (Stacks 1–2.)
+//! * **TaskVine** ([`SchedulerKind::TaskVine`]) — node-local caches keyed
+//!   by cachenames, data-aware placement, throttled asynchronous peer
+//!   transfers, lineage recovery after preemption, and a serverless
+//!   execution mode (LibraryTask + FunctionCall) with import hoisting.
+//!   (Stacks 3–4.)
+//! * **Dask.Distributed** ([`SchedulerKind::DaskDistributed`]) — the
+//!   comparison scheduler of Fig 14a: share-nothing single-core workers
+//!   (the GIL makes one 12-thread worker useless), per-worker environment
+//!   loading, memory-resident intermediates, and the paper-reported
+//!   instability on TB-scale workloads.
+//!
+//! The four stack configurations of Table I are provided as presets:
+//! [`EngineConfig::stack1`] … [`EngineConfig::stack4`].
+//!
+//! The engine ([`Engine`]) marries the substrates: `vine-dag` supplies the
+//! ready-set and lineage logic, `vine-net` the max–min fair fabric,
+//! `vine-storage` the shared-FS and cache models, `vine-cluster` the
+//! worker ramp-up and preemption processes. [`RunResult`] carries the
+//! traces behind every figure in the paper.
+
+pub mod config;
+pub mod cost;
+pub mod engine;
+pub mod placement;
+pub mod result;
+
+pub use config::{DataSource, EngineConfig, ExecMode, ImportSource, Placement, SchedulerKind, TraceConfig};
+pub use cost::TaskTimeModel;
+pub use engine::Engine;
+pub use result::{RunOutcome, RunResult, RunStats};

@@ -1,0 +1,132 @@
+//! Task-placement decisions.
+//!
+//! Work Queue and Dask.Distributed place data-obliviously (round-robin over
+//! workers with free slots). TaskVine consults the manager's file-location
+//! map and "tasks can be scheduled where data dependencies are already
+//! available, reducing the need for unnecessary data movement" (§IV-B).
+
+/// Round-robin cursor over a worker set.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A cursor starting at worker 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pick the next eligible worker index in `0..n`, advancing the
+    /// cursor. Returns `None` if no worker is eligible.
+    pub fn pick(&mut self, n: usize, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
+        if n == 0 {
+            return None;
+        }
+        for step in 0..n {
+            let w = (self.cursor + step) % n;
+            if eligible(w) {
+                self.cursor = (w + 1) % n;
+                return Some(w);
+            }
+        }
+        None
+    }
+}
+
+/// Data-aware pick: among eligible workers, prefer the one already holding
+/// the most input bytes; fall back to `fallback` order when no candidate
+/// with locality is eligible.
+///
+/// `locality` pairs `(worker, cached_input_bytes)` and need not be sorted;
+/// ties break on lower worker index for determinism.
+pub fn data_aware_pick(
+    locality: &[(usize, u64)],
+    mut eligible: impl FnMut(usize) -> bool,
+    fallback: impl IntoIterator<Item = usize>,
+) -> Option<usize> {
+    let mut best: Option<(u64, usize)> = None;
+    for &(w, bytes) in locality {
+        if bytes == 0 || !eligible(w) {
+            continue;
+        }
+        let candidate = (bytes, w);
+        best = Some(match best {
+            None => candidate,
+            // Prefer more bytes; on ties prefer the lower index.
+            Some((bb, bw)) => {
+                if bytes > bb || (bytes == bb && w < bw) {
+                    candidate
+                } else {
+                    (bb, bw)
+                }
+            }
+        });
+    }
+    if let Some((_, w)) = best {
+        return Some(w);
+    }
+    fallback.into_iter().find(|&w| eligible(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(3, |_| true), Some(0));
+        assert_eq!(rr.pick(3, |_| true), Some(1));
+        assert_eq!(rr.pick(3, |_| true), Some(2));
+        assert_eq!(rr.pick(3, |_| true), Some(0));
+    }
+
+    #[test]
+    fn round_robin_skips_ineligible() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(4, |w| w % 2 == 1), Some(1));
+        assert_eq!(rr.pick(4, |w| w % 2 == 1), Some(3));
+        assert_eq!(rr.pick(4, |w| w % 2 == 1), Some(1));
+    }
+
+    #[test]
+    fn round_robin_none_when_all_busy() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(5, |_| false), None);
+        assert_eq!(rr.pick(0, |_| true), None);
+    }
+
+    #[test]
+    fn data_aware_prefers_most_bytes() {
+        let locality = [(2, 100), (0, 500), (1, 300)];
+        assert_eq!(data_aware_pick(&locality, |_| true, 0..3), Some(0));
+    }
+
+    #[test]
+    fn data_aware_skips_busy_holders() {
+        let locality = [(0, 500), (1, 300)];
+        assert_eq!(data_aware_pick(&locality, |w| w != 0, 0..3), Some(1));
+    }
+
+    #[test]
+    fn data_aware_falls_back_in_order() {
+        let locality = [(0, 0), (1, 0)];
+        assert_eq!(data_aware_pick(&locality, |w| w >= 2, 0..4), Some(2));
+    }
+
+    #[test]
+    fn data_aware_tie_breaks_on_index() {
+        let locality = [(3, 100), (1, 100)];
+        assert_eq!(data_aware_pick(&locality, |_| true, 0..4), Some(1));
+    }
+
+    #[test]
+    fn data_aware_none_when_nothing_eligible() {
+        let locality = [(0, 10)];
+        assert_eq!(
+            data_aware_pick(&locality, |_| false, std::iter::empty()),
+            None
+        );
+    }
+}

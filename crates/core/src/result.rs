@@ -1,0 +1,136 @@
+//! Run results: makespan, statistics, and figure traces.
+
+use vine_simcore::trace::{IntervalTrace, LogHistogram, TimeSeries, TransferMatrix};
+use vine_simcore::{SimDur, SimTime};
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every task completed.
+    Completed,
+    /// The run could not finish (e.g. Dask.Distributed at TB scale, or a
+    /// single-node reduction that no worker's disk can hold).
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Aggregate counters from one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Distinct tasks in the workflow.
+    pub tasks_total: usize,
+    /// Task executions, counting preemption-triggered re-runs.
+    pub task_executions: u64,
+    /// Workers preempted during the run.
+    pub preemptions: u64,
+    /// Worker-level failures from cache overflow (Fig 11's Xs).
+    pub cache_overflow_failures: u64,
+    /// Bytes that crossed the manager's access link (either direction).
+    pub manager_bytes: u64,
+    /// Bytes moved worker→worker (peer transfers).
+    pub peer_bytes: u64,
+    /// Bytes read from the shared filesystem.
+    pub shared_fs_bytes: u64,
+    /// Completed network flows.
+    pub flows_completed: u64,
+    /// LibraryTask instantiations (serverless mode).
+    pub libraries_started: u64,
+    /// Sum of task execution durations (overhead + compute + local I/O)
+    /// across all executions, in microseconds.
+    pub total_task_busy_us: u64,
+}
+
+/// Everything one simulated run produces.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Completion status.
+    pub outcome: RunOutcome,
+    /// Wall-clock makespan (time of the last task completion).
+    pub makespan: SimDur,
+    /// Aggregate counters.
+    pub stats: RunStats,
+    /// Concurrently-running task count over time (Figs 12, 15 top).
+    pub running_series: TimeSeries,
+    /// Ready-but-undispatched task count over time (Fig 12 bottom).
+    pub waiting_series: TimeSeries,
+    /// Per-worker busy intervals (Fig 13), if traced.
+    pub gantt: Option<IntervalTrace>,
+    /// Node-pair transfer bytes (Fig 7), if traced. Node 0 is the manager;
+    /// nodes 1..=W are workers; the last node is the shared filesystem.
+    pub transfers: Option<TransferMatrix>,
+    /// Per-worker cache occupancy over time (Fig 11), if traced.
+    pub cache_series: Option<Vec<TimeSeries>>,
+    /// Task execution-time histogram (Fig 8), if traced. Includes
+    /// worker-side overhead (what the paper plots as task execution time).
+    pub task_time_hist: Option<LogHistogram>,
+    /// When each worker's cache overflowed (Fig 11's Xs), if cache tracing
+    /// was on.
+    pub cache_failures: Vec<(usize, SimTime)>,
+}
+
+impl RunResult {
+    /// Convenience: makespan in seconds.
+    pub fn makespan_secs(&self) -> f64 {
+        self.makespan.as_secs_f64()
+    }
+
+    /// True if the run completed.
+    pub fn completed(&self) -> bool {
+        self.outcome == RunOutcome::Completed
+    }
+
+    /// Speedup of this run relative to a baseline makespan.
+    pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
+        baseline.makespan_secs() / self.makespan_secs().max(1e-9)
+    }
+
+    /// Mean task execution time (the quantity Fig 8/Fig 10 plot): total
+    /// worker-side busy time divided by task executions.
+    pub fn mean_task_secs(&self) -> f64 {
+        if self.stats.task_executions == 0 {
+            0.0
+        } else {
+            self.stats.total_task_busy_us as f64 / 1e6 / self.stats.task_executions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(secs: u64) -> RunResult {
+        RunResult {
+            outcome: RunOutcome::Completed,
+            makespan: SimDur::from_secs(secs),
+            stats: RunStats::default(),
+            running_series: TimeSeries::new(),
+            waiting_series: TimeSeries::new(),
+            gantt: None,
+            transfers: None,
+            cache_series: None,
+            task_time_hist: None,
+            cache_failures: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let slow = dummy(100);
+        let fast = dummy(25);
+        assert!((fast.speedup_vs(&slow) - 4.0).abs() < 1e-9);
+        assert!((slow.speedup_vs(&slow) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(dummy(1).completed());
+        let failed = RunResult {
+            outcome: RunOutcome::Failed { reason: "x".into() },
+            ..dummy(1)
+        };
+        assert!(!failed.completed());
+    }
+}

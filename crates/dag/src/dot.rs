@@ -1,0 +1,145 @@
+//! Graphviz DOT export of task graphs.
+//!
+//! Fig 5 of the paper shows the Dask graph generated from the example
+//! application; this module renders our graphs the same way for
+//! inspection and documentation (`dot -Tpng graph.dot`).
+
+use std::fmt::Write as _;
+
+use crate::graph::{TaskGraph, TaskKind};
+
+/// Options for DOT rendering.
+#[derive(Clone, Copy, Debug)]
+pub struct DotOptions {
+    /// Include file (data) nodes; otherwise tasks connect directly.
+    pub show_files: bool,
+    /// Cap on rendered tasks (large graphs become unreadable); `0` = all.
+    pub max_tasks: usize,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { show_files: true, max_tasks: 200 }
+    }
+}
+
+/// Render the graph in DOT syntax.
+pub fn to_dot(graph: &TaskGraph, opts: DotOptions) -> String {
+    let limit = if opts.max_tasks == 0 { usize::MAX } else { opts.max_tasks };
+    let mut out = String::from("digraph workflow {\n  rankdir=TB;\n  node [fontsize=10];\n");
+    let mut included_files = std::collections::HashSet::new();
+
+    for t in graph.tasks().iter().take(limit) {
+        let (shape, color) = match t.kind {
+            TaskKind::Process => ("box", "lightblue"),
+            TaskKind::Accumulate => ("ellipse", "lightsalmon"),
+            TaskKind::Generic => ("box", "lightgray"),
+        };
+        let _ = writeln!(
+            out,
+            "  t{} [label=\"{}\", shape={shape}, style=filled, fillcolor={color}];",
+            t.id.0,
+            escape(&t.name)
+        );
+        for &f in t.inputs.iter().chain(t.outputs.iter()) {
+            included_files.insert(f);
+        }
+    }
+
+    if opts.show_files {
+        for &f in &included_files {
+            let node = graph.file(f);
+            let style = if node.producer.is_none() {
+                "shape=folder, style=filled, fillcolor=palegreen"
+            } else {
+                "shape=note"
+            };
+            let _ = writeln!(out, "  f{} [label=\"{}\", {style}];", f.0, escape(&node.name));
+        }
+        for t in graph.tasks().iter().take(limit) {
+            for &f in &t.inputs {
+                let _ = writeln!(out, "  f{} -> t{};", f.0, t.id.0);
+            }
+            for &f in &t.outputs {
+                let _ = writeln!(out, "  t{} -> f{};", t.id.0, f.0);
+            }
+        }
+    } else {
+        for t in graph.tasks().iter().take(limit) {
+            for &f in &t.inputs {
+                if let Some(p) = graph.file(f).producer {
+                    if (p.0 as usize) < limit {
+                        let _ = writeln!(out, "  t{} -> t{};", p.0, t.id.0);
+                    }
+                }
+            }
+        }
+    }
+
+    if graph.task_count() > limit {
+        let _ = writeln!(
+            out,
+            "  more [label=\"... {} more tasks\", shape=plaintext];",
+            graph.task_count() - limit
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+
+    fn small() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let e = g.add_external_file("input", 10);
+        let (_, o1) = g.add_task("map", TaskKind::Process, vec![e], &[5], 1.0);
+        g.add_task("reduce", TaskKind::Accumulate, vec![o1[0]], &[1], 1.0);
+        g
+    }
+
+    #[test]
+    fn renders_tasks_and_files() {
+        let dot = to_dot(&small(), DotOptions::default());
+        assert!(dot.starts_with("digraph workflow {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("t0 [label=\"map\""));
+        assert!(dot.contains("t1 [label=\"reduce\""));
+        assert!(dot.contains("f0 [label=\"input\""));
+        assert!(dot.contains("f0 -> t0;"));
+        assert!(dot.contains("t0 -> f1;"));
+        assert!(dot.contains("f1 -> t1;"));
+    }
+
+    #[test]
+    fn task_only_mode_links_producers_to_consumers() {
+        let dot = to_dot(&small(), DotOptions { show_files: false, max_tasks: 0 });
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(!dot.contains("f0"));
+    }
+
+    #[test]
+    fn limit_truncates_and_notes_remainder() {
+        let mut g = TaskGraph::new();
+        for i in 0..10 {
+            g.add_task(format!("t{i}"), TaskKind::Generic, vec![], &[1], 1.0);
+        }
+        let dot = to_dot(&g, DotOptions { show_files: false, max_tasks: 3 });
+        assert!(dot.contains("... 7 more tasks"));
+        assert!(!dot.contains("t9 ["));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g = TaskGraph::new();
+        g.add_task("evil\"name", TaskKind::Generic, vec![], &[1], 1.0);
+        let dot = to_dot(&g, DotOptions::default());
+        assert!(dot.contains("evil\\\"name"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # vine-dag — the DAG manager layer
+//!
+//! Plays the role Dask plays in the paper's stack (§II-B): it holds the
+//! directed acyclic graph of tasks and data dependencies that the
+//! application (Coffea / `vine-analysis`) generates, tracks which tasks are
+//! ready as files materialize, and supports graph *shaping* — in
+//! particular rewriting a single-node reduction into a hierarchical
+//! (bounded-arity tree) reduction, the Fig 11 transformation that bounds
+//! per-worker cache footprint.
+//!
+//! The three pieces:
+//!
+//! * [`TaskGraph`] — immutable-after-build graph of [`TaskNode`]s and
+//!   [`FileNode`]s, with validation (acyclicity, single producer per file);
+//! * [`rewrite`] — reduction-tree construction and the
+//!   single-node → tree rewrite;
+//! * [`ReadyTracker`] — runtime state machine over a graph: ready-set
+//!   maintenance, completion bookkeeping, and lineage-based recovery when
+//!   a worker loss makes intermediate files vanish.
+
+pub mod dot;
+pub mod graph;
+pub mod rewrite;
+pub mod tracker;
+
+pub use graph::{FileId, FileNode, TaskGraph, TaskId, TaskKind, TaskNode};
+pub use tracker::{ReadyTracker, TaskState};

@@ -1,0 +1,296 @@
+//! Reduction shaping (the Fig 11 transformation).
+//!
+//! RS-TriPhoton originally compiled all partial results with a *single*
+//! reduction task, forcing every input onto one worker at once and
+//! overflowing its 700 GB disk. The fix is a bounded-arity reduction tree:
+//! the same accumulation (histogram addition is commutative and
+//! associative) computed in layers, so no worker ever holds more than
+//! `arity` inputs of one reduction.
+//!
+//! Two entry points:
+//!
+//! * [`add_tree_reduce`] — build a reduction tree over a set of files while
+//!   constructing a graph;
+//! * [`rewrite_wide_reductions`] — post-hoc transform that splits every
+//!   `Accumulate` task whose fan-in exceeds `arity` (this is what the
+//!   DaskVine layer applies to an application-provided graph).
+
+use crate::graph::{FileId, TaskGraph, TaskId, TaskKind};
+
+/// Add a bounded-arity reduction tree over `inputs` to `graph`.
+///
+/// Leaves are grouped `arity` at a time; each group becomes an
+/// `Accumulate` task producing one file of `output_size` bytes; layers
+/// repeat until one file remains, which is returned. `work_per_input` is
+/// the compute multiplier contributed by each consumed input.
+///
+/// With a single input, no task is added and the input is returned as-is.
+///
+/// # Panics
+/// If `inputs` is empty or `arity < 2`.
+pub fn add_tree_reduce(
+    graph: &mut TaskGraph,
+    name_prefix: &str,
+    inputs: &[FileId],
+    arity: usize,
+    output_size: u64,
+    work_per_input: f64,
+) -> FileId {
+    assert!(!inputs.is_empty(), "cannot reduce zero files");
+    assert!(arity >= 2, "reduction arity must be at least 2");
+    let mut level = 0usize;
+    let mut frontier: Vec<FileId> = inputs.to_vec();
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(arity));
+        for (i, chunk) in frontier.chunks(arity).enumerate() {
+            if chunk.len() == 1 {
+                // An odd leftover passes through to the next level untouched.
+                next.push(chunk[0]);
+                continue;
+            }
+            let (_, outs) = graph.add_task(
+                format!("{name_prefix}.L{level}.{i}"),
+                TaskKind::Accumulate,
+                chunk.to_vec(),
+                &[output_size],
+                work_per_input * chunk.len() as f64,
+            );
+            next.push(outs[0]);
+        }
+        frontier = next;
+        level += 1;
+    }
+    frontier[0]
+}
+
+/// Split every `Accumulate` task with fan-in greater than `arity` into a
+/// bounded-arity tree. Returns the number of tasks rewritten.
+///
+/// The rewritten task keeps its identity (same `TaskId`, same outputs) but
+/// becomes the tree's root, consuming at most `arity` intermediate files.
+pub fn rewrite_wide_reductions(graph: &mut TaskGraph, arity: usize) -> usize {
+    assert!(arity >= 2, "reduction arity must be at least 2");
+    let wide: Vec<TaskId> = graph
+        .tasks()
+        .iter()
+        .filter(|t| t.kind == TaskKind::Accumulate && t.inputs.len() > arity)
+        .map(|t| t.id)
+        .collect();
+
+    for &tid in &wide {
+        let (name, inputs, out_size, per_input_work) = {
+            let t = graph.task(tid);
+            let out_size = t
+                .outputs
+                .first()
+                .map(|&f| graph.file(f).size_hint)
+                .unwrap_or(0);
+            let per_input_work = t.work / t.inputs.len() as f64;
+            (t.name.clone(), t.inputs.clone(), out_size, per_input_work)
+        };
+
+        // Build subtrees over `arity`-sized groups of the original inputs,
+        // until at most `arity` files remain; those become the task's new
+        // inputs.
+        let mut frontier = inputs;
+        let mut level = 0usize;
+        while frontier.len() > arity {
+            let mut next = Vec::with_capacity(frontier.len().div_ceil(arity));
+            for (i, chunk) in frontier.chunks(arity).enumerate() {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                    continue;
+                }
+                let (_, outs) = graph.add_task(
+                    format!("{name}.tree{level}.{i}"),
+                    TaskKind::Accumulate,
+                    chunk.to_vec(),
+                    &[out_size],
+                    per_input_work * chunk.len() as f64,
+                );
+                next.push(outs[0]);
+            }
+            frontier = next;
+            level += 1;
+        }
+        graph.replace_task_inputs(tid, frontier, per_input_work);
+    }
+    wide.len()
+}
+
+impl TaskGraph {
+    /// Swap a task's inputs for `new_inputs`, fixing consumer links and
+    /// rescaling its work to `per_input_work * new_inputs.len()`.
+    /// Used only by reduction rewriting.
+    pub(crate) fn replace_task_inputs(
+        &mut self,
+        tid: TaskId,
+        new_inputs: Vec<FileId>,
+        per_input_work: f64,
+    ) {
+        let old_inputs = std::mem::take(&mut self.tasks_mut()[tid.0 as usize].inputs);
+        for f in old_inputs {
+            let cons = &mut self.files_mut()[f.0 as usize].consumers;
+            if let Some(pos) = cons.iter().position(|&c| c == tid) {
+                cons.remove(pos);
+            }
+        }
+        for &f in &new_inputs {
+            self.files_mut()[f.0 as usize].consumers.push(tid);
+        }
+        let t = &mut self.tasks_mut()[tid.0 as usize];
+        t.work = per_input_work * new_inputs.len() as f64;
+        t.inputs = new_inputs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskNode;
+
+    fn leaves(graph: &mut TaskGraph, n: usize) -> Vec<FileId> {
+        (0..n)
+            .map(|i| graph.add_external_file(format!("leaf{i}"), 100))
+            .collect()
+    }
+
+    /// Collect the external files reachable from `file` through producers.
+    fn reachable_leaves(graph: &TaskGraph, file: FileId) -> Vec<FileId> {
+        let mut out = Vec::new();
+        let mut stack = vec![file];
+        while let Some(f) = stack.pop() {
+            match graph.file(f).producer {
+                None => out.push(f),
+                Some(p) => stack.extend(graph.task(p).inputs.iter().copied()),
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn binary_tree_over_eight_leaves() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 8);
+        let root = add_tree_reduce(&mut g, "acc", &ls, 2, 10, 0.1);
+        assert!(g.validate().is_ok());
+        // 8 leaves, binary: 4 + 2 + 1 = 7 accumulate tasks.
+        assert_eq!(g.task_count(), 7);
+        assert_eq!(g.max_fan_in(), 2);
+        let mut expect = ls.clone();
+        expect.sort_unstable();
+        assert_eq!(reachable_leaves(&g, root), expect);
+    }
+
+    #[test]
+    fn tree_with_odd_count_passes_leftover_up() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 5);
+        let root = add_tree_reduce(&mut g, "acc", &ls, 2, 10, 0.1);
+        assert!(g.validate().is_ok());
+        assert_eq!(reachable_leaves(&g, root).len(), 5);
+        assert_eq!(g.max_fan_in(), 2);
+    }
+
+    #[test]
+    fn single_input_is_identity() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 1);
+        let root = add_tree_reduce(&mut g, "acc", &ls, 2, 10, 0.1);
+        assert_eq!(root, ls[0]);
+        assert_eq!(g.task_count(), 0);
+    }
+
+    #[test]
+    fn wide_arity_flattens_tree() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 20);
+        add_tree_reduce(&mut g, "acc", &ls, 20, 10, 0.1);
+        assert_eq!(g.task_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_one_panics() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 3);
+        add_tree_reduce(&mut g, "acc", &ls, 1, 10, 0.1);
+    }
+
+    #[test]
+    fn rewrite_splits_single_node_reduction() {
+        // The RS-TriPhoton shape: 20 partials into one Accumulate task.
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 20);
+        let (root_task, _) = g.add_task("final", TaskKind::Accumulate, ls.clone(), &[64], 20.0);
+        assert_eq!(g.max_fan_in(), 20);
+
+        let rewritten = rewrite_wide_reductions(&mut g, 2);
+        assert_eq!(rewritten, 1);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.max_fan_in(), 2);
+
+        // The original root task survives and still computes over the same
+        // leaf multiset.
+        let root_out = g.task(root_task).outputs[0];
+        let mut expect = ls;
+        expect.sort_unstable();
+        assert_eq!(reachable_leaves(&g, root_out), expect);
+
+        // Total work is preserved: every input consumed once per level it
+        // participates in... at minimum the root's work shrank.
+        assert!(g.task(root_task).work < 20.0);
+    }
+
+    #[test]
+    fn rewrite_leaves_narrow_reductions_alone() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 3);
+        g.add_task("small", TaskKind::Accumulate, ls, &[64], 3.0);
+        assert_eq!(rewrite_wide_reductions(&mut g, 4), 0);
+        assert_eq!(g.task_count(), 1);
+    }
+
+    #[test]
+    fn rewrite_ignores_non_accumulate_tasks() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 10);
+        g.add_task("wide-map", TaskKind::Process, ls, &[64], 1.0);
+        assert_eq!(rewrite_wide_reductions(&mut g, 2), 0);
+    }
+
+    #[test]
+    fn rewrite_preserves_downstream_consumers() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 9);
+        let (_, outs) = g.add_task("acc", TaskKind::Accumulate, ls, &[64], 9.0);
+        let (sink, _) = g.add_task("sink", TaskKind::Process, vec![outs[0]], &[1], 1.0);
+        rewrite_wide_reductions(&mut g, 3);
+        assert!(g.validate().is_ok());
+        // The sink still consumes the accumulator's output.
+        assert_eq!(g.file(outs[0]).consumers, vec![sink]);
+        // Depth grew: 9 -> 3 groups -> root, critical path = leaf->L0->root->sink.
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn rewrite_is_idempotent() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 64);
+        g.add_task("acc", TaskKind::Accumulate, ls, &[64], 64.0);
+        assert_eq!(rewrite_wide_reductions(&mut g, 4), 1);
+        let count_after_first = g.task_count();
+        assert_eq!(rewrite_wide_reductions(&mut g, 4), 0);
+        assert_eq!(g.task_count(), count_after_first);
+    }
+
+    #[test]
+    fn tree_reduce_work_scales_with_inputs() {
+        let mut g = TaskGraph::new();
+        let ls = leaves(&mut g, 4);
+        add_tree_reduce(&mut g, "acc", &ls, 2, 10, 0.5);
+        let works: Vec<f64> = g.tasks().iter().map(|t: &TaskNode| t.work).collect();
+        assert_eq!(works, vec![1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Columnar event batches (the NanoEvents role).
+
+use std::collections::BTreeMap;
+
+use crate::jagged::Jagged;
+
+/// A batch of collision events in columnar form: scalar columns (one value
+/// per event, e.g. `MET_pt`) and jagged columns (a list per event, e.g.
+/// `Jet_pt`).
+#[derive(Clone, Debug, Default)]
+pub struct EventBatch {
+    n_events: usize,
+    scalars: BTreeMap<String, Vec<f64>>,
+    jagged: BTreeMap<String, Jagged>,
+}
+
+impl EventBatch {
+    /// An empty batch of `n_events` events with no columns yet.
+    pub fn new(n_events: usize) -> Self {
+        EventBatch { n_events, scalars: BTreeMap::new(), jagged: BTreeMap::new() }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.n_events
+    }
+
+    /// True if the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.n_events == 0
+    }
+
+    /// Attach a scalar column.
+    ///
+    /// # Panics
+    /// If the column length differs from the batch length.
+    pub fn set_scalar(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.n_events, "scalar column length mismatch");
+        self.scalars.insert(name.into(), values);
+    }
+
+    /// Attach a jagged column.
+    ///
+    /// # Panics
+    /// If the column length differs from the batch length.
+    pub fn set_jagged(&mut self, name: impl Into<String>, values: Jagged) {
+        assert_eq!(values.len(), self.n_events, "jagged column length mismatch");
+        self.jagged.insert(name.into(), values);
+    }
+
+    /// Borrow a scalar column.
+    pub fn scalar(&self, name: &str) -> Option<&[f64]> {
+        self.scalars.get(name).map(|v| v.as_slice())
+    }
+
+    /// Borrow a jagged column.
+    pub fn jagged(&self, name: &str) -> Option<&Jagged> {
+        self.jagged.get(name)
+    }
+
+    /// Names of all scalar columns, sorted.
+    pub fn scalar_names(&self) -> impl Iterator<Item = &str> {
+        self.scalars.keys().map(|s| s.as_str())
+    }
+
+    /// Names of all jagged columns, sorted.
+    pub fn jagged_names(&self) -> impl Iterator<Item = &str> {
+        self.jagged.keys().map(|s| s.as_str())
+    }
+
+    /// Approximate in-memory footprint in bytes (column payloads only).
+    pub fn byte_size(&self) -> u64 {
+        let s: usize = self.scalars.values().map(|v| v.len() * 8).sum();
+        let j: usize = self
+            .jagged
+            .values()
+            .map(|v| v.total_items() * 8 + (v.len() + 1) * 4)
+            .sum();
+        (s + j) as u64
+    }
+
+    /// Concatenate another batch's events after this one. Both batches
+    /// must have identical column sets.
+    ///
+    /// # Panics
+    /// If the column sets differ.
+    pub fn concat(&mut self, other: &EventBatch) {
+        assert!(
+            self.scalars.keys().eq(other.scalars.keys())
+                && self.jagged.keys().eq(other.jagged.keys()),
+            "cannot concat batches with different schemas"
+        );
+        for (name, col) in &mut self.scalars {
+            col.extend_from_slice(&other.scalars[name]);
+        }
+        for (name, col) in &mut self.jagged {
+            col.extend_from(&other.jagged[name]);
+        }
+        self.n_events += other.n_events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> EventBatch {
+        let mut b = EventBatch::new(3);
+        b.set_scalar("MET_pt", vec![10.0, 20.0, 30.0]);
+        b.set_jagged(
+            "Jet_pt",
+            Jagged::from_lists(vec![vec![50.0, 40.0], vec![], vec![70.0]]),
+        );
+        b
+    }
+
+    #[test]
+    fn columns_round_trip() {
+        let b = batch();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.scalar("MET_pt").unwrap(), &[10.0, 20.0, 30.0]);
+        assert_eq!(b.jagged("Jet_pt").unwrap().event(0), &[50.0, 40.0]);
+        assert!(b.scalar("nope").is_none());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut b = EventBatch::new(1);
+        b.set_scalar("z", vec![0.0]);
+        b.set_scalar("a", vec![0.0]);
+        let names: Vec<_> = b.scalar_names().collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_scalar_panics() {
+        let mut b = EventBatch::new(2);
+        b.set_scalar("x", vec![1.0]);
+    }
+
+    #[test]
+    fn byte_size_counts_payloads() {
+        let b = batch();
+        // MET: 3*8 = 24; Jet_pt: 3 items * 8 + 4 offsets * 4 = 40.
+        assert_eq!(b.byte_size(), 64);
+    }
+
+    #[test]
+    fn concat_appends_events() {
+        let mut a = batch();
+        let b = batch();
+        a.concat(&b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.scalar("MET_pt").unwrap().len(), 6);
+        assert_eq!(a.jagged("Jet_pt").unwrap().event(5), &[70.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different schemas")]
+    fn concat_rejects_schema_mismatch() {
+        let mut a = batch();
+        let b = EventBatch::new(0);
+        a.concat(&b);
+    }
+}

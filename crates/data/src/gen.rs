@@ -1,0 +1,298 @@
+//! Deterministic, physics-shaped synthetic event generation.
+//!
+//! Generates collision-event batches whose statistical shape matches what
+//! the DV3 and RS-TriPhoton selections care about:
+//!
+//! * jets with a steeply falling pₜ spectrum, Gaussian-ish η, uniform φ,
+//!   and a b-tag discriminant that is a mixture of a light-flavour peak
+//!   near 0 and a b-jet peak near 1;
+//! * photons with their own falling pₜ spectrum — plus a small fraction of
+//!   events with an injected three-photon resonance (the RS-TriPhoton
+//!   signal);
+//! * missing transverse energy (MET).
+//!
+//! Generation is deterministic per `(dataset, file_index, chunk_index)`, so
+//! every execution strategy (simulated or real, any scheduler) sees
+//! identical data — the cross-checks in `tests/` depend on this.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Poisson};
+
+use crate::events::EventBatch;
+use crate::jagged::Jagged;
+
+/// Configurable event generator.
+#[derive(Clone, Debug)]
+pub struct EventGenerator {
+    /// Mean jet multiplicity (Poisson).
+    pub mean_jets: f64,
+    /// Minimum jet pₜ (GeV); spectrum falls as a power law above this.
+    pub jet_pt_min: f64,
+    /// Power-law index of the jet pₜ spectrum (larger = steeper).
+    pub jet_spectrum_index: f64,
+    /// Fraction of jets that are b-jets (b-tag score peaked near 1).
+    pub b_fraction: f64,
+    /// Mean photon multiplicity (Poisson).
+    pub mean_photons: f64,
+    /// Fraction of events with an injected tri-photon resonance.
+    pub triphoton_signal_fraction: f64,
+    /// Mass of the injected heavy resonance (GeV).
+    pub resonance_mass: f64,
+}
+
+impl Default for EventGenerator {
+    fn default() -> Self {
+        EventGenerator {
+            mean_jets: 4.0,
+            jet_pt_min: 20.0,
+            jet_spectrum_index: 3.5,
+            b_fraction: 0.15,
+            mean_photons: 0.4,
+            triphoton_signal_fraction: 0.003,
+            resonance_mass: 750.0,
+        }
+    }
+}
+
+impl EventGenerator {
+    /// Derive the deterministic RNG for one chunk of one file.
+    fn chunk_rng(dataset: &str, file_index: u32, chunk_index: u32) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in dataset.as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= (file_index as u64) << 32 | chunk_index as u64;
+        h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        StdRng::seed_from_u64(h)
+    }
+
+    /// Generate `n_events` events for the given chunk coordinates.
+    pub fn generate(
+        &self,
+        dataset: &str,
+        file_index: u32,
+        chunk_index: u32,
+        n_events: usize,
+    ) -> EventBatch {
+        let mut rng = Self::chunk_rng(dataset, file_index, chunk_index);
+        let jet_mult = Poisson::new(self.mean_jets.max(1e-9)).expect("positive mean");
+        let photon_mult = Poisson::new(self.mean_photons.max(1e-9)).expect("positive mean");
+        let eta_dist = Normal::new(0.0f64, 1.6).expect("finite");
+
+        let mut met = Vec::with_capacity(n_events);
+        let mut jet_pt = Jagged::new();
+        let mut jet_eta = Jagged::new();
+        let mut jet_phi = Jagged::new();
+        let mut jet_mass = Jagged::new();
+        let mut jet_btag = Jagged::new();
+        let mut ph_pt = Jagged::new();
+        let mut ph_eta = Jagged::new();
+        let mut ph_phi = Jagged::new();
+
+        for _ in 0..n_events {
+            // MET: exponential with a 25 GeV scale.
+            met.push(-25.0 * rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln());
+
+            let nj = jet_mult.sample(&mut rng) as usize;
+            let (mut pts, mut etas, mut phis, mut masses, mut btags) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            for _ in 0..nj {
+                pts.push(self.sample_falling_pt(self.jet_pt_min, &mut rng));
+                etas.push(eta_dist.sample(&mut rng).clamp(-4.7, 4.7));
+                phis.push(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI));
+                masses.push(rng.gen_range(3.0..30.0));
+                btags.push(self.sample_btag(&mut rng));
+            }
+            // Jets arrive pt-sorted, as in NanoAOD.
+            sort_by_leading(&mut pts, &mut [&mut etas, &mut phis, &mut masses, &mut btags]);
+            jet_pt.push_event(pts);
+            jet_eta.push_event(etas);
+            jet_phi.push_event(phis);
+            jet_mass.push_event(masses);
+            jet_btag.push_event(btags);
+
+            // Photons: background multiplicity, plus occasional signal.
+            let signal = rng.gen_bool(self.triphoton_signal_fraction.clamp(0.0, 1.0));
+            let np = if signal { 3 } else { photon_mult.sample(&mut rng) as usize };
+            let (mut ppts, mut petas, mut pphis) = (Vec::new(), Vec::new(), Vec::new());
+            for k in 0..np {
+                let pt = if signal {
+                    // Hard photons sharing the resonance mass scale.
+                    self.resonance_mass / 3.0 * rng.gen_range(0.7..1.3)
+                } else {
+                    self.sample_falling_pt(15.0, &mut rng)
+                };
+                ppts.push(pt);
+                petas.push(eta_dist.sample(&mut rng).clamp(-2.5, 2.5));
+                let phi0 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+                // Signal photons are roughly isotropic in the resonance
+                // frame; approximate with spread around a common axis.
+                pphis.push(if signal {
+                    wrap_phi(phi0 + k as f64 * 2.0)
+                } else {
+                    phi0
+                });
+            }
+            sort_by_leading(&mut ppts, &mut [&mut petas, &mut pphis]);
+            ph_pt.push_event(ppts);
+            ph_eta.push_event(petas);
+            ph_phi.push_event(pphis);
+        }
+
+        let mut batch = EventBatch::new(n_events);
+        batch.set_scalar("MET_pt", met);
+        batch.set_jagged("Jet_pt", jet_pt);
+        batch.set_jagged("Jet_eta", jet_eta);
+        batch.set_jagged("Jet_phi", jet_phi);
+        batch.set_jagged("Jet_mass", jet_mass);
+        batch.set_jagged("Jet_btag", jet_btag);
+        batch.set_jagged("Photon_pt", ph_pt);
+        batch.set_jagged("Photon_eta", ph_eta);
+        batch.set_jagged("Photon_phi", ph_phi);
+        batch
+    }
+
+    /// Falling power-law pₜ spectrum: inverse-CDF sampling of
+    /// `p(pt) ∝ pt^-index` above `pt_min`.
+    fn sample_falling_pt<R: Rng + ?Sized>(&self, pt_min: f64, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let a = self.jet_spectrum_index - 1.0;
+        (pt_min * u.powf(-1.0 / a)).min(6500.0)
+    }
+
+    /// B-tag discriminant: light jets pile up near 0, b-jets near 1.
+    fn sample_btag<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.gen_bool(self.b_fraction.clamp(0.0, 1.0)) {
+            1.0 - rng.gen_range(0.0f64..1.0).powi(3) * 0.5
+        } else {
+            rng.gen_range(0.0f64..1.0).powi(3) * 0.5
+        }
+    }
+}
+
+/// Sort `keys` descending and apply the same permutation to each companion.
+fn sort_by_leading(keys: &mut [f64], companions: &mut [&mut Vec<f64>]) {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).expect("no NaN pt"));
+    let sorted_keys: Vec<f64> = idx.iter().map(|&i| keys[i]).collect();
+    keys.copy_from_slice(&sorted_keys);
+    for comp in companions {
+        let sorted: Vec<f64> = idx.iter().map(|&i| comp[i]).collect();
+        **comp = sorted;
+    }
+}
+
+fn wrap_phi(phi: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut p = (phi + std::f64::consts::PI).rem_euclid(two_pi);
+    p -= std::f64::consts::PI;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = EventGenerator::default();
+        let a = g.generate("SingleMu", 3, 7, 500);
+        let b = g.generate("SingleMu", 3, 7, 500);
+        assert_eq!(a.scalar("MET_pt"), b.scalar("MET_pt"));
+        assert_eq!(a.jagged("Jet_pt"), b.jagged("Jet_pt"));
+    }
+
+    #[test]
+    fn different_chunks_differ() {
+        let g = EventGenerator::default();
+        let a = g.generate("SingleMu", 3, 7, 100);
+        let b = g.generate("SingleMu", 3, 8, 100);
+        assert_ne!(a.scalar("MET_pt"), b.scalar("MET_pt"));
+    }
+
+    #[test]
+    fn schema_is_complete() {
+        let g = EventGenerator::default();
+        let b = g.generate("ds", 0, 0, 10);
+        assert_eq!(b.len(), 10);
+        for col in ["Jet_pt", "Jet_eta", "Jet_phi", "Jet_mass", "Jet_btag",
+                    "Photon_pt", "Photon_eta", "Photon_phi"] {
+            assert!(b.jagged(col).is_some(), "missing {col}");
+            assert_eq!(b.jagged(col).unwrap().len(), 10);
+        }
+        assert_eq!(b.scalar("MET_pt").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn jet_collections_are_aligned() {
+        let g = EventGenerator::default();
+        let b = g.generate("ds", 0, 0, 200);
+        let pt = b.jagged("Jet_pt").unwrap();
+        for col in ["Jet_eta", "Jet_phi", "Jet_mass", "Jet_btag"] {
+            assert_eq!(b.jagged(col).unwrap().counts(), pt.counts());
+        }
+    }
+
+    #[test]
+    fn jets_are_pt_sorted_descending() {
+        let g = EventGenerator::default();
+        let b = g.generate("ds", 1, 2, 300);
+        let pt = b.jagged("Jet_pt").unwrap();
+        for ev in pt.iter() {
+            for w in ev.windows(2) {
+                assert!(w[0] >= w[1], "jets not pt-sorted: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jet_spectrum_falls() {
+        let g = EventGenerator::default();
+        let b = g.generate("ds", 0, 0, 5000);
+        let pts = b.jagged("Jet_pt").unwrap().values();
+        let low = pts.iter().filter(|&&p| p < 40.0).count();
+        let high = pts.iter().filter(|&&p| p >= 100.0).count();
+        assert!(low > 5 * high, "spectrum not falling: low={low} high={high}");
+        assert!(pts.iter().all(|&p| p >= 20.0));
+    }
+
+    #[test]
+    fn btag_is_bimodal() {
+        let g = EventGenerator::default();
+        let b = g.generate("ds", 0, 0, 5000);
+        let tags = b.jagged("Jet_btag").unwrap().values();
+        assert!(tags.iter().all(|&t| (0.0..=1.0).contains(&t)));
+        let mid = tags.iter().filter(|&&t| (0.4..0.6).contains(&t)).count();
+        assert!((mid as f64) < 0.1 * tags.len() as f64, "b-tag not bimodal");
+    }
+
+    #[test]
+    fn signal_fraction_injects_triphotons() {
+        let g = EventGenerator {
+            triphoton_signal_fraction: 0.5,
+            ..EventGenerator::default()
+        };
+        let b = g.generate("sig", 0, 0, 2000);
+        let np = b.jagged("Photon_pt").unwrap().counts();
+        let three = np.iter().filter(|&&n| n >= 3).count();
+        assert!(three as f64 > 0.4 * 2000.0, "3-photon rate too low: {three}");
+    }
+
+    #[test]
+    fn met_is_positive_with_sane_mean() {
+        let g = EventGenerator::default();
+        let b = g.generate("ds", 0, 0, 5000);
+        let met = b.scalar("MET_pt").unwrap();
+        assert!(met.iter().all(|&m| m > 0.0));
+        let mean = met.iter().sum::<f64>() / met.len() as f64;
+        assert!((mean - 25.0).abs() < 2.0, "MET mean {mean}");
+    }
+
+    #[test]
+    fn phi_wraps_into_range() {
+        assert!((wrap_phi(7.0)).abs() <= std::f64::consts::PI);
+        assert!((wrap_phi(-7.0)).abs() <= std::f64::consts::PI);
+        assert!((wrap_phi(0.5) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Jagged (ragged) arrays: per-event variable-length lists over flat
+//! storage, the core data shape of HEP columnar analysis (awkward-array's
+//! ListOffsetArray).
+
+/// A jagged array of `f64`: `len()` events, each owning a contiguous slice
+//  of `values`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Jagged {
+    /// `offsets.len() == len() + 1`; event `i` spans
+    /// `values[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Jagged {
+    /// An empty jagged array (zero events).
+    pub fn new() -> Self {
+        Jagged { offsets: vec![0], values: Vec::new() }
+    }
+
+    /// Build from per-event lists.
+    pub fn from_lists<I, J>(lists: I) -> Self
+    where
+        I: IntoIterator<Item = J>,
+        J: IntoIterator<Item = f64>,
+    {
+        let mut j = Jagged::new();
+        for list in lists {
+            j.push_event(list);
+        }
+        j
+    }
+
+    /// Build from raw offsets and values.
+    ///
+    /// # Panics
+    /// If offsets are not monotone starting at 0 and ending at
+    /// `values.len()`.
+    pub fn from_parts(offsets: Vec<u32>, values: Vec<f64>) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            values.len(),
+            "offsets must end at values.len()"
+        );
+        Jagged { offsets, values }
+    }
+
+    /// Append one event's list.
+    pub fn push_event<I: IntoIterator<Item = f64>>(&mut self, items: I) {
+        self.values.extend(items);
+        self.offsets.push(self.values.len() as u32);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of items across all events.
+    pub fn total_items(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Items of event `i`.
+    pub fn event(&self, i: usize) -> &[f64] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.values[lo..hi]
+    }
+
+    /// Number of items in event `i`.
+    pub fn count(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Iterate events as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.len()).map(move |i| self.event(i))
+    }
+
+    /// The flat value storage.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Per-event counts as a dense vector.
+    pub fn counts(&self) -> Vec<u32> {
+        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// A copy with every value transformed (offsets unchanged) — used for
+    /// systematic variations like jet-energy-scale shifts.
+    pub fn map_values(&self, mut f: impl FnMut(f64) -> f64) -> Jagged {
+        Jagged {
+            offsets: self.offsets.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Concatenate another jagged array after this one (same column,
+    /// consecutive event ranges).
+    pub fn extend_from(&mut self, other: &Jagged) {
+        let base = self.values.len() as u32;
+        self.values.extend_from_slice(&other.values);
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|&o| o + base));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let j = Jagged::from_lists(vec![vec![1.0, 2.0], vec![], vec![3.0]]);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.total_items(), 3);
+        assert_eq!(j.event(0), &[1.0, 2.0]);
+        assert_eq!(j.event(1), &[] as &[f64]);
+        assert_eq!(j.event(2), &[3.0]);
+        assert_eq!(j.count(0), 2);
+        assert_eq!(j.counts(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_array() {
+        let j = Jagged::new();
+        assert!(j.is_empty());
+        assert_eq!(j.total_items(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        let j = Jagged::from_parts(vec![0, 2, 2, 5], vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.event(2), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_parts_rejects_non_monotone() {
+        Jagged::from_parts(vec![0, 3, 2], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "end at")]
+    fn from_parts_rejects_bad_terminal() {
+        Jagged::from_parts(vec![0, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn extend_concatenates_event_ranges() {
+        let mut a = Jagged::from_lists(vec![vec![1.0], vec![2.0, 3.0]]);
+        let b = Jagged::from_lists(vec![vec![], vec![4.0]]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.event(1), &[2.0, 3.0]);
+        assert_eq!(a.event(2), &[] as &[f64]);
+        assert_eq!(a.event(3), &[4.0]);
+    }
+
+    #[test]
+    fn map_values_preserves_shape() {
+        let j = Jagged::from_lists(vec![vec![1.0, 2.0], vec![], vec![3.0]]);
+        let scaled = j.map_values(|v| v * 2.0);
+        assert_eq!(scaled.counts(), j.counts());
+        assert_eq!(scaled.event(0), &[2.0, 4.0]);
+        assert_eq!(scaled.event(2), &[6.0]);
+    }
+
+    #[test]
+    fn iter_matches_event_access() {
+        let j = Jagged::from_lists(vec![vec![1.0], vec![2.0, 3.0]]);
+        let collected: Vec<Vec<f64>> = j.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(collected, vec![vec![1.0], vec![2.0, 3.0]]);
+    }
+}

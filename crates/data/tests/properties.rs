@@ -1,0 +1,202 @@
+//! Property-based tests: the histogram-merge algebra that justifies
+//! hierarchical reduction, plus jagged-array and catalog invariants.
+
+use proptest::prelude::*;
+use vine_data::{
+    decode_event_batch, decode_histogram_set, encode_event_batch, encode_histogram_set, Dataset,
+    EventGenerator, Hist1D, HistogramSet, Jagged,
+};
+
+fn filled_hist(values: &[f64]) -> Hist1D {
+    let mut h = Hist1D::new(16, 0.0, 100.0);
+    h.fill_all(values);
+    h
+}
+
+proptest! {
+    /// Histogram merge is commutative: a ⊕ b == b ⊕ a.
+    #[test]
+    fn merge_commutative(
+        xs in proptest::collection::vec(-50.0f64..150.0, 0..100),
+        ys in proptest::collection::vec(-50.0f64..150.0, 0..100),
+    ) {
+        let (a, b) = (filled_hist(&xs), filled_hist(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Histogram merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_associative(
+        xs in proptest::collection::vec(-50.0f64..150.0, 0..60),
+        ys in proptest::collection::vec(-50.0f64..150.0, 0..60),
+        zs in proptest::collection::vec(-50.0f64..150.0, 0..60),
+    ) {
+        let (a, b, c) = (filled_hist(&xs), filled_hist(&ys), filled_hist(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // Floating-point addition is not exactly associative; compare
+        // within tolerance.
+        for (l, r) in left.counts().iter().zip(right.counts()) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+        prop_assert!((left.total() - right.total()).abs() < 1e-9);
+    }
+
+    /// The empty histogram is the merge identity.
+    #[test]
+    fn merge_identity(xs in proptest::collection::vec(-50.0f64..150.0, 0..100)) {
+        let a = filled_hist(&xs);
+        let mut merged = a.clone();
+        merged.merge(&Hist1D::new(16, 0.0, 100.0));
+        prop_assert_eq!(merged, a);
+    }
+
+    /// Tree-shaped merging of any partition equals one flat merge — the
+    /// exact property the Fig 11 rewrite relies on.
+    #[test]
+    fn hierarchical_equals_flat(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(-50.0f64..150.0, 0..40), 1..16),
+        arity in 2usize..5,
+    ) {
+        let parts: Vec<Hist1D> = batches.iter().map(|b| filled_hist(b)).collect();
+
+        // Flat, left-to-right.
+        let mut flat = Hist1D::new(16, 0.0, 100.0);
+        for p in &parts {
+            flat.merge(p);
+        }
+
+        // Bounded-arity tree.
+        let mut frontier = parts;
+        while frontier.len() > 1 {
+            frontier = frontier
+                .chunks(arity)
+                .map(|chunk| {
+                    let mut acc = chunk[0].clone();
+                    for p in &chunk[1..] {
+                        acc.merge(p);
+                    }
+                    acc
+                })
+                .collect();
+        }
+        for (l, r) in flat.counts().iter().zip(frontier[0].counts()) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+        prop_assert!((flat.total() - frontier[0].total()).abs() < 1e-9);
+    }
+
+    /// Total filled weight is conserved: bins + underflow + overflow.
+    #[test]
+    fn fill_conserves_weight(xs in proptest::collection::vec(-1e4f64..1e4, 0..300)) {
+        let h = filled_hist(&xs);
+        let sum: f64 = h.counts().iter().sum::<f64>() + h.underflow() + h.overflow();
+        prop_assert!((sum - xs.len() as f64).abs() < 1e-9);
+    }
+
+    /// HistogramSet merge accumulates event counts and histogram unions.
+    #[test]
+    fn set_merge_accumulates(
+        n_sets in 1usize..8,
+        fills in proptest::collection::vec(0.0f64..100.0, 0..50),
+    ) {
+        let mut total = HistogramSet::new();
+        for i in 0..n_sets {
+            let mut s = HistogramSet::new();
+            s.set_h1("x", filled_hist(&fills));
+            s.events_processed = i as u64;
+            total.merge(&s);
+        }
+        prop_assert_eq!(total.events_processed, (0..n_sets as u64).sum::<u64>());
+        let expect = fills.len() as f64 * n_sets as f64;
+        prop_assert!((total.h1("x").unwrap().total() - expect).abs() < 1e-9);
+    }
+
+    /// Jagged arrays round-trip through parts and concat preserves events.
+    #[test]
+    fn jagged_round_trip(lists in proptest::collection::vec(
+        proptest::collection::vec(-10.0f64..10.0, 0..6), 0..30)) {
+        let j = Jagged::from_lists(lists.iter().cloned());
+        prop_assert_eq!(j.len(), lists.len());
+        for (i, l) in lists.iter().enumerate() {
+            prop_assert_eq!(j.event(i), l.as_slice());
+        }
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        prop_assert_eq!(j.total_items(), total);
+    }
+
+    /// Dataset synthesis conserves bytes/events for any parameters.
+    #[test]
+    fn dataset_conservation(
+        total_mb in 1u64..200,
+        bytes_per_event in 200u64..4000,
+        events_per_file in 100u64..5000,
+        chunks in 1u32..10,
+    ) {
+        let total = total_mb * 1_000_000;
+        let ds = Dataset::synthesize("p", total, bytes_per_event, events_per_file, chunks);
+        prop_assert_eq!(ds.total_events(), (total / bytes_per_event).max(1));
+        prop_assert_eq!(ds.total_bytes(), ds.total_events() * bytes_per_event);
+        let chunk_events: u64 = ds.chunks().map(|c| c.n_events).sum();
+        prop_assert_eq!(chunk_events, ds.total_events());
+        // No file exceeds the requested shape.
+        for f in &ds.files {
+            prop_assert!(f.n_events <= events_per_file);
+            prop_assert!(f.chunks.len() <= chunks as usize);
+        }
+    }
+
+    /// Event generation is a pure function of (dataset, file, chunk).
+    #[test]
+    fn generation_pure(file in 0u32..50, chunk in 0u32..10, n in 1usize..100) {
+        let g = EventGenerator::default();
+        let a = g.generate("ds", file, chunk, n);
+        let b = g.generate("ds", file, chunk, n);
+        prop_assert_eq!(a.scalar("MET_pt"), b.scalar("MET_pt"));
+        prop_assert_eq!(a.jagged("Jet_btag"), b.jagged("Jet_btag"));
+        prop_assert_eq!(a.len(), n);
+    }
+
+    /// The binary codec round-trips arbitrary histogram sets exactly.
+    #[test]
+    fn codec_histogram_round_trip(
+        fills in proptest::collection::vec((-1e3f64..1e3, 0.01f64..100.0), 0..200),
+        bins in 1usize..64,
+        events in 0u64..1_000_000,
+    ) {
+        let mut h = Hist1D::new(bins, -500.0, 500.0);
+        for &(x, w) in &fills {
+            h.fill_weighted(x, w);
+        }
+        let mut set = HistogramSet::new();
+        set.set_h1("x", h);
+        set.events_processed = events;
+        let back = decode_histogram_set(&encode_histogram_set(&set)).unwrap();
+        prop_assert_eq!(set, back);
+    }
+
+    /// The codec round-trips any generated event batch exactly, and
+    /// never panics on truncated input.
+    #[test]
+    fn codec_batch_round_trip(file in 0u32..20, n in 0usize..150, cut in 0usize..64) {
+        let batch = EventGenerator::default().generate("prop", file, 0, n);
+        let bytes = encode_event_batch(&batch);
+        let back = decode_event_batch(&bytes).unwrap();
+        prop_assert_eq!(batch.len(), back.len());
+        prop_assert_eq!(batch.scalar("MET_pt"), back.scalar("MET_pt"));
+        prop_assert_eq!(batch.jagged("Jet_pt"), back.jagged("Jet_pt"));
+        // Truncations decode to an error, never a panic.
+        let cut = cut.min(bytes.len());
+        let _ = decode_event_batch(&bytes[..cut]);
+    }
+}

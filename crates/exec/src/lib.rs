@@ -1,0 +1,27 @@
+//! # vine-exec — a real threaded manager/worker runtime
+//!
+//! The simulation in `vine-core` reproduces the paper's cluster-scale
+//! numbers; this crate executes the *same analyses for real* on local
+//! threads, with the same architecture and the same execution-paradigm
+//! distinction the paper evaluates (§IV-B):
+//!
+//! * a **manager** thread owns the task graph, dispatches ready tasks over
+//!   channels, stores produced partial results, and feeds accumulations;
+//! * **worker** threads execute tasks. In [`ExecMode::Standard`] every
+//!   task pays the "deserialize the function and load its libraries" cost
+//!   by rebuilding the [`library::LibraryState`] from scratch — the
+//!   in-process equivalent of starting an interpreter and importing numpy.
+//!   In [`ExecMode::Serverless`] each worker builds the library once (the
+//!   LibraryTask with hoisted imports) and every invocation reuses it;
+//! * results are histogram sets whose merge is associative, so the runtime
+//!   accumulates them through the same bounded-arity trees as the
+//!   simulated DAGs — and must produce **bit-identical physics** to a
+//!   sequential reference run, regardless of mode or thread count.
+
+pub mod library;
+pub mod plan;
+pub mod runtime;
+
+pub use library::LibraryState;
+pub use plan::ExecPlan;
+pub use runtime::{ExecMode, ExecReport, Executor};

@@ -1,0 +1,115 @@
+//! The "library" a task needs before it can run.
+//!
+//! In the paper's Python stack, every conventional task execution starts an
+//! interpreter and imports numpy/awkward/coffea — a genuinely expensive,
+//! pure-overhead step that serverless LibraryTasks amortize (§IV-B). The
+//! in-process equivalent here is a numeric calibration table that is
+//! genuinely expensive to build and genuinely used by the processors:
+//! a jet-energy-correction-style lookup computed by iterating a
+//! transcendental map. The work cannot be constant-folded (it depends on
+//! the table size parameter) and the table is consulted during analysis,
+//! so the compiler cannot remove it.
+
+/// Expensive-to-build, cheap-to-use calibration state.
+#[derive(Clone, Debug)]
+pub struct LibraryState {
+    /// Calibration lookup, indexed by quantized pₜ.
+    table: Vec<f64>,
+}
+
+impl LibraryState {
+    /// Build the library with `work` table entries. `work` plays the role
+    /// of "how much gets imported"; the default used by the executor is
+    /// [`LibraryState::DEFAULT_WORK`].
+    pub fn build(work: usize) -> Self {
+        let n = work.max(16);
+        let mut table = Vec::with_capacity(n);
+        // Iterated transcendental map: ~n sin/exp evaluations.
+        let mut x = 0.5f64;
+        for i in 0..n {
+            x = (x * 3.9).sin().abs();
+            // A smooth, bounded correction factor near 1.0.
+            let correction = 1.0 + 0.05 * (x - 0.5) * (-((i % 97) as f64) / 97.0).exp();
+            table.push(correction);
+        }
+        LibraryState { table }
+    }
+
+    /// Default library size: large enough that a per-task rebuild is
+    /// measurably expensive (a few ms), as a Python import storm is.
+    pub const DEFAULT_WORK: usize = 400_000;
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if the table is empty (never true for built libraries).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Look up the calibration factor for a transverse momentum.
+    pub fn correction_for_pt(&self, pt: f64) -> f64 {
+        let idx = (pt.clamp(0.0, 6500.0) / 6500.0 * (self.table.len() - 1) as f64) as usize;
+        self.table[idx]
+    }
+
+    /// A deterministic digest of the table (for tests: any two builds with
+    /// equal `work` must agree).
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &v in &self.table {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = LibraryState::build(10_000);
+        let b = LibraryState::build(10_000);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.len(), 10_000);
+    }
+
+    #[test]
+    fn different_sizes_differ() {
+        assert_ne!(
+            LibraryState::build(1000).digest(),
+            LibraryState::build(2000).digest()
+        );
+    }
+
+    #[test]
+    fn corrections_are_near_unity() {
+        let lib = LibraryState::build(50_000);
+        for pt in [0.0, 30.0, 100.0, 500.0, 6500.0, 9999.0] {
+            let c = lib.correction_for_pt(pt);
+            assert!((0.9..1.1).contains(&c), "correction {c} at pt {pt}");
+        }
+    }
+
+    #[test]
+    fn build_cost_scales_with_work() {
+        use std::time::Instant;
+        let t0 = Instant::now();
+        let _small = LibraryState::build(10_000);
+        let small = t0.elapsed();
+        let t1 = Instant::now();
+        let _big = LibraryState::build(1_000_000);
+        let big = t1.elapsed();
+        assert!(big > small, "library build cost not increasing: {small:?} vs {big:?}");
+    }
+
+    #[test]
+    fn minimum_size_enforced() {
+        assert_eq!(LibraryState::build(0).len(), 16);
+    }
+}

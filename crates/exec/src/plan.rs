@@ -1,0 +1,152 @@
+//! Execution plans: the concrete task list the runtime executes.
+//!
+//! Mirrors the Coffea → Dask translation (§II-B): one `Process` task per
+//! dataset chunk, then a bounded-arity accumulation tree per dataset, then
+//! a final cross-dataset merge. The plan is a [`vine_dag::TaskGraph`] whose
+//! files stand for in-memory [`vine_data::HistogramSet`] values, so the
+//! runtime can reuse [`vine_dag::ReadyTracker`] for scheduling and
+//! bookkeeping.
+
+use vine_dag::rewrite::add_tree_reduce;
+use vine_dag::{FileId, TaskGraph, TaskId, TaskKind};
+use vine_data::{Chunk, Dataset};
+
+/// What a task does, resolved from the graph at execution time.
+#[derive(Clone, Debug)]
+pub enum TaskAction {
+    /// Materialize and process one chunk of one dataset.
+    Process {
+        /// Dataset index in the plan's dataset list.
+        dataset: usize,
+        /// The chunk to materialize.
+        chunk: Chunk,
+    },
+    /// Merge previously-produced histogram sets.
+    Accumulate,
+}
+
+/// A runnable plan over concrete datasets.
+pub struct ExecPlan {
+    /// The dependency graph (files = histogram sets).
+    pub graph: TaskGraph,
+    /// Per-task actions, indexed by `TaskId`.
+    pub actions: Vec<TaskAction>,
+    /// The output file of each dataset's reduction, in dataset order.
+    pub dataset_results: Vec<FileId>,
+    /// The final, cross-dataset result file.
+    pub final_result: FileId,
+}
+
+impl ExecPlan {
+    /// Build a plan: process every chunk of every dataset, reduce each
+    /// dataset with an `arity`-ary tree, then merge the per-dataset
+    /// results with one final tree.
+    ///
+    /// # Panics
+    /// If `datasets` is empty or `arity < 2`.
+    pub fn build(datasets: &[Dataset], arity: usize) -> Self {
+        assert!(!datasets.is_empty(), "need at least one dataset");
+        assert!(arity >= 2, "reduction arity must be at least 2");
+        let mut graph = TaskGraph::new();
+        let mut actions = Vec::new();
+        let mut dataset_results = Vec::with_capacity(datasets.len());
+
+        for (di, ds) in datasets.iter().enumerate() {
+            let mut partials = Vec::new();
+            for (ci, chunk) in ds.chunks().enumerate() {
+                let input = graph.add_external_file(format!("{}.chunk{ci}", ds.name), chunk.bytes);
+                let (tid, outs) = graph.add_task(
+                    format!("{}.process{ci}", ds.name),
+                    TaskKind::Process,
+                    vec![input],
+                    &[1],
+                    1.0,
+                );
+                debug_assert_eq!(tid.0 as usize, actions.len());
+                actions.push(TaskAction::Process { dataset: di, chunk: *chunk });
+                partials.push(outs[0]);
+            }
+            let before = graph.task_count();
+            let result =
+                add_tree_reduce(&mut graph, &format!("{}.reduce", ds.name), &partials, arity, 1, 0.1);
+            for _ in before..graph.task_count() {
+                actions.push(TaskAction::Accumulate);
+            }
+            dataset_results.push(result);
+        }
+
+        let before = graph.task_count();
+        let final_result =
+            add_tree_reduce(&mut graph, "final.merge", &dataset_results, arity, 1, 0.1);
+        for _ in before..graph.task_count() {
+            actions.push(TaskAction::Accumulate);
+        }
+
+        debug_assert!(graph.validate().is_ok());
+        debug_assert_eq!(actions.len(), graph.task_count());
+        ExecPlan { graph, actions, dataset_results, final_result }
+    }
+
+    /// Number of tasks in the plan.
+    pub fn task_count(&self) -> usize {
+        self.graph.task_count()
+    }
+
+    /// The action of one task.
+    pub fn action(&self, t: TaskId) -> &TaskAction {
+        &self.actions[t.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_simcore::units::{KB, MB};
+
+    fn datasets(n: usize) -> Vec<Dataset> {
+        (0..n)
+            .map(|i| Dataset::synthesize(format!("ds{i}"), MB, KB, 250, 2))
+            .collect()
+    }
+
+    #[test]
+    fn plan_covers_every_chunk() {
+        let dss = datasets(3);
+        let total_chunks: usize = dss.iter().map(|d| d.chunk_count()).sum();
+        let plan = ExecPlan::build(&dss, 2);
+        let processes = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a, TaskAction::Process { .. }))
+            .count();
+        assert_eq!(processes, total_chunks);
+        assert_eq!(plan.dataset_results.len(), 3);
+        assert!(plan.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn single_dataset_final_is_dataset_result() {
+        let dss = datasets(1);
+        let plan = ExecPlan::build(&dss, 4);
+        assert_eq!(plan.final_result, plan.dataset_results[0]);
+    }
+
+    #[test]
+    fn actions_align_with_task_ids() {
+        let dss = datasets(2);
+        let plan = ExecPlan::build(&dss, 2);
+        for t in plan.graph.tasks() {
+            match (t.kind, plan.action(t.id)) {
+                (TaskKind::Process, TaskAction::Process { .. }) => {}
+                (TaskKind::Accumulate, TaskAction::Accumulate) => {}
+                (k, a) => panic!("task {:?} kind {k:?} has action {a:?}", t.id),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dataset")]
+    fn empty_datasets_panic() {
+        ExecPlan::build(&[], 2);
+    }
+}

@@ -1,0 +1,374 @@
+//! The threaded manager/worker runtime.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use vine_analysis::Processor;
+use vine_dag::{FileId, ReadyTracker, TaskId};
+use vine_data::{Dataset, HistogramSet};
+
+use crate::library::LibraryState;
+use crate::plan::{ExecPlan, TaskAction};
+
+/// Execution paradigm (§IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Conventional tasks: every execution rebuilds the library from
+    /// scratch (the interpreter-start + import cost).
+    Standard,
+    /// Serverless: each worker instantiates the library once (a
+    /// LibraryTask with hoisted imports) and invocations reuse it.
+    Serverless,
+}
+
+/// The runtime's configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    /// Worker threads (task slots).
+    pub threads: usize,
+    /// Execution paradigm.
+    pub mode: ExecMode,
+    /// Library size (see [`LibraryState::build`]).
+    pub import_work: usize,
+    /// Accumulation-tree arity.
+    pub arity: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            mode: ExecMode::Serverless,
+            import_work: LibraryState::DEFAULT_WORK,
+            arity: 8,
+        }
+    }
+}
+
+/// What one run produced.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// The final cross-dataset histogram set.
+    pub final_result: HistogramSet,
+    /// Per-dataset results, in dataset order.
+    pub dataset_results: Vec<HistogramSet>,
+    /// Wall-clock makespan of the run.
+    pub makespan: Duration,
+    /// Per-task execution durations, in completion order.
+    pub task_times: Vec<Duration>,
+    /// How many times the library was built.
+    pub library_builds: u64,
+    /// Tasks executed.
+    pub tasks_executed: u64,
+    /// Events processed (from the physics, as a cross-check).
+    pub events_processed: u64,
+    /// Tasks executed by each worker thread.
+    pub per_worker_tasks: Vec<u64>,
+    /// Size of the final result when serialized with the wire codec.
+    pub result_bytes: u64,
+}
+
+impl ExecReport {
+    /// Mean task execution time.
+    pub fn mean_task_time(&self) -> Duration {
+        if self.task_times.is_empty() {
+            Duration::ZERO
+        } else {
+            self.task_times.iter().sum::<Duration>() / self.task_times.len() as u32
+        }
+    }
+}
+
+struct TaskMsg {
+    task: TaskId,
+    action: TaskAction,
+    inputs: Vec<Arc<HistogramSet>>,
+}
+
+struct DoneMsg {
+    task: TaskId,
+    worker: usize,
+    output: Arc<HistogramSet>,
+    elapsed: Duration,
+    built_library: bool,
+}
+
+impl Executor {
+    /// Execute `processor` over `datasets` and return the report.
+    ///
+    /// The result is **independent of thread count and execution mode**:
+    /// accumulation order is fixed by the plan, not by completion timing.
+    pub fn run<P: Processor + ?Sized>(&self, processor: &P, datasets: &[Dataset]) -> ExecReport {
+        let threads = self.threads.max(1);
+        let plan = ExecPlan::build(datasets, self.arity.max(2));
+        let mut tracker = ReadyTracker::new(&plan.graph);
+        let mut storage: HashMap<FileId, Arc<HistogramSet>> = HashMap::new();
+        let mut task_times = Vec::with_capacity(plan.task_count());
+        let mut library_builds = 0u64;
+
+        let started = Instant::now();
+        let (task_tx, task_rx) = channel::unbounded::<TaskMsg>();
+        let (done_tx, done_rx) = channel::unbounded::<DoneMsg>();
+
+        let mut per_worker_tasks = vec![0u64; threads];
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                let mode = self.mode;
+                let import_work = self.import_work;
+                scope.spawn(move || {
+                    worker_loop(worker, task_rx, done_tx, mode, import_work, processor, datasets)
+                });
+            }
+            drop(task_rx);
+            drop(done_tx);
+
+            // Prime the pipeline with every initially-ready task.
+            let dispatch = |tracker: &mut ReadyTracker,
+                                storage: &HashMap<FileId, Arc<HistogramSet>>| {
+                while let Some(task) = tracker.pop_ready() {
+                    let inputs = plan
+                        .graph
+                        .task(task)
+                        .inputs
+                        .iter()
+                        .filter_map(|f| storage.get(f).cloned())
+                        .collect();
+                    task_tx
+                        .send(TaskMsg { task, action: plan.action(task).clone(), inputs })
+                        .expect("workers alive");
+                }
+            };
+            dispatch(&mut tracker, &storage);
+
+            while !tracker.is_complete() {
+                let done = done_rx.recv().expect("workers alive while tasks pending");
+                for &f in &plan.graph.task(done.task).outputs {
+                    storage.insert(f, done.output.clone());
+                }
+                task_times.push(done.elapsed);
+                per_worker_tasks[done.worker] += 1;
+                if done.built_library {
+                    library_builds += 1;
+                }
+                tracker.mark_done(done.task);
+                dispatch(&mut tracker, &storage);
+            }
+            drop(task_tx); // workers drain and exit
+        });
+
+        let final_result = storage
+            .get(&plan.final_result)
+            .expect("final result produced")
+            .as_ref()
+            .clone();
+        let dataset_results = plan
+            .dataset_results
+            .iter()
+            .map(|f| storage.get(f).expect("dataset result produced").as_ref().clone())
+            .collect();
+        // In serverless mode each worker built the library once at startup.
+        if self.mode == ExecMode::Serverless {
+            library_builds += threads as u64;
+        }
+        let result_bytes = vine_data::encode_histogram_set(&final_result).len() as u64;
+        ExecReport {
+            events_processed: final_result.events_processed,
+            final_result,
+            dataset_results,
+            makespan: started.elapsed(),
+            tasks_executed: task_times.len() as u64,
+            task_times,
+            library_builds,
+            per_worker_tasks,
+            result_bytes,
+        }
+    }
+}
+
+fn worker_loop<P: Processor + ?Sized>(
+    worker: usize,
+    task_rx: channel::Receiver<TaskMsg>,
+    done_tx: channel::Sender<DoneMsg>,
+    mode: ExecMode,
+    import_work: usize,
+    processor: &P,
+    datasets: &[Dataset],
+) {
+    // Serverless: the LibraryTask instantiates its (hoisted) imports once.
+    let resident = match mode {
+        ExecMode::Serverless => Some(LibraryState::build(import_work)),
+        ExecMode::Standard => None,
+    };
+    while let Ok(msg) = task_rx.recv() {
+        let t0 = Instant::now();
+        let mut built = false;
+        // Standard tasks re-load the library on every execution.
+        let fresh;
+        let lib = match &resident {
+            Some(lib) => lib,
+            None => {
+                fresh = LibraryState::build(import_work);
+                built = true;
+                &fresh
+            }
+        };
+        let output = match msg.action {
+            TaskAction::Process { dataset, chunk } => {
+                let batch = datasets[dataset].materialize(&chunk);
+                let set = processor.process(&batch);
+                // Consult the calibration library so its construction is
+                // semantically real (and cannot be optimized away). The
+                // correction is identically applied in every mode, so
+                // results stay mode-independent.
+                let probe = batch
+                    .jagged("Jet_pt")
+                    .map(|j| j.values().first().copied().unwrap_or(30.0))
+                    .unwrap_or(30.0);
+                std::hint::black_box(lib.correction_for_pt(probe));
+                set
+            }
+            TaskAction::Accumulate => {
+                let mut acc = HistogramSet::new();
+                for input in &msg.inputs {
+                    acc.merge(input);
+                }
+                acc
+            }
+        };
+        let elapsed = t0.elapsed();
+        let msg = DoneMsg {
+            task: msg.task,
+            worker,
+            output: Arc::new(output),
+            elapsed,
+            built_library: built,
+        };
+        if done_tx.send(msg).is_err() {
+            return; // manager is gone
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_analysis::{run_processor_pipeline, Dv3Processor, TriPhotonProcessor};
+    use vine_simcore::units::KB;
+
+    fn datasets(n: usize, events_per: u64) -> Vec<Dataset> {
+        (0..n)
+            .map(|i| Dataset::synthesize(format!("ds{i}"), events_per * KB, KB, 200, 2))
+            .collect()
+    }
+
+    fn exec(mode: ExecMode, threads: usize) -> Executor {
+        Executor { threads, mode, import_work: 20_000, arity: 3 }
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let dss = datasets(2, 600);
+        let proc = Dv3Processor::default();
+        // Reference: sequential pipeline over all chunks in order.
+        let batches: Vec<_> = dss
+            .iter()
+            .flat_map(|d| d.chunks().map(|c| d.materialize(c)).collect::<Vec<_>>())
+            .collect();
+        let reference = run_processor_pipeline(&proc, &batches);
+
+        let report = exec(ExecMode::Serverless, 4).run(&proc, &dss);
+        assert_eq!(report.events_processed, reference.events_processed);
+        for name in ["dijet_mass", "bb_mass", "met", "n_jets", "jet_pt"] {
+            let a = report.final_result.h1(name).unwrap();
+            let b = reference.h1(name).unwrap();
+            assert_eq!(a.counts(), b.counts(), "{name} counts differ");
+            assert_eq!(a.underflow(), b.underflow());
+            assert_eq!(a.overflow(), b.overflow());
+        }
+    }
+
+    #[test]
+    fn result_independent_of_mode_and_threads() {
+        let dss = datasets(2, 400);
+        let proc = TriPhotonProcessor::default();
+        let a = exec(ExecMode::Serverless, 1).run(&proc, &dss);
+        let b = exec(ExecMode::Serverless, 8).run(&proc, &dss);
+        let c = exec(ExecMode::Standard, 3).run(&proc, &dss);
+        assert_eq!(a.final_result, b.final_result);
+        assert_eq!(a.final_result, c.final_result);
+    }
+
+    #[test]
+    fn standard_mode_rebuilds_library_per_task() {
+        let dss = datasets(1, 300);
+        let proc = Dv3Processor::default();
+        let std_report = exec(ExecMode::Standard, 2).run(&proc, &dss);
+        let srv_report = exec(ExecMode::Serverless, 2).run(&proc, &dss);
+        assert_eq!(std_report.tasks_executed, srv_report.tasks_executed);
+        // Standard: one build per task. Serverless: one per worker.
+        assert_eq!(std_report.library_builds, std_report.tasks_executed);
+        assert_eq!(srv_report.library_builds, 2);
+    }
+
+    #[test]
+    fn serverless_tasks_are_faster_on_average() {
+        let dss = datasets(1, 500);
+        let proc = Dv3Processor::default();
+        // Big library so the rebuild dominates task time.
+        let mk = |mode| Executor { threads: 2, mode, import_work: 2_000_000, arity: 4 };
+        let std_report = mk(ExecMode::Standard).run(&proc, &dss);
+        let srv_report = mk(ExecMode::Serverless).run(&proc, &dss);
+        assert!(
+            srv_report.mean_task_time() < std_report.mean_task_time(),
+            "serverless {:?} !< standard {:?}",
+            srv_report.mean_task_time(),
+            std_report.mean_task_time()
+        );
+    }
+
+    #[test]
+    fn per_dataset_results_partition_the_total() {
+        let dss = datasets(3, 300);
+        let proc = Dv3Processor::default();
+        let report = exec(ExecMode::Serverless, 4).run(&proc, &dss);
+        let total: u64 = report.dataset_results.iter().map(|r| r.events_processed).sum();
+        assert_eq!(total, report.events_processed);
+        assert_eq!(report.dataset_results.len(), 3);
+    }
+
+    #[test]
+    fn per_worker_counts_sum_to_total() {
+        let dss = datasets(1, 400);
+        let proc = Dv3Processor::default();
+        let report = exec(ExecMode::Serverless, 4).run(&proc, &dss);
+        assert_eq!(report.per_worker_tasks.len(), 4);
+        let sum: u64 = report.per_worker_tasks.iter().sum();
+        assert_eq!(sum, report.tasks_executed);
+    }
+
+    #[test]
+    fn result_bytes_reflects_serialized_size() {
+        let dss = datasets(1, 200);
+        let proc = Dv3Processor::default();
+        let report = exec(ExecMode::Serverless, 2).run(&proc, &dss);
+        let encoded = vine_data::encode_histogram_set(&report.final_result);
+        assert_eq!(report.result_bytes, encoded.len() as u64);
+        // And it decodes back to the same physics.
+        let back = vine_data::decode_histogram_set(&encoded).unwrap();
+        assert_eq!(back, report.final_result);
+    }
+
+    #[test]
+    fn single_thread_executes_everything() {
+        let dss = datasets(1, 200);
+        let proc = Dv3Processor::default();
+        let report = exec(ExecMode::Standard, 1).run(&proc, &dss);
+        assert!(report.tasks_executed > 0);
+        assert!(report.events_processed > 0);
+        assert_eq!(report.task_times.len() as u64, report.tasks_executed);
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic event queue with lazy cancellation.
+//!
+//! Events at equal timestamps pop in insertion (FIFO) order — essential for
+//! reproducibility, because scheduler decisions (task placement, peer
+//! transfer throttling) depend on the order ready events are observed.
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] marks the [`EventId`] and the
+//! entry is discarded when it reaches the front. Network flow completions
+//! are rescheduled every time bandwidth shares change, so cancellation is on
+//! the hot path of the fabric model.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops
+        // first. EventIds are monotone, giving FIFO order within a timestamp.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Priority queue of timestamped events.
+///
+/// `E` is the simulation's event payload type (defined by the engine that
+/// drives the run, e.g. `vine-core`'s `SimEvent`).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids scheduled but not yet fired or cancelled.
+    pending: HashSet<EventId>,
+    /// Ids cancelled but whose heap entry has not yet been discarded.
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`. Returns a handle for
+    /// cancellation. Scheduling in the past is permitted (the caller's
+    /// engine decides whether that is an error) — entries still pop in
+    /// global (time, insertion) order.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Entry { time, id, payload });
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. had not fired and was not already cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the earliest live event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.pending.remove(&entry.id);
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries off the front so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live (pending, non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.pop(), Some((t(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_pop_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_returns_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.schedule(t(i), i)).collect();
+        assert_eq!(q.len(), 10);
+        q.cancel(ids[3]);
+        q.cancel(ids[7]);
+        assert_eq!(q.len(), 8);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 8);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 10);
+        q.schedule(t(5), 5);
+        assert_eq!(q.pop(), Some((t(5), 5)));
+        q.schedule(t(7), 7);
+        q.schedule(t(6), 6);
+        assert_eq!(q.pop(), Some((t(6), 6)));
+        assert_eq!(q.pop(), Some((t(7), 7)));
+        assert_eq!(q.pop(), Some((t(10), 10)));
+    }
+}

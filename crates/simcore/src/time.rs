@@ -1,0 +1,318 @@
+//! Integer-microsecond simulation time.
+//!
+//! The paper's measurements span four orders of magnitude (millisecond task
+//! dispatch up to hour-long runs), so floating-point instants would make
+//! event ordering depend on accumulated rounding. We keep instants and
+//! durations in whole microseconds: exact comparison, exact arithmetic,
+//! bit-reproducible runs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An absolute instant in simulation time, in microseconds since t=0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulation time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDur(u64);
+
+impl SimTime {
+    /// The origin of simulation time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A sentinel later than every reachable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// microsecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(secs_to_micros(s))
+    }
+
+    /// This instant as whole microseconds since t=0.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as fractional seconds since t=0.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The duration from `earlier` to `self`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDur {
+    /// The empty duration.
+    pub const ZERO: SimDur = SimDur(0);
+    /// A sentinel longer than every reachable duration.
+    pub const MAX: SimDur = SimDur(u64::MAX);
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDur(us)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDur(ms * 1000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDur(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// microsecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDur(secs_to_micros(s))
+    }
+
+    /// This duration as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// True if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The shorter of two durations.
+    pub fn min(self, other: SimDur) -> SimDur {
+        SimDur(self.0.min(other.0))
+    }
+
+    /// The longer of two durations.
+    pub fn max(self, other: SimDur) -> SimDur {
+        SimDur(self.0.max(other.0))
+    }
+
+    /// Scale by a non-negative factor, rounding to the nearest microsecond.
+    pub fn mul_f64(self, k: f64) -> SimDur {
+        SimDur(secs_to_micros(self.as_secs_f64() * k))
+    }
+}
+
+fn secs_to_micros(s: f64) -> u64 {
+    if s.is_nan() || s <= 0.0 {
+        return 0;
+    }
+    let us = s * MICROS_PER_SEC as f64;
+    if us >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        us.round() as u64
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    fn add_assign(&mut self, rhs: SimDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDur;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDur {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDur {
+    fn add_assign(&mut self, rhs: SimDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    fn sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDur {
+    fn sub_assign(&mut self, rhs: SimDur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    fn mul(self, rhs: u64) -> SimDur {
+        SimDur(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    fn div(self, rhs: u64) -> SimDur {
+        SimDur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_micros(3).as_micros(), 3);
+        assert_eq!(SimDur::from_secs(2).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn fractional_seconds_round_to_micros() {
+        assert_eq!(SimDur::from_secs_f64(0.1234567).as_micros(), 123_457);
+        assert_eq!(SimTime::from_secs_f64(1e-7).as_micros(), 0);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimDur::from_secs_f64(-5.0), SimDur::ZERO);
+        assert_eq!(SimDur::from_secs_f64(f64::NAN), SimDur::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn huge_seconds_clamp_to_max() {
+        assert_eq!(SimDur::from_secs_f64(f64::INFINITY), SimDur::MAX);
+        assert_eq!(SimDur::from_secs_f64(1e300), SimDur::MAX);
+    }
+
+    #[test]
+    fn instant_plus_duration() {
+        let t = SimTime::from_secs(10) + SimDur::from_millis(500);
+        assert_eq!(t.as_micros(), 10_500_000);
+    }
+
+    #[test]
+    fn instant_difference() {
+        let d = SimTime::from_secs(10) - SimTime::from_secs(4);
+        assert_eq!(d, SimDur::from_secs(6));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(2);
+        assert_eq!(early.saturating_since(late), SimDur::ZERO);
+        assert_eq!(late.saturating_since(early), SimDur::from_secs(1));
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates() {
+        assert_eq!(SimDur::MAX + SimDur::from_secs(1), SimDur::MAX);
+        assert_eq!(SimDur::ZERO - SimDur::from_secs(1), SimDur::ZERO);
+        assert_eq!(SimDur::MAX * 2, SimDur::MAX);
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        assert_eq!(SimDur::from_secs(4).mul_f64(0.25), SimDur::from_secs(1));
+        assert_eq!(SimDur::from_secs(4).mul_f64(-1.0), SimDur::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_secs(2),
+            SimTime::ZERO,
+            SimTime::from_millis(1500),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1500),
+                SimTime::from_secs(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500");
+        assert_eq!(format!("{}", SimDur::from_micros(250)), "0.000");
+    }
+}

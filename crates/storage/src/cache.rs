@@ -1,0 +1,422 @@
+//! Per-worker file cache (TaskVine "Retaining Data", §IV-B).
+//!
+//! Each TaskVine worker owns its node-local disk and retains every file it
+//! stages or produces, keyed by [`CacheName`]. The manager consults these
+//! caches to place tasks where their inputs already live. Entries in use by
+//! a running task (or queued for a peer transfer) are *pinned* and cannot
+//! be evicted; everything else is reclaimable in LRU order.
+//!
+//! When pinned data alone exceeds the disk, [`LocalCache::insert`] fails
+//! with [`CacheError::WontFit`] — exactly the Fig 11 failure mode, where a
+//! single-node reduction pins hundreds of gigabytes of histogram inputs on
+//! one worker and kills it.
+
+use std::collections::HashMap;
+
+use crate::cachename::CacheName;
+
+/// Why a file is in the cache; affects accounting and nothing else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheEntryKind {
+    /// Input data staged from the shared filesystem or a remote source.
+    Input,
+    /// Output produced by a task on this worker or fetched from a peer.
+    Intermediate,
+    /// A serverless library/environment installed on this worker.
+    Library,
+}
+
+/// Errors from cache mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// The file cannot fit even after evicting every unpinned entry.
+    /// Carries the shortfall in bytes.
+    WontFit { needed: u64, reclaimable: u64 },
+    /// The named entry does not exist.
+    Missing,
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::WontFit { needed, reclaimable } => write!(
+                f,
+                "cache overflow: need {needed} bytes but only {reclaimable} reclaimable"
+            ),
+            CacheError::Missing => write!(f, "no such cache entry"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    size: u64,
+    kind: CacheEntryKind,
+    pins: u32,
+    last_use: u64,
+}
+
+/// An LRU cache over one worker's local disk.
+#[derive(Clone, Debug)]
+pub struct LocalCache {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    entries: HashMap<CacheName, Entry>,
+    /// High-water mark of `used`, for Fig 11 reporting.
+    peak_used: u64,
+}
+
+impl LocalCache {
+    /// An empty cache over a disk of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        LocalCache {
+            capacity,
+            used: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            peak_used: 0,
+        }
+    }
+
+    /// Disk capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The highest occupancy ever reached.
+    pub fn peak_used(&self) -> u64 {
+        self.peak_used
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if the named file is resident.
+    pub fn contains(&self, name: CacheName) -> bool {
+        self.entries.contains_key(&name)
+    }
+
+    /// Size of the named resident file, if present.
+    pub fn size_of(&self, name: CacheName) -> Option<u64> {
+        self.entries.get(&name).map(|e| e.size)
+    }
+
+    /// Record a use of the named file (bumps its LRU recency).
+    /// Returns `false` if the file is not resident.
+    pub fn touch(&mut self, name: CacheName) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&name) {
+            Some(e) => {
+                e.last_use = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert a file, evicting unpinned entries in LRU order as needed.
+    ///
+    /// Returns the names evicted to make room (possibly empty). Re-inserting
+    /// a resident name refreshes its recency; if the size changed the entry
+    /// is resized (evicting as needed for growth).
+    ///
+    /// Fails with [`CacheError::WontFit`] if pinned entries prevent making
+    /// room; the cache is left unchanged in that case.
+    pub fn insert(
+        &mut self,
+        name: CacheName,
+        size: u64,
+        kind: CacheEntryKind,
+    ) -> Result<Vec<CacheName>, CacheError> {
+        self.tick += 1;
+        let tick = self.tick;
+
+        let existing_size = self.entries.get(&name).map(|e| e.size);
+        let net_growth = size.saturating_sub(existing_size.unwrap_or(0));
+        let free = self.capacity - self.used;
+
+        let mut evicted = Vec::new();
+        if net_growth > free {
+            let mut need = net_growth - free;
+            // Evict coldest unpinned entries (never the one being resized).
+            let mut candidates: Vec<(u64, CacheName, u64)> = self
+                .entries
+                .iter()
+                .filter(|(n, e)| e.pins == 0 && **n != name)
+                .map(|(n, e)| (e.last_use, *n, e.size))
+                .collect();
+            candidates.sort_unstable();
+            let reclaimable: u64 = candidates.iter().map(|&(_, _, s)| s).sum();
+            if reclaimable < need {
+                return Err(CacheError::WontFit {
+                    needed: net_growth,
+                    reclaimable: free + reclaimable,
+                });
+            }
+            for (_, victim, vsize) in candidates {
+                if need == 0 {
+                    break;
+                }
+                self.entries.remove(&victim);
+                self.used -= vsize;
+                need = need.saturating_sub(vsize);
+                evicted.push(victim);
+            }
+        }
+
+        match self.entries.get_mut(&name) {
+            Some(e) => {
+                self.used = self.used - e.size + size;
+                e.size = size;
+                e.kind = kind;
+                e.last_use = tick;
+            }
+            None => {
+                self.entries.insert(
+                    name,
+                    Entry { size, kind, pins: 0, last_use: tick },
+                );
+                self.used += size;
+            }
+        }
+        self.peak_used = self.peak_used.max(self.used);
+        Ok(evicted)
+    }
+
+    /// Pin a resident file so it cannot be evicted. Pins nest.
+    pub fn pin(&mut self, name: CacheName) -> Result<(), CacheError> {
+        let e = self.entries.get_mut(&name).ok_or(CacheError::Missing)?;
+        e.pins += 1;
+        Ok(())
+    }
+
+    /// Release one pin on a resident file.
+    pub fn unpin(&mut self, name: CacheName) -> Result<(), CacheError> {
+        let e = self.entries.get_mut(&name).ok_or(CacheError::Missing)?;
+        debug_assert!(e.pins > 0, "unpin without matching pin");
+        e.pins = e.pins.saturating_sub(1);
+        Ok(())
+    }
+
+    /// True if the named file is resident and pinned.
+    pub fn is_pinned(&self, name: CacheName) -> bool {
+        self.entries.get(&name).is_some_and(|e| e.pins > 0)
+    }
+
+    /// Explicitly remove a file (e.g. the manager pruned it). Pinned files
+    /// cannot be removed.
+    pub fn remove(&mut self, name: CacheName) -> Result<u64, CacheError> {
+        match self.entries.get(&name) {
+            None => Err(CacheError::Missing),
+            Some(e) if e.pins > 0 => Err(CacheError::WontFit {
+                needed: 0,
+                reclaimable: 0,
+            }),
+            Some(_) => {
+                let e = self.entries.remove(&name).expect("checked above");
+                self.used -= e.size;
+                Ok(e.size)
+            }
+        }
+    }
+
+    /// Drop everything (worker preempted / restarted).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+
+    /// Iterate resident `(name, size, kind)` triples in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (CacheName, u64, CacheEntryKind)> + '_ {
+        self.entries.iter().map(|(n, e)| (*n, e.size, e.kind))
+    }
+
+    /// Total bytes of resident entries of the given kind.
+    pub fn used_by_kind(&self, kind: CacheEntryKind) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.size)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(i: u32) -> CacheName {
+        CacheName::for_dataset_file("t", i)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = LocalCache::new(1000);
+        assert_eq!(c.insert(name(1), 400, CacheEntryKind::Input).unwrap(), vec![]);
+        assert!(c.contains(name(1)));
+        assert_eq!(c.size_of(name(1)), Some(400));
+        assert_eq!(c.used(), 400);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_lru_first() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 400, CacheEntryKind::Input).unwrap();
+        c.insert(name(2), 400, CacheEntryKind::Input).unwrap();
+        c.touch(name(1)); // 2 is now coldest
+        let evicted = c.insert(name(3), 400, CacheEntryKind::Input).unwrap();
+        assert_eq!(evicted, vec![name(2)]);
+        assert!(c.contains(name(1)));
+        assert!(!c.contains(name(2)));
+        assert_eq!(c.used(), 800);
+    }
+
+    #[test]
+    fn evicts_multiple_if_needed() {
+        let mut c = LocalCache::new(1000);
+        for i in 0..5 {
+            c.insert(name(i), 200, CacheEntryKind::Input).unwrap();
+        }
+        let evicted = c.insert(name(9), 900, CacheEntryKind::Intermediate).unwrap();
+        // need 900 bytes, free 0, victims are 200 bytes each -> 5 evictions
+        assert_eq!(evicted.len(), 5);
+        assert_eq!(c.used(), 900);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 600, CacheEntryKind::Input).unwrap();
+        c.pin(name(1)).unwrap();
+        c.insert(name(2), 300, CacheEntryKind::Input).unwrap();
+        // Needs 500: only name(2) (300) is reclaimable -> WontFit.
+        let err = c.insert(name(3), 500, CacheEntryKind::Input).unwrap_err();
+        assert_eq!(err, CacheError::WontFit { needed: 500, reclaimable: 400 });
+        // Cache unchanged on failure.
+        assert!(c.contains(name(1)));
+        assert!(c.contains(name(2)));
+        assert_eq!(c.used(), 900);
+    }
+
+    #[test]
+    fn unpin_restores_evictability() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 600, CacheEntryKind::Input).unwrap();
+        c.pin(name(1)).unwrap();
+        c.unpin(name(1)).unwrap();
+        let evicted = c.insert(name(2), 800, CacheEntryKind::Input).unwrap();
+        assert_eq!(evicted, vec![name(1)]);
+    }
+
+    #[test]
+    fn nested_pins() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 500, CacheEntryKind::Input).unwrap();
+        c.pin(name(1)).unwrap();
+        c.pin(name(1)).unwrap();
+        c.unpin(name(1)).unwrap();
+        assert!(c.is_pinned(name(1)));
+        c.unpin(name(1)).unwrap();
+        assert!(!c.is_pinned(name(1)));
+    }
+
+    #[test]
+    fn oversized_file_wont_fit() {
+        let mut c = LocalCache::new(100);
+        let err = c.insert(name(1), 200, CacheEntryKind::Input).unwrap_err();
+        assert!(matches!(err, CacheError::WontFit { .. }));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_resizes_in_place() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 300, CacheEntryKind::Input).unwrap();
+        c.insert(name(1), 500, CacheEntryKind::Input).unwrap();
+        assert_eq!(c.used(), 500);
+        assert_eq!(c.len(), 1);
+        c.insert(name(1), 100, CacheEntryKind::Input).unwrap();
+        assert_eq!(c.used(), 100);
+    }
+
+    #[test]
+    fn reinsert_never_evicts_itself() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 900, CacheEntryKind::Input).unwrap();
+        // Growing 900 -> 1000 must not evict name(1) to make room.
+        let evicted = c.insert(name(1), 1000, CacheEntryKind::Input).unwrap();
+        assert!(evicted.is_empty());
+        assert_eq!(c.used(), 1000);
+    }
+
+    #[test]
+    fn remove_frees_space_but_not_pinned() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 500, CacheEntryKind::Intermediate).unwrap();
+        c.pin(name(1)).unwrap();
+        assert!(c.remove(name(1)).is_err());
+        c.unpin(name(1)).unwrap();
+        assert_eq!(c.remove(name(1)).unwrap(), 500);
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn remove_missing_errors() {
+        let mut c = LocalCache::new(1000);
+        assert_eq!(c.remove(name(1)), Err(CacheError::Missing));
+    }
+
+    #[test]
+    fn peak_used_tracks_high_water() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 700, CacheEntryKind::Input).unwrap();
+        c.remove(name(1)).unwrap();
+        c.insert(name(2), 100, CacheEntryKind::Input).unwrap();
+        assert_eq!(c.peak_used(), 700);
+        assert_eq!(c.used(), 100);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 500, CacheEntryKind::Library).unwrap();
+        c.pin(name(1)).unwrap();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn used_by_kind_partitions() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 100, CacheEntryKind::Input).unwrap();
+        c.insert(name(2), 200, CacheEntryKind::Intermediate).unwrap();
+        c.insert(name(3), 300, CacheEntryKind::Library).unwrap();
+        assert_eq!(c.used_by_kind(CacheEntryKind::Input), 100);
+        assert_eq!(c.used_by_kind(CacheEntryKind::Intermediate), 200);
+        assert_eq!(c.used_by_kind(CacheEntryKind::Library), 300);
+    }
+
+    #[test]
+    fn touch_missing_returns_false() {
+        let mut c = LocalCache::new(10);
+        assert!(!c.touch(name(1)));
+    }
+}

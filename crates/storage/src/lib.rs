@@ -1,0 +1,26 @@
+//! # vine-storage — storage substrate
+//!
+//! The paper's storage layer (§II-D, §IV-A) has three tiers, all modeled
+//! here:
+//!
+//! * a **shared filesystem** serving the whole cluster — the legacy HDFS
+//!   spinning-disk cluster and its VAST NVMe replacement, captured by
+//!   [`SharedFs`] presets ([`SharedFs::hdfs`], [`SharedFs::vast`]);
+//! * **node-local disks** at each worker ([`DiskProfile`]), whose capacity
+//!   limits drive the Fig 11 cache-overflow failures;
+//! * TaskVine's **per-worker cache** ([`LocalCache`]) keyed by
+//!   content-derived [`CacheName`]s, with pinning and LRU eviction.
+//!
+//! The shared filesystem is a *parameter set* (latencies, per-stream and
+//! aggregate bandwidth); the engine in `vine-core` wires it into the network
+//! fabric so concurrent readers share its aggregate bandwidth fairly.
+
+pub mod cache;
+pub mod cachename;
+pub mod disk;
+pub mod sharedfs;
+
+pub use cache::{CacheEntryKind, CacheError, LocalCache};
+pub use cachename::CacheName;
+pub use disk::DiskProfile;
+pub use sharedfs::SharedFs;

@@ -1,0 +1,160 @@
+//! Shared (cluster-wide) filesystem models.
+//!
+//! §IV-A of the paper: the CMS group's 644 TB HDFS cluster on spinning disk
+//! (triple-replicated, throughput-oriented, high latency) was replaced by a
+//! 918 TB VAST NVMe parallel filesystem (low latency, POSIX). The paper's
+//! Table I shows this hardware change alone was worth only 1.05× — the
+//! model must therefore expose *both* per-access latency (where HDFS and
+//! VAST differ enormously) and aggregate bandwidth (where the difference is
+//! smaller than the manager-link bottleneck that actually dominated).
+//!
+//! A [`SharedFs`] is a parameter set. The simulation engine mounts it as a
+//! fabric endpoint: a read becomes `open_latency` + a network flow whose
+//! rate is capped by `per_stream_bw` and that shares `aggregate_bw` with
+//! all concurrent accesses.
+
+use vine_simcore::SimDur;
+
+use crate::disk::DiskProfile;
+
+/// Parameters of a cluster-wide shared filesystem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SharedFs {
+    /// Human-readable name ("hdfs", "vast", ...).
+    pub name: &'static str,
+    /// Cost of opening a file / resolving its metadata, seconds.
+    pub open_latency_s: f64,
+    /// Cost of one metadata operation (stat, directory lookup), seconds.
+    /// Python import storms issue thousands of these (§IV-B, Fig 10).
+    pub metadata_op_s: f64,
+    /// Maximum rate a single stream can sustain, bytes/second.
+    pub per_stream_bw: f64,
+    /// Aggregate bandwidth ceiling across all concurrent streams,
+    /// bytes/second.
+    pub aggregate_bw: f64,
+    /// Usable capacity, bytes.
+    pub capacity: u64,
+}
+
+impl SharedFs {
+    /// The legacy HDFS cluster: 644 TB of triple-replicated spinning disk
+    /// on commodity nodes. High aggregate throughput, high per-access
+    /// latency (NameNode round-trip + HDD seek), modest per-stream rate.
+    pub fn hdfs() -> Self {
+        let hdd = DiskProfile::spinning_hdd();
+        SharedFs {
+            name: "hdfs",
+            // NameNode RPC + block location + first seek.
+            open_latency_s: 35e-3,
+            metadata_op_s: 2.5e-3,
+            per_stream_bw: hdd.read_bw, // one block stream ~ one spindle
+            aggregate_bw: 12e9,         // many spindles in parallel
+            capacity: 644 * vine_simcore::units::TB / 3, // triple replication
+        }
+    }
+
+    /// The VAST NVMe parallel filesystem: 918 TB logical / 676 TB usable,
+    /// POSIX interface, NVMe latency.
+    pub fn vast() -> Self {
+        SharedFs {
+            name: "vast",
+            open_latency_s: 0.8e-3,
+            metadata_op_s: 0.15e-3,
+            per_stream_bw: 1.5e9,
+            aggregate_bw: 40e9,
+            capacity: 676 * vine_simcore::units::TB,
+        }
+    }
+
+    /// Time for the open/metadata phase of one file access.
+    pub fn open_time(&self) -> SimDur {
+        SimDur::from_secs_f64(self.open_latency_s)
+    }
+
+    /// Time for `n` metadata operations.
+    pub fn metadata_ops(&self, n: u64) -> SimDur {
+        SimDur::from_secs_f64(self.metadata_op_s * n as f64)
+    }
+
+    /// Lower-bound duration of a single isolated read of `bytes` (open +
+    /// stream at the per-stream cap). Under load the fabric stretches the
+    /// streaming phase; this is the contention-free floor.
+    pub fn isolated_read_time(&self, bytes: u64) -> SimDur {
+        self.open_time() + SimDur::from_secs_f64(bytes as f64 / self.per_stream_bw)
+    }
+
+    /// The per-stream rate when `n` streams are active: aggregate bandwidth
+    /// divided fairly, but never more than the per-stream cap.
+    pub fn stream_rate(&self, n: usize) -> f64 {
+        if n == 0 {
+            self.per_stream_bw
+        } else {
+            (self.aggregate_bw / n as f64).min(self.per_stream_bw)
+        }
+    }
+
+    /// Number of concurrent streams beyond which the aggregate ceiling,
+    /// not the per-stream cap, limits each stream.
+    pub fn saturation_streams(&self) -> usize {
+        (self.aggregate_bw / self.per_stream_bw).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_simcore::units::GB;
+
+    #[test]
+    fn vast_latency_much_lower_than_hdfs() {
+        let hdfs = SharedFs::hdfs();
+        let vast = SharedFs::vast();
+        assert!(vast.open_latency_s < hdfs.open_latency_s / 20.0);
+        assert!(vast.metadata_op_s < hdfs.metadata_op_s / 10.0);
+    }
+
+    #[test]
+    fn isolated_read_dominated_by_stream_for_large_files() {
+        let vast = SharedFs::vast();
+        let t = vast.isolated_read_time(15 * GB);
+        assert!((t.as_secs_f64() - (0.8e-3 + 10.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stream_rate_fair_shares_aggregate() {
+        let fs = SharedFs::vast();
+        assert_eq!(fs.stream_rate(1), fs.per_stream_bw);
+        let n = 400;
+        assert!((fs.stream_rate(n) - fs.aggregate_bw / n as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn stream_rate_zero_streams_is_cap() {
+        let fs = SharedFs::hdfs();
+        assert_eq!(fs.stream_rate(0), fs.per_stream_bw);
+    }
+
+    #[test]
+    fn saturation_point_consistent() {
+        let fs = SharedFs::vast();
+        let sat = fs.saturation_streams();
+        assert!(fs.stream_rate(sat.saturating_sub(1).max(1)) <= fs.per_stream_bw);
+        assert!(fs.stream_rate(sat + 1) < fs.per_stream_bw);
+    }
+
+    #[test]
+    fn hdfs_capacity_reflects_replication() {
+        // 644 TB raw / 3x replication.
+        assert!(SharedFs::hdfs().capacity < 250 * vine_simcore::units::TB);
+    }
+
+    #[test]
+    fn metadata_storm_cost_differs_by_fs() {
+        // A Python import issuing 2000 metadata ops: seconds on HDFS,
+        // sub-second on VAST. This asymmetry drives Fig 10.
+        let hdfs_cost = SharedFs::hdfs().metadata_ops(2000);
+        let vast_cost = SharedFs::vast().metadata_ops(2000);
+        assert!(hdfs_cost.as_secs_f64() > 4.0);
+        assert!(vast_cost.as_secs_f64() < 0.5);
+    }
+}

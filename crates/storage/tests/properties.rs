@@ -1,0 +1,140 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use vine_storage::{CacheEntryKind, CacheName, LocalCache};
+
+/// Random cache operations.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { id: u32, size: u64 },
+    Touch { id: u32 },
+    Pin { id: u32 },
+    Unpin { id: u32 },
+    Remove { id: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..20, 1u64..400).prop_map(|(id, size)| Op::Insert { id, size }),
+        (0u32..20).prop_map(|id| Op::Touch { id }),
+        (0u32..20).prop_map(|id| Op::Pin { id }),
+        (0u32..20).prop_map(|id| Op::Unpin { id }),
+        (0u32..20).prop_map(|id| Op::Remove { id }),
+    ]
+}
+
+proptest! {
+    /// Under any operation sequence the cache never exceeds capacity, its
+    /// `used()` equals the sum of resident sizes, and pinned entries are
+    /// never evicted.
+    #[test]
+    fn cache_invariants(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+        let capacity = 1000u64;
+        let mut cache = LocalCache::new(capacity);
+        let mut pins: std::collections::HashMap<u32, u32> = Default::default();
+
+        for op in ops {
+            match op {
+                Op::Insert { id, size } => {
+                    let name = CacheName::for_dataset_file("p", id);
+                    let pinned_before: Vec<u32> = pins
+                        .iter()
+                        .filter(|&(_, &c)| c > 0)
+                        .map(|(&i, _)| i)
+                        .collect();
+                    match cache.insert(name, size, CacheEntryKind::Input) {
+                        Ok(evicted) => {
+                            for v in &evicted {
+                                // No pinned entry may be evicted.
+                                for &p in &pinned_before {
+                                    let pname = CacheName::for_dataset_file("p", p);
+                                    prop_assert_ne!(*v, pname, "evicted pinned entry {}", p);
+                                }
+                            }
+                        }
+                        Err(_) => { /* WontFit is legal; state unchanged */ }
+                    }
+                }
+                Op::Touch { id } => {
+                    cache.touch(CacheName::for_dataset_file("p", id));
+                }
+                Op::Pin { id } => {
+                    let name = CacheName::for_dataset_file("p", id);
+                    if cache.pin(name).is_ok() {
+                        *pins.entry(id).or_insert(0) += 1;
+                    }
+                }
+                Op::Unpin { id } => {
+                    let entry = pins.entry(id).or_insert(0);
+                    if *entry > 0 {
+                        let name = CacheName::for_dataset_file("p", id);
+                        prop_assert!(cache.unpin(name).is_ok());
+                        *entry -= 1;
+                    }
+                }
+                Op::Remove { id } => {
+                    let name = CacheName::for_dataset_file("p", id);
+                    let was_pinned = cache.is_pinned(name);
+                    let existed = cache.contains(name);
+                    let r = cache.remove(name);
+                    if existed && !was_pinned {
+                        prop_assert!(r.is_ok());
+                        pins.remove(&id);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+            }
+
+            // Global invariants after every op.
+            prop_assert!(cache.used() <= capacity, "over capacity");
+            let sum: u64 = cache.iter().map(|(_, s, _)| s).sum();
+            prop_assert_eq!(cache.used(), sum, "used() out of sync with entries");
+            prop_assert!(cache.peak_used() >= cache.used());
+            // Every entry the model thinks is pinned must still be resident.
+            for (&id, &count) in &pins {
+                if count > 0 {
+                    let name = CacheName::for_dataset_file("p", id);
+                    prop_assert!(cache.contains(name), "pinned {} missing", id);
+                    prop_assert!(cache.is_pinned(name));
+                }
+            }
+        }
+    }
+
+    /// Cachenames are collision-free across distinct (dataset, index) pairs
+    /// in practice-sized samples.
+    #[test]
+    fn cachenames_injective(pairs in proptest::collection::hash_set((0u32..1000, 0u32..1000), 0..200)) {
+        let names: std::collections::HashSet<_> = pairs
+            .iter()
+            .map(|&(d, f)| CacheName::for_dataset_file(&format!("d{d}"), f))
+            .collect();
+        prop_assert_eq!(names.len(), pairs.len());
+    }
+
+    /// Insert of a fitting file into an unpinned cache always succeeds.
+    #[test]
+    fn fitting_insert_succeeds(
+        sizes in proptest::collection::vec(1u64..500, 1..50),
+        new_size in 1u64..1000,
+    ) {
+        let mut cache = LocalCache::new(1000);
+        for (i, &s) in sizes.iter().enumerate() {
+            if s <= 1000 {
+                let _ = cache.insert(
+                    CacheName::for_dataset_file("x", i as u32),
+                    s,
+                    CacheEntryKind::Intermediate,
+                );
+            }
+        }
+        // Nothing pinned, new_size <= capacity: must succeed.
+        let r = cache.insert(
+            CacheName::for_dataset_file("y", 0),
+            new_size,
+            CacheEntryKind::Intermediate,
+        );
+        prop_assert!(r.is_ok());
+    }
+}

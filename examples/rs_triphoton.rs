@@ -1,0 +1,86 @@
+//! RS-TriPhoton — run the three-photon resonance search for real, then
+//! demonstrate the Fig 11 reduction-shaping lesson in simulation.
+//!
+//! Part 1 executes the actual RS-TriPhoton selection over synthetic
+//! signal-injected datasets on the threaded executor and prints the
+//! tri-photon mass spectrum (the resonance peak should stand out).
+//!
+//! Part 2 replays the paper's Fig 11 experience on the simulated cluster:
+//! the same workflow with a single-node reduction overloads worker disks,
+//! while the tree-shaped reduction completes cleanly.
+//!
+//! Run with: `cargo run --release --example rs_triphoton`
+
+use reshaping_hep::analysis::{ReductionShape, TriPhotonProcessor, WorkloadSpec};
+use reshaping_hep::cluster::{ClusterSpec, WorkerSpec};
+use reshaping_hep::core::{Engine, EngineConfig};
+use reshaping_hep::data::Dataset;
+use reshaping_hep::exec::{ExecMode, Executor};
+use reshaping_hep::simcore::units::{fmt_bytes, gbit_per_sec, KB, MB};
+
+fn main() {
+    // ---- Part 1: the real analysis -------------------------------------
+    let mut datasets: Vec<Dataset> = (0..4)
+        .map(|i| Dataset::synthesize(format!("triphoton.ds{i}"), 30 * MB, 2 * KB, 4_000, 5))
+        .collect();
+    for ds in &mut datasets {
+        ds.generator.triphoton_signal_fraction = 0.02;
+        ds.generator.resonance_mass = 750.0;
+    }
+
+    let executor = Executor { mode: ExecMode::Serverless, ..Executor::default() };
+    let report = executor.run(&TriPhotonProcessor::default(), &datasets);
+    let m3 = report.final_result.h1("triphoton_mass").expect("spectrum");
+
+    println!(
+        "RS-TriPhoton: {} events in {:?}; {} tri-photon candidates\n",
+        report.events_processed,
+        report.makespan,
+        m3.total() as u64
+    );
+    println!("tri-photon invariant mass (740-770 GeV window should peak):");
+    let max = m3.counts().iter().cloned().fold(0.0, f64::max).max(1.0);
+    for i in (40..100).step_by(2) {
+        let count: f64 = m3.counts()[i..i + 2].iter().sum();
+        let bar = "#".repeat((count / (2.0 * max) * 120.0) as usize);
+        println!("{:>6.0} GeV | {bar} {count}", m3.bin_lo(i));
+    }
+
+    // ---- Part 2: the Fig 11 reduction-shaping lesson --------------------
+    println!("\n--- reduction shaping (Fig 11), simulated at 1/5 scale ---\n");
+    let workers = 8;
+    let scale = 5;
+    for (label, shape) in [
+        ("single-node reduction", ReductionShape::SingleNode),
+        ("tree reduction (arity 8)", ReductionShape::Tree { arity: 8 }),
+    ] {
+        let spec = WorkloadSpec::rs_triphoton().scaled_down(scale).with_reduction(shape);
+        let mut cluster = ClusterSpec {
+            workers,
+            worker: WorkerSpec::rs_triphoton(),
+            manager_link_bw: gbit_per_sec(12.0),
+        };
+        cluster.worker.disk_bytes /= scale as u64; // scale disks with the data
+        let mut cfg = EngineConfig::stack4(cluster, 7);
+        cfg.trace.cache = true;
+        let r = Engine::new(cfg, spec.to_graph()).run();
+        let peak = r
+            .cache_series
+            .as_ref()
+            .map(|s| s.iter().map(|ts| ts.max_value() as u64).max().unwrap_or(0))
+            .unwrap_or(0);
+        let runtime = if r.completed() {
+            format!("{:>6.0}s", r.makespan_secs())
+        } else {
+            "   DNF".to_string()
+        };
+        println!(
+            "{label:<26} completed={:<5} runtime={runtime}  peak worker cache={:<9}  overflow failures={}",
+            r.completed(),
+            fmt_bytes(peak),
+            r.stats.cache_overflow_failures
+        );
+    }
+    println!("\nThe tree keeps per-worker storage bounded; the single-node shape");
+    println!("concentrates a whole dataset's partials on one worker (paper: 700 GB+).");
+}

@@ -1,0 +1,53 @@
+//! Serverless execution for real — measure the paper's §IV-B claim on
+//! your own CPU.
+//!
+//! Runs the identical DV3 analysis twice on the threaded executor:
+//! once as conventional tasks (every task rebuilds its "imports") and
+//! once as serverless function calls against per-worker libraries.
+//! Physics results must match exactly; task overhead must not.
+//!
+//! Run with: `cargo run --release --example serverless_functions`
+
+use reshaping_hep::analysis::Dv3Processor;
+use reshaping_hep::data::Dataset;
+use reshaping_hep::exec::{ExecMode, Executor, LibraryState};
+use reshaping_hep::simcore::units::{KB, MB};
+
+fn main() {
+    let dataset = Dataset::synthesize("dv3.demo", 40 * MB, 2 * KB, 2_500, 5);
+    println!(
+        "workload: {} chunks over {} events; library work = {} table entries\n",
+        dataset.chunk_count(),
+        dataset.total_events(),
+        LibraryState::DEFAULT_WORK
+    );
+
+    let processor = Dv3Processor::default();
+    let mut results = Vec::new();
+    for (label, mode) in [("standard tasks", ExecMode::Standard), ("function calls", ExecMode::Serverless)] {
+        let executor = Executor { mode, ..Executor::default() };
+        let report = executor.run(&processor, std::slice::from_ref(&dataset));
+        println!("{label}:");
+        println!("  makespan          {:>12?}", report.makespan);
+        println!("  mean task time    {:>12?}", report.mean_task_time());
+        println!("  library builds    {:>12}", report.library_builds);
+        println!("  tasks executed    {:>12}", report.tasks_executed);
+        println!();
+        results.push(report);
+    }
+
+    let speedup = results[0].mean_task_time().as_secs_f64()
+        / results[1].mean_task_time().as_secs_f64().max(1e-12);
+    println!("per-task speedup from serverless execution: {speedup:.2}x");
+
+    assert_eq!(
+        results[0].final_result, results[1].final_result,
+        "execution paradigm must not change the physics"
+    );
+    let h = results[0].final_result.h1("dijet_mass").expect("dijet mass");
+    println!(
+        "physics identical in both modes: {} dijet candidates, mean mass {:.1} GeV",
+        h.total() as u64,
+        h.mean().unwrap_or(0.0)
+    );
+}

@@ -1,0 +1,25 @@
+#!/bin/bash
+# Regenerate every table/figure at paper scale. Writes console output to
+# results/logs/ and CSVs to results/.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results/logs
+run() {
+  name=$1; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  ./target/release/"$name" "$@" > results/logs/"$name".log 2>&1
+  echo "    exit=$? ($(date +%H:%M:%S))"
+}
+run table1
+run table2
+run fig7
+run fig8
+run fig10
+run fig11
+run fig12
+run fig13
+run fig14a
+run fig14b
+run fig15
+run ablations
+echo "ALL EXPERIMENTS DONE"

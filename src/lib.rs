@@ -1,0 +1,31 @@
+//! # reshaping-hep — umbrella crate for the TaskVine reproduction
+//!
+//! Reproduction of *Reshaping High Energy Physics Applications for
+//! Near-Interactive Execution Using TaskVine* (SC 2024). This crate
+//! re-exports the workspace's public API under one roof and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! The layered architecture mirrors the paper's application stack (§II):
+//!
+//! | Paper layer | Crate |
+//! |---|---|
+//! | Application (Coffea, DV3, RS-TriPhoton) | [`analysis`] |
+//! | DAG manager (Dask) | [`dag`] |
+//! | Scheduler (Work Queue → TaskVine) | [`core`] |
+//! | Real threaded execution | [`exec`] |
+//! | Storage (HDFS → VAST, node-local caches) | [`storage`] |
+//! | Network fabric | [`net`] |
+//! | Cluster (HTCondor workers, preemption) | [`cluster`] |
+//! | Synthetic HEP data (ROOT-like columns) | [`data`] |
+//! | Discrete-event kernel | [`simcore`] |
+
+pub use vine_analysis as analysis;
+pub use vine_cluster as cluster;
+pub use vine_core as core;
+pub use vine_dag as dag;
+pub use vine_data as data;
+pub use vine_exec as exec;
+pub use vine_net as net;
+pub use vine_simcore as simcore;
+pub use vine_storage as storage;

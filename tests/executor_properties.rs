@@ -1,0 +1,79 @@
+//! Property-based integration tests: the threaded executor is a correct,
+//! deterministic evaluator of the analysis for arbitrary dataset shapes.
+
+use proptest::prelude::*;
+use reshaping_hep::analysis::{run_processor_pipeline, Dv3Processor};
+use reshaping_hep::data::Dataset;
+use reshaping_hep::exec::{ExecMode, Executor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any dataset geometry, thread count, arity, and mode, the
+    /// executor's bin contents equal the sequential reference's.
+    #[test]
+    fn executor_equals_reference(
+        n_datasets in 1usize..4,
+        events_per_file in 50u64..400,
+        chunks_per_file in 1u32..6,
+        total_kb in 50u64..400,
+        threads in 1usize..6,
+        arity in 2usize..8,
+        serverless in any::<bool>(),
+    ) {
+        let datasets: Vec<Dataset> = (0..n_datasets)
+            .map(|i| {
+                Dataset::synthesize(
+                    format!("prop.ds{i}"),
+                    total_kb * 1000,
+                    1000,
+                    events_per_file,
+                    chunks_per_file,
+                )
+            })
+            .collect();
+        let p = Dv3Processor::default();
+
+        let batches: Vec<_> = datasets
+            .iter()
+            .flat_map(|d| d.chunks().map(|c| d.materialize(c)).collect::<Vec<_>>())
+            .collect();
+        let expect = run_processor_pipeline(&p, &batches);
+
+        let exec = Executor {
+            threads,
+            mode: if serverless { ExecMode::Serverless } else { ExecMode::Standard },
+            import_work: 1_000,
+            arity,
+        };
+        let got = exec.run(&p, &datasets);
+
+        prop_assert_eq!(got.events_processed, expect.events_processed);
+        for name in ["dijet_mass", "met", "n_jets"] {
+            let (a, b) = (got.final_result.h1(name).unwrap(), expect.h1(name).unwrap());
+            prop_assert_eq!(a.counts(), b.counts(), "{} differs", name);
+            prop_assert_eq!(a.total(), b.total());
+        }
+        // Exactly chunks + reduction tasks executed.
+        let chunks: usize = datasets.iter().map(|d| d.chunk_count()).sum();
+        prop_assert!(got.tasks_executed as usize >= chunks);
+    }
+
+    /// Two executor runs with the same inputs are identical regardless of
+    /// scheduling nondeterminism (the plan fixes all accumulation orders).
+    #[test]
+    fn executor_is_deterministic(
+        threads_a in 1usize..6,
+        threads_b in 1usize..6,
+        total_kb in 50u64..300,
+    ) {
+        let ds = vec![Dataset::synthesize("det.ds", total_kb * 1000, 1000, 120, 3)];
+        let p = Dv3Processor::default();
+        let run = |threads| {
+            Executor { threads, mode: ExecMode::Serverless, import_work: 1_000, arity: 3 }
+                .run(&p, &ds)
+                .final_result
+        };
+        prop_assert_eq!(run(threads_a), run(threads_b));
+    }
+}

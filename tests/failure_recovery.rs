@@ -1,0 +1,111 @@
+//! Failure injection: opportunistic preemption, cache exhaustion, and the
+//! Dask.Distributed instability rule, end to end.
+
+use reshaping_hep::analysis::{ReductionShape, WorkloadSpec};
+use reshaping_hep::cluster::{ClusterSpec, PreemptionModel};
+use reshaping_hep::core::{Engine, EngineConfig};
+use reshaping_hep::dag::{TaskGraph, TaskKind};
+use reshaping_hep::simcore::units::{GB, MB};
+
+#[test]
+fn survives_paper_grade_preemption() {
+    // The paper's campus pool preempts ~1% of workers per run; recovery
+    // must be invisible apart from re-executions.
+    let spec = WorkloadSpec::dv3_large().scaled_down(20);
+    let cfg = EngineConfig::stack4(ClusterSpec::standard(10), 3);
+    let r = Engine::new(cfg, spec.to_graph()).run();
+    assert!(r.completed(), "{:?}", r.outcome);
+    assert!(r.stats.task_executions >= r.stats.tasks_total as u64);
+}
+
+#[test]
+fn survives_preemption_storm() {
+    // Two orders of magnitude more preemption than the paper's pool:
+    // every worker dies every ~2 minutes on average.
+    let spec = WorkloadSpec::dv3_large().scaled_down(40);
+    let mut cfg = EngineConfig::stack4(ClusterSpec::standard(5), 21);
+    cfg.preemption = PreemptionModel { rate_per_sec: 1.0 / 100.0 };
+    let r = Engine::new(cfg, spec.to_graph()).run();
+    assert!(r.completed(), "{:?}", r.outcome);
+    assert!(r.stats.preemptions > 0, "storm produced no preemptions");
+    assert!(
+        r.stats.task_executions > r.stats.tasks_total as u64,
+        "no lineage re-runs under heavy preemption"
+    );
+}
+
+#[test]
+fn preemption_costs_time_but_not_correctness() {
+    let spec = WorkloadSpec::dv3_large().scaled_down(40);
+    let quiet = {
+        let cfg = EngineConfig::stack4(ClusterSpec::standard(5), 21).deterministic();
+        Engine::new(cfg, spec.to_graph()).run()
+    };
+    let stormy = {
+        let mut cfg = EngineConfig::stack4(ClusterSpec::standard(5), 21);
+        cfg.preemption = PreemptionModel { rate_per_sec: 1.0 / 100.0 };
+        Engine::new(cfg, spec.to_graph()).run()
+    };
+    assert!(quiet.completed() && stormy.completed());
+    assert!(
+        stormy.makespan_secs() > quiet.makespan_secs(),
+        "storm {} not slower than quiet {}",
+        stormy.makespan_secs(),
+        quiet.makespan_secs()
+    );
+}
+
+#[test]
+fn workqueue_also_recovers_from_preemption() {
+    let spec = WorkloadSpec::dv3_large().scaled_down(40);
+    let mut cfg = EngineConfig::stack2(ClusterSpec::standard(5), 17);
+    cfg.preemption = PreemptionModel { rate_per_sec: 1.0 / 200.0 };
+    let r = Engine::new(cfg, spec.to_graph()).run();
+    assert!(r.completed(), "{:?}", r.outcome);
+}
+
+#[test]
+fn impossible_reduction_fails_cleanly_not_forever() {
+    // A single-node reduction whose inputs exceed every worker's disk can
+    // never succeed; the engine must stop (crash-loop guard), not spin.
+    let mut g = TaskGraph::new();
+    let mut partials = Vec::new();
+    for i in 0..100 {
+        let f = g.add_external_file(format!("c{i}"), MB);
+        let (_, outs) = g.add_task(format!("p{i}"), TaskKind::Process, vec![f], &[GB], 0.1);
+        partials.push(outs[0]);
+    }
+    g.add_task("acc", TaskKind::Accumulate, partials, &[MB], 1.0);
+    let mut cluster = ClusterSpec::standard(4);
+    cluster.worker.disk_bytes = 20 * GB; // 100 GB of pinned inputs never fit
+    let cfg = EngineConfig::stack4(cluster, 5).deterministic();
+    let r = Engine::new(cfg, g).run();
+    assert!(!r.completed());
+    assert!(r.stats.cache_overflow_failures > 0);
+}
+
+#[test]
+fn rewriting_the_same_workflow_makes_it_feasible() {
+    // Same data, tree-shaped: fits comfortably.
+    let spec_tree = WorkloadSpec::rs_triphoton()
+        .scaled_down(40)
+        .with_reduction(ReductionShape::Tree { arity: 4 });
+    let mut cluster = ClusterSpec::standard(4);
+    cluster.worker.disk_bytes = 60 * GB;
+    let cfg = EngineConfig::stack4(cluster, 5).deterministic();
+    let r = Engine::new(cfg, spec_tree.to_graph()).run();
+    assert!(r.completed(), "{:?}", r.outcome);
+    assert_eq!(r.stats.cache_overflow_failures, 0);
+}
+
+#[test]
+fn dask_instability_rule_applies_only_at_scale() {
+    let small = WorkloadSpec::dv3_small().scaled_down(10);
+    let cfg = EngineConfig::dask_distributed(ClusterSpec::standard(4), 9);
+    let r = Engine::new(cfg.clone(), small.to_graph()).run();
+    assert!(r.completed(), "small workload must run: {:?}", r.outcome);
+
+    let large = WorkloadSpec::dv3_large(); // 1.2 TB > instability threshold
+    let r = Engine::new(cfg, large.to_graph()).run();
+    assert!(!r.completed(), "TB-scale Dask run must fail per the paper");
+}

@@ -1,0 +1,108 @@
+//! The analysis answer must not depend on how the workflow executes:
+//! sequential reference, threaded standard tasks, threaded serverless,
+//! any thread count, any reduction arity — same histograms.
+
+use reshaping_hep::analysis::{run_processor_pipeline, Dv3Processor, Processor, TriPhotonProcessor};
+use reshaping_hep::data::{Dataset, HistogramSet};
+use reshaping_hep::exec::{ExecMode, Executor};
+use reshaping_hep::simcore::units::KB;
+
+fn datasets(n: usize, events_each: u64) -> Vec<Dataset> {
+    (0..n)
+        .map(|i| Dataset::synthesize(format!("itest.ds{i}"), events_each * KB, KB, 150, 3))
+        .collect()
+}
+
+fn reference<P: Processor>(p: &P, dss: &[Dataset]) -> HistogramSet {
+    let batches: Vec<_> = dss
+        .iter()
+        .flat_map(|d| d.chunks().map(|c| d.materialize(c)).collect::<Vec<_>>())
+        .collect();
+    run_processor_pipeline(p, &batches)
+}
+
+/// Exact comparison of integer-weight observables; tolerant comparison of
+/// order-sensitive floating sums (weighted means).
+fn assert_physics_equal(a: &HistogramSet, b: &HistogramSet) {
+    assert_eq!(a.events_processed, b.events_processed);
+    let names_a: Vec<&str> = a.h1_names().collect();
+    let names_b: Vec<&str> = b.h1_names().collect();
+    assert_eq!(names_a, names_b);
+    for name in names_a {
+        let (ha, hb) = (a.h1(name).unwrap(), b.h1(name).unwrap());
+        assert_eq!(ha.counts(), hb.counts(), "{name} bin contents differ");
+        assert_eq!(ha.underflow(), hb.underflow(), "{name} underflow");
+        assert_eq!(ha.overflow(), hb.overflow(), "{name} overflow");
+        match (ha.mean(), hb.mean()) {
+            (Some(ma), Some(mb)) => {
+                assert!((ma - mb).abs() < 1e-9 * ma.abs().max(1.0), "{name} mean")
+            }
+            (ma, mb) => assert_eq!(ma.is_some(), mb.is_some()),
+        }
+    }
+}
+
+#[test]
+fn dv3_executor_matches_reference_in_all_modes() {
+    let dss = datasets(2, 500);
+    let p = Dv3Processor::default();
+    let expect = reference(&p, &dss);
+    for mode in [ExecMode::Standard, ExecMode::Serverless] {
+        for threads in [1, 4] {
+            let exec = Executor { threads, mode, import_work: 10_000, arity: 4 };
+            let got = exec.run(&p, &dss);
+            assert_physics_equal(&got.final_result, &expect);
+        }
+    }
+}
+
+#[test]
+fn triphoton_executor_matches_reference() {
+    let mut dss = datasets(2, 400);
+    for d in &mut dss {
+        d.generator.triphoton_signal_fraction = 0.05;
+    }
+    let p = TriPhotonProcessor::default();
+    let expect = reference(&p, &dss);
+    let exec = Executor { threads: 6, mode: ExecMode::Serverless, import_work: 10_000, arity: 2 };
+    let got = exec.run(&p, &dss);
+    assert_physics_equal(&got.final_result, &expect);
+    // There is actual signal in the answer.
+    assert!(got.final_result.h1("triphoton_mass").unwrap().total() > 10.0);
+}
+
+#[test]
+fn reduction_arity_does_not_change_results() {
+    let dss = datasets(3, 300);
+    let p = Dv3Processor::default();
+    let mut previous: Option<HistogramSet> = None;
+    for arity in [2, 3, 8, 64] {
+        let exec = Executor { threads: 3, mode: ExecMode::Serverless, import_work: 5_000, arity };
+        let got = exec.run(&p, &dss).final_result;
+        if let Some(prev) = &previous {
+            assert_physics_equal(&got, prev);
+        }
+        previous = Some(got);
+    }
+}
+
+#[test]
+fn simulated_and_real_plans_share_structure() {
+    // The workload spec used by the simulator and the datasets used by the
+    // real executor describe the same decomposition: process tasks ==
+    // chunks.
+    use reshaping_hep::analysis::WorkloadSpec;
+    let spec = WorkloadSpec::dv3_small().scaled_down(10);
+    let graph = spec.to_graph();
+    let (process, _, _) = graph.kind_counts();
+    let datasets = spec.to_datasets();
+    let chunks: usize = datasets.iter().map(|d| d.chunk_count()).sum();
+    // Chunk layout rounds up to whole files of 5 chunks per dataset;
+    // allow that quantization slack.
+    let diff = (process as i64 - chunks as i64).abs();
+    let slack = (spec.n_datasets * 5) as i64;
+    assert!(
+        diff <= slack,
+        "graph has {process} process tasks but datasets have {chunks} chunks"
+    );
+}
