@@ -58,8 +58,13 @@ impl Processor for Dv3Processor {
 
         #[allow(clippy::needless_range_loop)] // five parallel jagged views
         for ev in 0..batch.len() {
-            let (pts, etas, phis, ms, tags) =
-                (pt.event(ev), eta.event(ev), phi.event(ev), mass.event(ev), btag.event(ev));
+            let (pts, etas, phis, ms, tags) = (
+                pt.event(ev),
+                eta.event(ev),
+                phi.event(ev),
+                mass.event(ev),
+                btag.event(ev),
+            );
 
             // Select analysis jets.
             let selected: Vec<usize> = (0..pts.len())
@@ -174,9 +179,7 @@ mod tests {
             ..Dv3Processor::default()
         }
         .process(&batch);
-        assert!(
-            tight.h1("dijet_mass").unwrap().total() < loose.h1("dijet_mass").unwrap().total()
-        );
+        assert!(tight.h1("dijet_mass").unwrap().total() < loose.h1("dijet_mass").unwrap().total());
     }
 
     #[test]

@@ -21,7 +21,12 @@ impl PtEtaPhiM {
 
     /// A massless four-vector (photon).
     pub fn massless(pt: f64, eta: f64, phi: f64) -> Self {
-        PtEtaPhiM { pt, eta, phi, m: 0.0 }
+        PtEtaPhiM {
+            pt,
+            eta,
+            phi,
+            m: 0.0,
+        }
     }
 
     /// Cartesian momentum x-component.

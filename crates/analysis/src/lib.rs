@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-analysis — the application layer (Coffea's role)
 //!
 //! The paper's applications are Coffea programs: user-defined *processor*

@@ -25,7 +25,10 @@ pub struct TriPhotonProcessor {
 
 impl Default for TriPhotonProcessor {
     fn default() -> Self {
-        TriPhotonProcessor { photon_pt_min: 25.0, photon_eta_max: 2.5 }
+        TriPhotonProcessor {
+            photon_pt_min: 25.0,
+            photon_eta_max: 2.5,
+        }
     }
 }
 
@@ -136,11 +139,18 @@ mod tests {
         // equal pt=100, eta=0: E=300, sum p = 0 -> m = 300.
         let mut b = EventBatch::new(1);
         let third = 2.0 * std::f64::consts::PI / 3.0;
-        b.set_jagged("Photon_pt", Jagged::from_lists(vec![vec![100.0, 100.0, 100.0]]));
+        b.set_jagged(
+            "Photon_pt",
+            Jagged::from_lists(vec![vec![100.0, 100.0, 100.0]]),
+        );
         b.set_jagged("Photon_eta", Jagged::from_lists(vec![vec![0.0, 0.0, 0.0]]));
         b.set_jagged(
             "Photon_phi",
-            Jagged::from_lists(vec![vec![0.0, third, 2.0 * third - std::f64::consts::PI * 2.0]]),
+            Jagged::from_lists(vec![vec![
+                0.0,
+                third,
+                2.0 * third - std::f64::consts::PI * 2.0,
+            ]]),
         );
         let out = TriPhotonProcessor::default().process(&b);
         let h = out.h1("triphoton_mass").unwrap();
@@ -150,8 +160,14 @@ mod tests {
 
     #[test]
     fn signal_shifts_triphoton_mass_upward() {
-        let bkg_gen = EventGenerator { triphoton_signal_fraction: 0.0, ..Default::default() };
-        let sig_gen = EventGenerator { triphoton_signal_fraction: 1.0, ..Default::default() };
+        let bkg_gen = EventGenerator {
+            triphoton_signal_fraction: 0.0,
+            ..Default::default()
+        };
+        let sig_gen = EventGenerator {
+            triphoton_signal_fraction: 1.0,
+            ..Default::default()
+        };
         let p = TriPhotonProcessor::default();
         let bkg = p.process(&bkg_gen.generate("b", 0, 0, 4000));
         let sig = p.process(&sig_gen.generate("s", 0, 0, 4000));

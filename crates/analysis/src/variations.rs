@@ -47,8 +47,14 @@ impl Variation {
     /// The conventional ±2 % jet-energy-scale pair.
     pub fn jes_pair() -> Vec<Variation> {
         vec![
-            Variation::JetEnergyScale { label: "jesUp", shift: 0.02 },
-            Variation::JetEnergyScale { label: "jesDown", shift: -0.02 },
+            Variation::JetEnergyScale {
+                label: "jesUp",
+                shift: 0.02,
+            },
+            Variation::JetEnergyScale {
+                label: "jesDown",
+                shift: -0.02,
+            },
         ]
     }
 
@@ -60,7 +66,10 @@ impl Variation {
         };
         let mut out = EventBatch::new(batch.len());
         for name in batch.scalar_names() {
-            out.set_scalar(name.to_string(), batch.scalar(name).expect("listed").to_vec());
+            out.set_scalar(
+                name.to_string(),
+                batch.scalar(name).expect("listed").to_vec(),
+            );
         }
         for name in batch.jagged_names() {
             let col = batch.jagged(name).expect("listed");
@@ -142,7 +151,10 @@ mod tests {
     #[test]
     fn apply_scales_only_the_target_column() {
         let b = batch(100);
-        let var = Variation::JetEnergyScale { label: "jesUp", shift: 0.02 };
+        let var = Variation::JetEnergyScale {
+            label: "jesUp",
+            shift: 0.02,
+        };
         let shifted = var.apply(&b);
         let orig = b.jagged("Jet_pt").unwrap().values();
         let new = shifted.jagged("Jet_pt").unwrap().values();
@@ -171,8 +183,14 @@ mod tests {
         let p = VariedProcessor::new(
             Dv3Processor::default(),
             vec![
-                Variation::JetEnergyScale { label: "up", shift: 0.1 },
-                Variation::JetEnergyScale { label: "down", shift: -0.1 },
+                Variation::JetEnergyScale {
+                    label: "up",
+                    shift: 0.1,
+                },
+                Variation::JetEnergyScale {
+                    label: "down",
+                    shift: -0.1,
+                },
             ],
         );
         let out = p.process(&batch(4000));

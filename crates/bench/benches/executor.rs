@@ -15,9 +15,17 @@ fn bench_modes(c: &mut Criterion) {
     let dss = datasets();
     let proc = Dv3Processor::default();
     let mut group = c.benchmark_group("executor");
-    for (label, mode) in [("standard_tasks", ExecMode::Standard), ("function_calls", ExecMode::Serverless)] {
+    for (label, mode) in [
+        ("standard_tasks", ExecMode::Standard),
+        ("function_calls", ExecMode::Serverless),
+    ] {
         group.bench_function(label, |b| {
-            let exec = Executor { threads: 2, mode, import_work: 200_000, arity: 4 };
+            let exec = Executor {
+                threads: 2,
+                mode,
+                import_work: 200_000,
+                arity: 4,
+            };
             b.iter(|| black_box(exec.run(&proc, &dss).tasks_executed))
         });
     }

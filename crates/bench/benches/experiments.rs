@@ -3,7 +3,9 @@
 //! are the `vine-bench` binaries; see EXPERIMENTS.md).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use vine_bench::experiments::{fig10, fig11, fig12, fig13, fig14a, fig14b, fig15, fig7, fig8, table1, table2};
+use vine_bench::experiments::{
+    fig10, fig11, fig12, fig13, fig14a, fig14b, fig15, fig7, fig8, table1, table2,
+};
 
 fn bench_table1(c: &mut Criterion) {
     c.bench_function("table1/stack_evolution_1_40", |b| {
@@ -12,7 +14,9 @@ fn bench_table1(c: &mut Criterion) {
 }
 
 fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2/workload_graphs", |b| b.iter(|| black_box(table2::run())));
+    c.bench_function("table2/workload_graphs", |b| {
+        b.iter(|| black_box(table2::run()))
+    });
 }
 
 fn bench_fig7(c: &mut Criterion) {

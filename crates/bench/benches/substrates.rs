@@ -30,16 +30,26 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_fairshare(c: &mut Criterion) {
     // The Work Queue pattern at full scale: 400 flows over one uplink.
     let flows: Vec<FlowSpec> = (0..400)
-        .map(|w| FlowSpec { egress_link: 0, ingress_link: 1 + w, rate_cap: f64::INFINITY })
+        .map(|w| FlowSpec {
+            egress_link: 0,
+            ingress_link: 1 + w,
+            rate_cap: f64::INFINITY,
+        })
         .collect();
-    let caps: Vec<f64> = std::iter::once(1.5e9).chain((0..400).map(|_| 1.25e9)).collect();
+    let caps: Vec<f64> = std::iter::once(1.5e9)
+        .chain((0..400).map(|_| 1.25e9))
+        .collect();
     c.bench_function("fairshare/manager_fanout_400", |b| {
         b.iter(|| black_box(max_min_fair(black_box(&flows), black_box(&caps))))
     });
 
     // The TaskVine pattern: disjoint peer pairs.
     let peer_flows: Vec<FlowSpec> = (0..200)
-        .map(|i| FlowSpec { egress_link: 2 * i, ingress_link: 2 * i + 1, rate_cap: f64::INFINITY })
+        .map(|i| FlowSpec {
+            egress_link: 2 * i,
+            ingress_link: 2 * i + 1,
+            rate_cap: f64::INFINITY,
+        })
         .collect();
     let peer_caps = vec![1.25e9; 400];
     c.bench_function("fairshare/peer_pairs_200", |b| {

@@ -8,13 +8,22 @@ use vine_bench::report;
 use vine_simcore::units::fmt_bytes;
 
 fn section(title: &str, rows: &[ablations::AblationRow]) {
-    let header = ["Variant", "Runtime", "Task executions", "Peer transfer volume"];
+    let header = [
+        "Variant",
+        "Runtime",
+        "Task executions",
+        "Peer transfer volume",
+    ];
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
                 r.variant.clone(),
-                if r.completed { format!("{:.0}s", r.makespan_s) } else { "FAILED".into() },
+                if r.completed {
+                    format!("{:.0}s", r.makespan_s)
+                } else {
+                    "FAILED".into()
+                },
                 r.executions.to_string(),
                 fmt_bytes(r.peer_bytes),
             ]
@@ -34,10 +43,43 @@ fn section(title: &str, rows: &[ablations::AblationRow]) {
 }
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     eprintln!("Ablations at scale 1/{scale} ...");
-    section("Replication under preemption (DV3-Large)", &ablations::replication(42, scale));
-    section("Placement policy (DV3-Large)", &ablations::placement(42, scale));
-    section("Peer-transfer throttle (RS-TriPhoton)", &ablations::throttle(42, scale));
-    section("Datasource: site storage vs wide-area XRootD (DV3-Medium)", &ablations::datasource(42, scale));
+    let workers = (200 / scale.max(1)).max(4);
+    let cfg = vine_core::EngineConfig::stack4(vine_cluster::ClusterSpec::standard(workers), 42);
+    for (wl, spec) in [
+        (
+            "DV3-Large",
+            vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale.max(1)),
+        ),
+        (
+            "RS-TriPhoton",
+            vine_analysis::WorkloadSpec::rs_triphoton().scaled_down(scale.max(1)),
+        ),
+        (
+            "DV3-Medium",
+            vine_analysis::WorkloadSpec::dv3_medium().scaled_down(scale.max(1)),
+        ),
+    ] {
+        vine_bench::preflight::announce_spec(wl, &spec, &cfg);
+    }
+    section(
+        "Replication under preemption (DV3-Large)",
+        &ablations::replication(42, scale),
+    );
+    section(
+        "Placement policy (DV3-Large)",
+        &ablations::placement(42, scale),
+    );
+    section(
+        "Peer-transfer throttle (RS-TriPhoton)",
+        &ablations::throttle(42, scale),
+    );
+    section(
+        "Datasource: site storage vs wide-area XRootD (DV3-Medium)",
+        &ablations::datasource(42, scale),
+    );
 }

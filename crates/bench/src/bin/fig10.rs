@@ -9,8 +9,16 @@ use vine_bench::report;
 use vine_core::ImportSource;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15_000);
     eprintln!("Fig 10: import hoisting sweep, {n} function calls ...");
+    let mut cfg = vine_core::EngineConfig::stack4(fig10::hoisting_cluster(), 42);
+    cfg.exec_mode = vine_core::ExecMode::FunctionCalls {
+        hoist_imports: true,
+    };
+    vine_bench::preflight::announce("hoisting workflow", &fig10::workflow(n, 1.0), &cfg);
     let pts = fig10::run(42, n);
 
     let header = [
@@ -50,7 +58,13 @@ fn main() {
     report::write_csv("fig10.csv", &report::to_csv(&header, &data));
 
     // Also dump the raw makespans.
-    let raw_header = ["complexity", "source", "hoisted", "makespan_s", "mean_task_s"];
+    let raw_header = [
+        "complexity",
+        "source",
+        "hoisted",
+        "makespan_s",
+        "mean_task_s",
+    ];
     let raw: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {

@@ -8,15 +8,37 @@
 //! than one worker's disk can hold and workers fail, exactly as in the
 //! paper's left panel, while the tree completes cleanly.
 
+use vine_analysis::{ReductionShape, WorkloadSpec};
 use vine_bench::experiments::fig11;
-use vine_bench::report;
+use vine_bench::{preflight, report};
+use vine_core::EngineConfig;
 use vine_simcore::trace::series_to_csv;
 use vine_simcore::units::fmt_bytes;
 
 fn main() {
-    let workers: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
-    let scale: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+    let scale: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     eprintln!("Fig 11: reduction shaping, RS-TriPhoton on {workers} workers (scale 1/{scale}) ...");
+
+    // Static verdicts first: vine-lint predicts the left panel's failure
+    // (R001) and the right panel's success before a single event runs.
+    let cfg = EngineConfig::stack4(fig11::rs_cluster(workers), 42);
+    for (shape, label) in [
+        (ReductionShape::SingleNode, "single-node"),
+        (ReductionShape::Tree { arity: 8 }, "tree"),
+    ] {
+        let spec = WorkloadSpec::rs_triphoton()
+            .scaled_down(scale)
+            .with_reduction(shape);
+        preflight::announce_spec(label, &spec, &cfg);
+    }
+
     let (single, tree) = fig11::run(42, workers, scale);
 
     let header = [
@@ -48,7 +70,10 @@ fn main() {
     report::write_csv("fig11_summary.csv", &report::to_csv(&header, &data));
 
     // Per-worker occupancy curves for both shapes.
-    for (run, name) in [(&single, "fig11_cache_single.csv"), (&tree, "fig11_cache_tree.csv")] {
+    for (run, name) in [
+        (&single, "fig11_cache_single.csv"),
+        (&tree, "fig11_cache_tree.csv"),
+    ] {
         if let Some(series) = &run.result.cache_series {
             let labels: Vec<String> = (0..series.len()).map(|w| format!("worker{w}")).collect();
             let named: Vec<(&str, &vine_simcore::trace::TimeSeries)> = labels

@@ -7,12 +7,30 @@ use vine_bench::experiments::fig12;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     eprintln!("Fig 12: stack timelines, DV3-Large (scale 1/{scale}) ...");
+    let workers = (200 / scale).max(2);
+    let spec = vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale);
+    for stack in 1..=4 {
+        let cfg =
+            vine_core::EngineConfig::stack(stack, vine_cluster::ClusterSpec::standard(workers), 42);
+        vine_bench::preflight::announce_spec(&format!("stack {stack}"), &spec, &cfg);
+    }
     let timelines = fig12::run(42, scale);
 
     // Console summary: concurrency snapshots.
-    let header = ["Stack", "Makespan", "Running@30s", "Running@150s", "Running@300s", "Waiting@30s", "Waiting@300s"];
+    let header = [
+        "Stack",
+        "Makespan",
+        "Running@30s",
+        "Running@150s",
+        "Running@300s",
+        "Waiting@30s",
+        "Waiting@300s",
+    ];
     let data: Vec<Vec<String>> = timelines
         .iter()
         .map(|t| {
@@ -44,7 +62,10 @@ fn main() {
     // panel), over the first 300 s.
     for t in &timelines {
         println!("Stack {} running tasks (first 300s):", t.stack);
-        println!("{}", vine_bench::plot::ascii_series(&t.running, 300.0, 100, 8));
+        println!(
+            "{}",
+            vine_bench::plot::ascii_series(&t.running, 300.0, 100, 8)
+        );
     }
 
     // Full series on a 1 s grid for plotting.

@@ -12,7 +12,16 @@ fn main() {
     let small: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
     let large: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
     let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
-    eprintln!("Fig 13: worker activity, DV3-Large, {small} vs {large} workers (scale 1/{scale}) ...");
+    eprintln!(
+        "Fig 13: worker activity, DV3-Large, {small} vs {large} workers (scale 1/{scale}) ..."
+    );
+    let spec = vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale);
+    for (stack, workers) in [(3, small), (4, small), (3, large), (4, large)] {
+        let mut cfg =
+            vine_core::EngineConfig::stack(stack, vine_cluster::ClusterSpec::standard(workers), 42);
+        cfg.trace.gantt = true;
+        vine_bench::preflight::announce_spec(&format!("stack {stack} / {workers}w"), &spec, &cfg);
+    }
     let cells = fig13::run(42, small, large, scale);
 
     let header = ["Stack", "Workers", "Cores", "Makespan", "Core utilization"];
@@ -58,6 +67,9 @@ fn main() {
                 if iv.tag == 0 { "process" } else { "accumulate" },
             ));
         }
-        report::write_csv(&format!("fig13_gantt_stack{}_{}w.csv", c.stack, c.workers), &csv);
+        report::write_csv(
+            &format!("fig13_gantt_stack{}_{}w.csv", c.stack, c.workers),
+            &csv,
+        );
     }
 }

@@ -7,8 +7,32 @@ use vine_bench::experiments::fig14a;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     eprintln!("Fig 14a: TaskVine vs Dask.Distributed, DV3-Small/Medium (scale 1/{scale}) ...");
+    let cluster = vine_cluster::ClusterSpec::standard(5);
+    for (wl, spec) in [
+        (
+            "DV3-Small",
+            vine_analysis::WorkloadSpec::dv3_small().scaled_down(scale),
+        ),
+        (
+            "DV3-Medium",
+            vine_analysis::WorkloadSpec::dv3_medium().scaled_down(scale),
+        ),
+    ] {
+        for (sched, cfg) in [
+            ("TaskVine", vine_core::EngineConfig::stack4(cluster, 42)),
+            (
+                "Dask",
+                vine_core::EngineConfig::dask_distributed(cluster, 42),
+            ),
+        ] {
+            vine_bench::preflight::announce_spec(&format!("{wl} / {sched}"), &spec, &cfg);
+        }
+    }
     let pts = fig14a::run(42, scale);
 
     let header = ["Workload", "Scheduler", "Cores", "Runtime"];
@@ -36,7 +60,10 @@ fn main() {
                 .and_then(|p| p.makespan_s)
         };
         if let (Some(tv), Some(dd)) = (find("TaskVine"), find("Dask.Distributed")) {
-            println!("{wl} at 300 cores: Dask/TaskVine = {:.2}x  (paper: ~2x)", dd / tv);
+            println!(
+                "{wl} at 300 cores: Dask/TaskVine = {:.2}x  (paper: ~2x)",
+                dd / tv
+            );
         }
     }
     report::write_csv("fig14a.csv", &report::to_csv(&header, &data));

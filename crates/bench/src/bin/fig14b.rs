@@ -7,8 +7,33 @@ use vine_bench::experiments::fig14b;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     eprintln!("Fig 14b: large-scale scaling (scale 1/{scale}) ...");
+    let cfg = vine_core::EngineConfig::stack4(vine_cluster::ClusterSpec::standard(200), 42);
+    for (wl, spec) in [
+        (
+            "DV3-Large",
+            vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale),
+        ),
+        (
+            "RS-TriPhoton",
+            vine_analysis::WorkloadSpec::rs_triphoton().scaled_down(scale),
+        ),
+    ] {
+        vine_bench::preflight::announce_spec(wl, &spec, &cfg);
+    }
+    // The Dask.Distributed non-result: the C005 lint predicts the paper's
+    // reported failure before the engine refuses to run it.
+    if scale == 1 {
+        vine_bench::preflight::announce_spec(
+            "DV3-Large / Dask",
+            &vine_analysis::WorkloadSpec::dv3_large(),
+            &vine_core::EngineConfig::dask_distributed(vine_cluster::ClusterSpec::standard(10), 42),
+        );
+    }
     let pts = fig14b::run(42, scale);
 
     let header = ["Workload", "Scheduler", "Cores", "Runtime"];

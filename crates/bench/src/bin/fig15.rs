@@ -7,17 +7,32 @@ use vine_bench::experiments::fig15;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     eprintln!("Fig 15: DV3-Huge on 7200 cores (scale 1/{scale}) — this is the big one ...");
+    let workers = (600 / scale).max(4);
+    vine_bench::preflight::announce_spec(
+        "DV3-Huge",
+        &vine_analysis::WorkloadSpec::dv3_huge().scaled_down(scale),
+        &vine_core::EngineConfig::stack4(vine_cluster::ClusterSpec::standard(workers), 42),
+    );
     let h = fig15::run(42, scale);
 
     println!("\nFIG 15: DV3-Huge full-scale analysis\n");
     println!("Makespan:             {:.0} s", h.makespan_s);
     println!("Task executions:      {}", h.task_executions);
     println!("Peak concurrency:     {:.0} tasks", h.peak_concurrency);
-    println!("Mid-run concurrency:  {:.0} tasks (mean over middle half)", h.mid_run_concurrency);
+    println!(
+        "Mid-run concurrency:  {:.0} tasks (mean over middle half)",
+        h.mid_run_concurrency
+    );
     println!("Preemptions:          {}", h.result.stats.preemptions);
-    println!("Peer transfer volume: {:.1} TB", h.result.stats.peer_bytes as f64 / 1e12);
+    println!(
+        "Peer transfer volume: {:.1} TB",
+        h.result.stats.peer_bytes as f64 / 1e12
+    );
     println!();
     println!("Paper: 185K tasks with 10K initially executable; TaskVine maintains");
     println!("       high concurrency until the reduction phase of the graph.");

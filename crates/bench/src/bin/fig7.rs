@@ -8,11 +8,28 @@ use vine_simcore::trace::matrix_to_csv;
 use vine_simcore::units::fmt_bytes;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     eprintln!("Fig 7: transfer heatmap, DV3-Large (scale 1/{scale}) ...");
+    let workers = (200 / scale).max(2);
+    let spec = vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale);
+    for stack in [2, 3] {
+        let cfg =
+            vine_core::EngineConfig::stack(stack, vine_cluster::ClusterSpec::standard(workers), 42);
+        vine_bench::preflight::announce_spec(&format!("stack {stack}"), &spec, &cfg);
+    }
     let (wq, tv) = fig7::run(42, scale);
 
-    let header = ["Scheduler", "Max mgr->worker", "Mean mgr->worker", "Max worker pair", "Total peer", "Total via manager"];
+    let header = [
+        "Scheduler",
+        "Max mgr->worker",
+        "Mean mgr->worker",
+        "Max worker pair",
+        "Total peer",
+        "Total via manager",
+    ];
     let data: Vec<Vec<String>> = [&wq, &tv]
         .iter()
         .map(|s| {

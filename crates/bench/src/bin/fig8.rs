@@ -7,8 +7,18 @@ use vine_bench::experiments::fig8;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     eprintln!("Fig 8: task time distribution, DV3-Large (scale 1/{scale}) ...");
+    let workers = (200 / scale).max(2);
+    let spec = vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale);
+    for stack in [3, 4] {
+        let cfg =
+            vine_core::EngineConfig::stack(stack, vine_cluster::ClusterSpec::standard(workers), 42);
+        vine_bench::preflight::announce_spec(&format!("stack {stack}"), &spec, &cfg);
+    }
     let d = fig8::run(42, scale);
 
     let header = ["Bin lower edge (s)", "Standard tasks", "Function calls"];

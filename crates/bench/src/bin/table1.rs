@@ -7,10 +7,27 @@ use vine_bench::experiments::table1;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     eprintln!("Table I: DV3-Large stack evolution (scale 1/{scale}) ...");
+    let workers = (200 / scale).max(2);
+    let spec = vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale);
+    for stack in 1..=4 {
+        let cfg =
+            vine_core::EngineConfig::stack(stack, vine_cluster::ClusterSpec::standard(workers), 42);
+        vine_bench::preflight::announce_spec(&format!("stack {stack}"), &spec, &cfg);
+    }
     let rows = table1::run(42, scale);
-    let header = ["Stack", "Change", "Runtime", "Speedup", "Paper Runtime", "Paper Speedup"];
+    let header = [
+        "Stack",
+        "Change",
+        "Runtime",
+        "Speedup",
+        "Paper Runtime",
+        "Paper Speedup",
+    ];
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -4,6 +4,20 @@ use vine_bench::experiments::table2;
 use vine_bench::report;
 
 fn main() {
+    // Structural lint of every Table II workload graph (no engine runs
+    // here, so only the G family applies).
+    for spec in vine_analysis::WorkloadSpec::table2() {
+        let report = vine_lint::lint_graph(&spec.to_graph());
+        let (e, w, i) = report.counts();
+        if report.is_clean() {
+            eprintln!("pre-flight [{}]: clean", spec.name);
+        } else {
+            eprintln!(
+                "pre-flight [{}]: {e} error(s), {w} warning(s), {i} info(s)",
+                spec.name
+            );
+        }
+    }
     let rows = table2::run();
     let header = [
         "Application",

@@ -6,15 +6,22 @@
 //!          [--scale N] [--seed N] [--single-node-reduction]
 //!          [--no-peer-transfers] [--placement round-robin]
 //!          [--replicas N] [--remote-inputs] [--dot FILE]
+//!          [--lint] [--lint-deny=warn] [--no-preflight]
 //! ```
 //!
 //! Workloads: dv3-small, dv3-medium, dv3-large (default), dv3-huge,
 //! rs-triphoton.
+//!
+//! `--lint` analyzes the configuration and exits without simulating
+//! (exit 1 if any error-level diagnostic is found; with `--lint-deny=warn`
+//! warnings fail too). Without `--lint` the engine still runs its own
+//! pre-flight gate; `--no-preflight` disables it, and `--lint-deny=warn`
+//! makes it reject warnings as well.
 
 use vine_analysis::{ReductionShape, WorkloadSpec};
 use vine_bench::plot;
 use vine_cluster::{ClusterSpec, WorkerSpec};
-use vine_core::{DataSource, Engine, EngineConfig, Placement};
+use vine_core::{DataSource, Engine, EngineConfig, Placement, Preflight};
 use vine_simcore::units::{fmt_bytes, gbit_per_sec};
 
 struct Args {
@@ -30,6 +37,9 @@ struct Args {
     replicas: Option<u32>,
     remote_inputs: bool,
     dot: Option<String>,
+    lint_only: bool,
+    lint_deny_warn: bool,
+    no_preflight: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,16 +56,19 @@ fn parse_args() -> Result<Args, String> {
         replicas: None,
         remote_inputs: false,
         dot: None,
+        lint_only: false,
+        lint_deny_warn: false,
+        no_preflight: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--workload" => args.workload = value("--workload")?,
             "--stack" => {
-                args.stack = value("--stack")?.parse().map_err(|e| format!("--stack: {e}"))?
+                args.stack = value("--stack")?
+                    .parse()
+                    .map_err(|e| format!("--stack: {e}"))?
             }
             "--scheduler" => {
                 let v = value("--scheduler")?;
@@ -67,17 +80,26 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--workers" => {
-                args.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
             }
             "--scale" => {
-                args.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
             }
             "--seed" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
             }
             "--replicas" => {
-                args.replicas =
-                    Some(value("--replicas")?.parse().map_err(|e| format!("--replicas: {e}"))?)
+                args.replicas = Some(
+                    value("--replicas")?
+                        .parse()
+                        .map_err(|e| format!("--replicas: {e}"))?,
+                )
             }
             "--single-node-reduction" => args.single_node = true,
             "--no-peer-transfers" => args.no_peer = true,
@@ -91,9 +113,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--remote-inputs" => args.remote_inputs = true,
             "--dot" => args.dot = Some(value("--dot")?),
+            "--lint" => args.lint_only = true,
+            "--lint-deny=warn" => args.lint_deny_warn = true,
+            "--lint-deny" => match value("--lint-deny")?.as_str() {
+                "warn" => args.lint_deny_warn = true,
+                other => return Err(format!("unknown --lint-deny level {other}")),
+            },
+            "--no-preflight" => args.no_preflight = true,
             "--help" | "-h" => {
-                return Err("usage: see module docs (vine-sim --workload dv3-large --stack 4 ...)"
-                    .to_string())
+                return Err(
+                    "usage: see module docs (vine-sim --workload dv3-large --stack 4 ...)"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -141,7 +172,11 @@ fn main() {
     } else {
         WorkerSpec::dv3_standard()
     };
-    let cluster = ClusterSpec { workers, worker: worker_spec, manager_link_bw: gbit_per_sec(12.0) };
+    let cluster = ClusterSpec {
+        workers,
+        worker: worker_spec,
+        manager_link_bw: gbit_per_sec(12.0),
+    };
 
     let mut cfg = if args.dask {
         EngineConfig::dask_distributed(cluster, args.seed)
@@ -161,8 +196,23 @@ fn main() {
         cfg.data_source = DataSource::remote_xrootd_default();
     }
     cfg.trace.cache = true;
+    cfg.preflight = if args.no_preflight {
+        Preflight::Off
+    } else if args.lint_deny_warn {
+        Preflight::DenyWarnings
+    } else {
+        Preflight::Enforce
+    };
 
     let graph = spec.to_graph();
+
+    if args.lint_only {
+        let report = vine_lint::lint_all(&graph, &cfg.lint_facts());
+        print!("{}", report.to_text());
+        let deny =
+            report.has_errors() || (args.lint_deny_warn && report.warnings().next().is_some());
+        std::process::exit(if deny { 1 } else { 0 });
+    }
     if let Some(path) = &args.dot {
         let dot = vine_dag::dot::to_dot(&graph, vine_dag::dot::DotOptions::default());
         match std::fs::write(path, dot) {
@@ -178,7 +228,11 @@ fn main() {
         fmt_bytes(graph.external_bytes()),
         workers,
         cluster.worker.cores,
-        if args.dask { "Dask.Distributed".into() } else { format!("stack {}", args.stack) },
+        if args.dask {
+            "Dask.Distributed".into()
+        } else {
+            format!("stack {}", args.stack)
+        },
         args.seed
     );
 
@@ -186,15 +240,27 @@ fn main() {
     println!();
     if !r.completed() {
         println!("RUN FAILED: {:?}", r.outcome);
+        for d in &r.lint_findings {
+            println!("  {d}");
+        }
     }
     println!("makespan            {:>12.0} s", r.makespan_secs());
     println!("task executions     {:>12}", r.stats.task_executions);
     println!("mean task time      {:>12.2} s", r.mean_task_secs());
     println!("preemptions         {:>12}", r.stats.preemptions);
-    println!("cache overflows     {:>12}", r.stats.cache_overflow_failures);
-    println!("bytes via manager   {:>12}", fmt_bytes(r.stats.manager_bytes));
+    println!(
+        "cache overflows     {:>12}",
+        r.stats.cache_overflow_failures
+    );
+    println!(
+        "bytes via manager   {:>12}",
+        fmt_bytes(r.stats.manager_bytes)
+    );
     println!("peer transfer bytes {:>12}", fmt_bytes(r.stats.peer_bytes));
-    println!("shared FS bytes     {:>12}", fmt_bytes(r.stats.shared_fs_bytes));
+    println!(
+        "shared FS bytes     {:>12}",
+        fmt_bytes(r.stats.shared_fs_bytes)
+    );
     println!();
     println!("running tasks:");
     println!(

@@ -50,7 +50,12 @@ pub fn replication(seed: u64, scale_down: usize) -> Vec<AblationRow> {
     for (plabel, preemption) in [
         ("calm", PreemptionModel::none()),
         ("campus", PreemptionModel::campus_pool()),
-        ("stormy", PreemptionModel { rate_per_sec: 1.0 / 600.0 }),
+        (
+            "stormy",
+            PreemptionModel {
+                rate_per_sec: 1.0 / 600.0,
+            },
+        ),
     ] {
         for replicas in [1u32, 2] {
             let mut cfg = EngineConfig::stack4(ClusterSpec::standard(workers), seed);
@@ -70,8 +75,8 @@ pub fn placement(seed: u64, scale_down: usize) -> Vec<AblationRow> {
     [Placement::DataAware, Placement::RoundRobin]
         .into_iter()
         .map(|p| {
-            let mut cfg = EngineConfig::stack4(ClusterSpec::standard(workers), seed)
-                .deterministic();
+            let mut cfg =
+                EngineConfig::stack4(ClusterSpec::standard(workers), seed).deterministic();
             cfg.placement = p;
             let r = Engine::new(cfg, spec.to_graph()).run();
             row(format!("{p:?}"), r)
@@ -86,8 +91,8 @@ pub fn throttle(seed: u64, scale_down: usize) -> Vec<AblationRow> {
     [1usize, 2, 3, 8, 64]
         .into_iter()
         .map(|limit| {
-            let mut cfg = EngineConfig::stack4(ClusterSpec::standard(workers), seed)
-                .deterministic();
+            let mut cfg =
+                EngineConfig::stack4(ClusterSpec::standard(workers), seed).deterministic();
             cfg.max_peer_transfers_per_worker = limit;
             let r = Engine::new(cfg, spec.to_graph()).run();
             row(format!("throttle={limit}"), r)
@@ -109,8 +114,7 @@ pub fn datasource(seed: u64, scale_down: usize) -> Vec<AblationRow> {
     ]
     .into_iter()
     .map(|(label, src)| {
-        let mut cfg = EngineConfig::stack4(ClusterSpec::standard(workers), seed)
-            .deterministic();
+        let mut cfg = EngineConfig::stack4(ClusterSpec::standard(workers), seed).deterministic();
         cfg.data_source = src;
         let r = Engine::new(cfg, spec.to_graph()).run();
         row(label.to_string(), r)

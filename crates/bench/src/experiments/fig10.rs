@@ -40,11 +40,26 @@ pub fn complexities() -> Vec<f64> {
     vec![0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
 }
 
+/// The paper's 16 × 32-core hoisting cluster.
+pub fn hoisting_cluster() -> ClusterSpec {
+    ClusterSpec {
+        workers: 16,
+        worker: WorkerSpec::hoisting_32core(),
+        manager_link_bw: gbit_per_sec(12.0),
+    }
+}
+
 /// Independent function-call workflow of `n` tasks at `complexity`.
-fn workflow(n: usize, complexity: f64) -> TaskGraph {
+pub fn workflow(n: usize, complexity: f64) -> TaskGraph {
     let mut g = TaskGraph::new();
     for i in 0..n {
-        g.add_task(format!("fn{i}"), TaskKind::Generic, vec![], &[KB], complexity);
+        g.add_task(
+            format!("fn{i}"),
+            TaskKind::Generic,
+            vec![],
+            &[KB],
+            complexity,
+        );
     }
     g
 }
@@ -52,17 +67,15 @@ fn workflow(n: usize, complexity: f64) -> TaskGraph {
 /// Run the full sweep. `n_tasks = 15_000` reproduces the paper exactly;
 /// smaller values keep tests quick.
 pub fn run(seed: u64, n_tasks: usize) -> Vec<HoistPoint> {
-    let cluster = ClusterSpec {
-        workers: 16,
-        worker: WorkerSpec::hoisting_32core(),
-        manager_link_bw: gbit_per_sec(12.0),
-    };
+    let cluster = hoisting_cluster();
     let mut out = Vec::new();
     for &complexity in &complexities() {
         for import_source in [ImportSource::WorkerLocal, ImportSource::SharedFilesystem] {
             for hoisted in [true, false] {
                 let mut cfg = EngineConfig::stack4(cluster, seed);
-                cfg.exec_mode = ExecMode::FunctionCalls { hoist_imports: hoisted };
+                cfg.exec_mode = ExecMode::FunctionCalls {
+                    hoist_imports: hoisted,
+                };
                 cfg.import_source = import_source;
                 // The Fig 10 function is deterministic: 0.55 s at
                 // complexity 1, scaled linearly (0.125 -> ~0.07 s,
@@ -106,7 +119,10 @@ mod tests {
         let fine = hoist_speedup(&pts, 0.125, ImportSource::WorkerLocal);
         let coarse = hoist_speedup(&pts, 64.0, ImportSource::WorkerLocal);
         assert!(fine > 1.5, "fine-grained speedup only {fine}");
-        assert!(coarse < fine, "speedup should fade: fine {fine} coarse {coarse}");
+        assert!(
+            coarse < fine,
+            "speedup should fade: fine {fine} coarse {coarse}"
+        );
         assert!(coarse < 1.2, "coarse speedup should be small: {coarse}");
     }
 
@@ -117,7 +133,9 @@ mod tests {
         // filesystem serving the imports matters.
         let local = pts
             .iter()
-            .find(|p| p.complexity == 0.25 && p.import_source == ImportSource::WorkerLocal && !p.hoisted)
+            .find(|p| {
+                p.complexity == 0.25 && p.import_source == ImportSource::WorkerLocal && !p.hoisted
+            })
             .unwrap()
             .mean_task_s;
         let shared = pts

@@ -81,7 +81,12 @@ mod tests {
         assert!(c4 > c3 * 0.8, "stack4 {c4} vs stack3 {c3}");
         // Everyone drains the waiting queue by the end.
         for t in &tl {
-            assert_eq!(t.waiting.last().map(|(_, v)| v), Some(0.0), "stack {}", t.stack);
+            assert_eq!(
+                t.waiting.last().map(|(_, v)| v),
+                Some(0.0),
+                "stack {}",
+                t.stack
+            );
         }
     }
 

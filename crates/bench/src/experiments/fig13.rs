@@ -32,13 +32,15 @@ pub fn run_cell(stack: usize, workers: usize, seed: u64, scale_down: usize) -> G
     let mut cfg = EngineConfig::stack(stack, ClusterSpec::standard(workers), seed);
     cfg.trace.gantt = true;
     let r = Engine::new(cfg, spec.to_graph()).run();
-    assert!(r.completed(), "stack {stack}/{workers}w failed: {:?}", r.outcome);
+    assert!(
+        r.completed(),
+        "stack {stack}/{workers}w failed: {:?}",
+        r.outcome
+    );
     let makespan = r.makespan_secs();
     let cores = ClusterSpec::standard(workers).total_cores() as f64;
     let gantt = r.gantt.expect("gantt enabled");
-    let busy: f64 = (0..workers)
-        .map(|w| gantt.busy_time(w).as_secs_f64())
-        .sum();
+    let busy: f64 = (0..workers).map(|w| gantt.busy_time(w).as_secs_f64()).sum();
     GanttCell {
         stack,
         workers,

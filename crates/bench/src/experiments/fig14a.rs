@@ -38,7 +38,10 @@ pub fn run_workload(
         let cluster = ClusterSpec::standard(workers);
         for (label, cfg) in [
             ("TaskVine", EngineConfig::stack4(cluster, seed)),
-            ("Dask.Distributed", EngineConfig::dask_distributed(cluster, seed)),
+            (
+                "Dask.Distributed",
+                EngineConfig::dask_distributed(cluster, seed),
+            ),
         ] {
             let r = Engine::new(cfg, spec.to_graph()).run();
             out.push(ScalePoint {
@@ -92,10 +95,7 @@ mod tests {
         // Similar at small scale (within ~2x either way)...
         assert!(dd_60 / tv_60 < 2.5, "60 cores: tv {tv_60} dd {dd_60}");
         // ...TaskVine clearly ahead at 300 cores.
-        assert!(
-            dd_300 / tv_300 > 1.3,
-            "300 cores: tv {tv_300} dd {dd_300}"
-        );
+        assert!(dd_300 / tv_300 > 1.3, "300 cores: tv {tv_300} dd {dd_300}");
         // And TaskVine itself scales (more cores => not slower).
         assert!(tv_300 <= tv_60 * 1.2);
     }

@@ -31,7 +31,10 @@ pub fn run(seed: u64, scale_down: usize) -> TaskTimeDistributions {
         assert!(r.completed(), "stack {stack} failed: {:?}", r.outcome);
         r.task_time_hist.expect("task-time trace on by default")
     };
-    TaskTimeDistributions { standard: mk(3), functions: mk(4) }
+    TaskTimeDistributions {
+        standard: mk(3),
+        functions: mk(4),
+    }
 }
 
 /// Median-ish summary: the lower edge of the first bin at or above the

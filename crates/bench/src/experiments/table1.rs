@@ -32,7 +32,12 @@ pub struct StackRow {
 }
 
 /// The paper's reported numbers.
-pub const PAPER: [(f64, f64); 4] = [(3545.0, 1.00), (3378.0, 1.05), (730.0, 4.86), (272.0, 13.03)];
+pub const PAPER: [(f64, f64); 4] = [
+    (3545.0, 1.00),
+    (3378.0, 1.05),
+    (730.0, 4.86),
+    (272.0, 13.03),
+];
 
 const CHANGES: [&str; 4] = [
     "Original",
@@ -59,11 +64,7 @@ pub fn run(seed: u64, scale_down: usize) -> Vec<StackRow> {
     let mut base = None;
     for stack in 1..=4 {
         let r = run_stack(stack, &spec, workers, seed);
-        assert!(
-            r.completed(),
-            "stack {stack} failed: {:?}",
-            r.outcome
-        );
+        assert!(r.completed(), "stack {stack} failed: {:?}", r.outcome);
         let runtime = r.makespan_secs();
         let base_rt = *base.get_or_insert(runtime);
         rows.push(StackRow {

@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-bench — the experiment harness
 //!
 //! One module per table/figure of the paper's evaluation, each with a
@@ -22,4 +24,5 @@
 
 pub mod experiments;
 pub mod plot;
+pub mod preflight;
 pub mod report;

@@ -1,0 +1,36 @@
+//! Shared pre-flight linting for the experiment binaries.
+//!
+//! Every binary lints the workload/config pair it is about to run and
+//! prints a one-line verdict (or the full report when something is
+//! found). Experiments that deliberately reproduce a failure — Fig 11's
+//! single-node reduction, the Dask.Distributed instability rule — still
+//! lint, so the prediction and the measured outcome can be compared.
+
+use vine_analysis::WorkloadSpec;
+use vine_core::EngineConfig;
+use vine_dag::TaskGraph;
+use vine_lint::Report;
+
+/// Lint `graph` under `cfg`, print the verdict to stderr, and return the
+/// report. Errors do not abort here — the binaries decide (most rely on
+/// the engine's own `Preflight::Enforce` gate; figure reproductions run
+/// anyway and show the predicted failure happening).
+pub fn announce(label: &str, graph: &TaskGraph, cfg: &EngineConfig) -> Report {
+    let report = vine_lint::lint_all(graph, &cfg.lint_facts());
+    let (e, w, i) = report.counts();
+    if report.is_clean() {
+        eprintln!("pre-flight [{label}]: clean ({} tasks)", graph.task_count());
+    } else {
+        eprintln!("pre-flight [{label}]: {e} error(s), {w} warning(s), {i} info(s)");
+        for d in report.diagnostics() {
+            eprintln!("  {d}");
+        }
+    }
+    report
+}
+
+/// Convenience for the common binary shape: lint a workload spec under a
+/// config preset.
+pub fn announce_spec(label: &str, spec: &WorkloadSpec, cfg: &EngineConfig) -> Report {
+    announce(label, &spec.to_graph(), cfg)
+}

@@ -64,7 +64,11 @@ pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
             s.to_string()
         }
     };
-    let mut out = header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",");
+    let mut out = header
+        .iter()
+        .map(|h| quote(h))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

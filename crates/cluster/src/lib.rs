@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-cluster — compute-cluster substrate
 //!
 //! Models the paper's execution facility (§IV, §V): a heterogeneous campus

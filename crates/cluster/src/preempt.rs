@@ -28,7 +28,9 @@ impl PreemptionModel {
     pub fn fraction_per_run(expected_fraction: f64, reference_run: SimDur) -> Self {
         let secs = reference_run.as_secs_f64();
         assert!(secs > 0.0, "reference run must be positive");
-        PreemptionModel { rate_per_sec: expected_fraction.max(0.0) / secs }
+        PreemptionModel {
+            rate_per_sec: expected_fraction.max(0.0) / secs,
+        }
     }
 
     /// The paper's campus pool: ~1 % of workers preempted over a
@@ -39,11 +41,7 @@ impl PreemptionModel {
 
     /// Sample the next preemption instant for a worker alive at `from`,
     /// or `None` if preemption is disabled.
-    pub fn next_preemption<R: Rng + ?Sized>(
-        &self,
-        from: SimTime,
-        rng: &mut R,
-    ) -> Option<SimTime> {
+    pub fn next_preemption<R: Rng + ?Sized>(&self, from: SimTime, rng: &mut R) -> Option<SimTime> {
         if self.rate_per_sec <= 0.0 {
             return None;
         }
@@ -68,7 +66,10 @@ mod tests {
     #[test]
     fn disabled_model_never_fires() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        assert_eq!(PreemptionModel::none().next_preemption(SimTime::ZERO, &mut rng), None);
+        assert_eq!(
+            PreemptionModel::none().next_preemption(SimTime::ZERO, &mut rng),
+            None
+        );
     }
 
     #[test]

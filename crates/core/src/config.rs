@@ -63,7 +63,10 @@ impl DataSource {
     /// (5 Gbit aggregate into the site, ~30 MB/s per stream at
     /// CERN-to-campus round-trip times).
     pub fn remote_xrootd_default() -> Self {
-        DataSource::RemoteXrootd { wan_bandwidth: 6.25e8, per_stream: 30e6 }
+        DataSource::RemoteXrootd {
+            wan_bandwidth: 6.25e8,
+            per_stream: 30e6,
+        }
     }
 }
 
@@ -74,6 +77,23 @@ pub enum Placement {
     DataAware,
     /// Data-oblivious round-robin (the ablation baseline).
     RoundRobin,
+}
+
+/// What the pre-flight lint gate in [`crate::Engine::run`] does with
+/// `vine-lint` findings before any event is simulated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preflight {
+    /// Skip pre-flight analysis entirely. For tests and experiments that
+    /// deliberately run infeasible configurations (e.g. reproducing the
+    /// Fig 11 worker-failure curves the lint exists to predict).
+    Off,
+    /// Lint before running: errors abort the run with
+    /// `RunOutcome::Failed`, warnings are traced into
+    /// `RunResult::lint_findings`. The default.
+    Enforce,
+    /// Like `Enforce`, but warnings are fatal too (the CLI's
+    /// `--lint-deny=warn`).
+    DenyWarnings,
 }
 
 /// Which traces to record (all cheap; Gantt can be large at 185 K tasks).
@@ -152,6 +172,8 @@ pub struct EngineConfig {
     /// TB-scale workloads; runs with more input than this abort with
     /// `RunOutcome::Failed`. `None` disables the rule.
     pub dask_unstable_above_bytes: Option<u64>,
+    /// Pre-flight lint policy (see [`Preflight`]).
+    pub preflight: Preflight,
 }
 
 impl EngineConfig {
@@ -176,6 +198,7 @@ impl EngineConfig {
             seed,
             trace: TraceConfig::default(),
             dask_unstable_above_bytes: Some(TB / 2),
+            preflight: Preflight::Enforce,
         }
     }
 
@@ -202,7 +225,9 @@ impl EngineConfig {
     /// imports from worker-local storage.
     pub fn stack4(cluster: ClusterSpec, seed: u64) -> Self {
         EngineConfig {
-            exec_mode: ExecMode::FunctionCalls { hoist_imports: true },
+            exec_mode: ExecMode::FunctionCalls {
+                hoist_imports: true,
+            },
             import_source: ImportSource::WorkerLocal,
             ..Self::stack3(cluster, seed)
         }
@@ -215,7 +240,9 @@ impl EngineConfig {
             // Dask workers are persistent Python processes: no per-task
             // interpreter start, but environments load per (single-core)
             // worker and intermediates live in worker memory.
-            exec_mode: ExecMode::FunctionCalls { hoist_imports: true },
+            exec_mode: ExecMode::FunctionCalls {
+                hoist_imports: true,
+            },
             import_source: ImportSource::SharedFilesystem,
             peer_transfers: true,
             ..Self::stack2(cluster, seed)
@@ -255,6 +282,59 @@ impl EngineConfig {
         };
         self
     }
+
+    /// Snapshot the knobs `vine-lint` reads. Mirrors the engine's worker
+    /// geometry exactly: under Dask.Distributed each physical worker is
+    /// split share-nothing into `cores` single-core workers whose cache
+    /// capacity is its memory share (see `Sim::new`), so the resource
+    /// lints bound the same caches the simulation will run against.
+    pub fn lint_facts(&self) -> vine_lint::EngineFacts {
+        let per = self.cluster.worker;
+        let (workers, cores, mem, disk) = if self.scheduler == SchedulerKind::DaskDistributed {
+            (
+                self.cluster.workers * per.cores as usize,
+                1,
+                per.mem_bytes / per.cores as u64,
+                per.mem_bytes / per.cores as u64,
+            )
+        } else {
+            (
+                self.cluster.workers,
+                per.cores,
+                per.mem_bytes,
+                per.disk_bytes,
+            )
+        };
+        let (serverless, hoist_imports) = match self.exec_mode {
+            ExecMode::StandardTasks => (false, false),
+            ExecMode::FunctionCalls { hoist_imports } => (true, hoist_imports),
+        };
+        vine_lint::EngineFacts {
+            scheduler: match self.scheduler {
+                SchedulerKind::WorkQueue => vine_lint::SchedulerFamily::WorkQueue,
+                SchedulerKind::TaskVine => vine_lint::SchedulerFamily::TaskVine,
+                SchedulerKind::DaskDistributed => vine_lint::SchedulerFamily::DaskDistributed,
+            },
+            serverless,
+            hoist_imports,
+            import_worker_local: self.import_source == ImportSource::WorkerLocal,
+            remote_inputs: matches!(self.data_source, DataSource::RemoteXrootd { .. }),
+            peer_transfers: self.peer_transfers,
+            max_peer_transfers_per_worker: self.max_peer_transfers_per_worker,
+            max_concurrent_stagings: self.max_concurrent_stagings,
+            replica_target: self.replica_target,
+            replicate_max_bytes: self.replicate_max_bytes,
+            library_startup_s: self.time_model.library_startup.as_secs_f64(),
+            preemption_rate_per_sec: self.preemption.rate_per_sec,
+            trace_timeline: self.trace.timeline,
+            trace_gantt: self.trace.gantt,
+            dask_unstable_above_bytes: self.dask_unstable_above_bytes,
+            workers,
+            cores_per_worker: cores,
+            mem_per_worker: mem,
+            disk_per_worker: disk,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -281,7 +361,9 @@ mod tests {
         assert_eq!(s3.exec_mode, ExecMode::StandardTasks);
         assert_eq!(
             s4.exec_mode,
-            ExecMode::FunctionCalls { hoist_imports: true }
+            ExecMode::FunctionCalls {
+                hoist_imports: true
+            }
         );
         assert_eq!(s4.import_source, ImportSource::WorkerLocal);
     }

@@ -56,7 +56,10 @@ pub struct TaskTimeModel {
 impl Default for TaskTimeModel {
     fn default() -> Self {
         TaskTimeModel {
-            base_compute: Dist::LogNormal { median: 3.2, sigma: 0.85 },
+            base_compute: Dist::LogNormal {
+                median: 3.2,
+                sigma: 0.85,
+            },
             dispatch_standard: SimDur::from_millis(25),
             dispatch_function: SimDur::from_millis(5),
             collect_standard: SimDur::from_millis(12),

@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-core — the TaskVine manager, scheduler policies, and simulation engine
 //!
 //! The paper's contribution (§IV): a task *and data* scheduler that turns
@@ -36,7 +38,10 @@ pub mod engine;
 pub mod placement;
 pub mod result;
 
-pub use config::{DataSource, EngineConfig, ExecMode, ImportSource, Placement, SchedulerKind, TraceConfig};
+pub use config::{
+    DataSource, EngineConfig, ExecMode, ImportSource, Placement, Preflight, SchedulerKind,
+    TraceConfig,
+};
 pub use cost::TaskTimeModel;
 pub use engine::Engine;
 pub use result::{RunOutcome, RunResult, RunStats};

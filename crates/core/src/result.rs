@@ -68,6 +68,9 @@ pub struct RunResult {
     /// When each worker's cache overflowed (Fig 11's Xs), if cache tracing
     /// was on.
     pub cache_failures: Vec<(usize, SimTime)>,
+    /// Pre-flight lint findings for this (graph, config) pair, recorded
+    /// even when the gate lets the run proceed.
+    pub lint_findings: Vec<vine_lint::Diagnostic>,
 }
 
 impl RunResult {
@@ -113,6 +116,7 @@ mod tests {
             cache_series: None,
             task_time_hist: None,
             cache_failures: Vec::new(),
+            lint_findings: Vec::new(),
         }
     }
 

@@ -20,14 +20,12 @@ fn random_graph(layers: &[usize], fan: usize, out_mb: u64) -> TaskGraph {
         for w in 0..width {
             let k = (1 + (li + w) % fan).min(prev.len());
             let inputs: Vec<_> = (0..k).map(|j| prev[(w + j) % prev.len()]).collect();
-            let kind = if li % 2 == 0 { TaskKind::Process } else { TaskKind::Accumulate };
-            let (_, outs) = g.add_task(
-                format!("t{li}.{w}"),
-                kind,
-                inputs,
-                &[out_mb * mb],
-                0.3,
-            );
+            let kind = if li % 2 == 0 {
+                TaskKind::Process
+            } else {
+                TaskKind::Accumulate
+            };
+            let (_, outs) = g.add_task(format!("t{li}.{w}"), kind, inputs, &[out_mb * mb], 0.3);
             next.extend(outs);
         }
         prev = next;

@@ -19,13 +19,20 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { show_files: true, max_tasks: 200 }
+        DotOptions {
+            show_files: true,
+            max_tasks: 200,
+        }
     }
 }
 
 /// Render the graph in DOT syntax.
 pub fn to_dot(graph: &TaskGraph, opts: DotOptions) -> String {
-    let limit = if opts.max_tasks == 0 { usize::MAX } else { opts.max_tasks };
+    let limit = if opts.max_tasks == 0 {
+        usize::MAX
+    } else {
+        opts.max_tasks
+    };
     let mut out = String::from("digraph workflow {\n  rankdir=TB;\n  node [fontsize=10];\n");
     let mut included_files = std::collections::HashSet::new();
 
@@ -54,7 +61,12 @@ pub fn to_dot(graph: &TaskGraph, opts: DotOptions) -> String {
             } else {
                 "shape=note"
             };
-            let _ = writeln!(out, "  f{} [label=\"{}\", {style}];", f.0, escape(&node.name));
+            let _ = writeln!(
+                out,
+                "  f{} [label=\"{}\", {style}];",
+                f.0,
+                escape(&node.name)
+            );
         }
         for t in graph.tasks().iter().take(limit) {
             for &f in &t.inputs {
@@ -119,7 +131,13 @@ mod tests {
 
     #[test]
     fn task_only_mode_links_producers_to_consumers() {
-        let dot = to_dot(&small(), DotOptions { show_files: false, max_tasks: 0 });
+        let dot = to_dot(
+            &small(),
+            DotOptions {
+                show_files: false,
+                max_tasks: 0,
+            },
+        );
         assert!(dot.contains("t0 -> t1;"));
         assert!(!dot.contains("f0"));
     }
@@ -130,7 +148,13 @@ mod tests {
         for i in 0..10 {
             g.add_task(format!("t{i}"), TaskKind::Generic, vec![], &[1], 1.0);
         }
-        let dot = to_dot(&g, DotOptions { show_files: false, max_tasks: 3 });
+        let dot = to_dot(
+            &g,
+            DotOptions {
+                show_files: false,
+                max_tasks: 3,
+            },
+        );
         assert!(dot.contains("... 7 more tasks"));
         assert!(!dot.contains("t9 ["));
     }

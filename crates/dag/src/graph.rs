@@ -1,6 +1,84 @@
 //! Task graphs: tasks, files, builder, validation, statistics.
 
 use std::collections::VecDeque;
+use std::fmt;
+
+/// Why a [`TaskGraph`] failed structural validation.
+///
+/// Each variant names the broken invariant and the ids involved, so
+/// callers (notably `vine-lint`) can map failure classes to diagnostics
+/// instead of parsing strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A file's `producer` refers to a task id that does not exist.
+    UnknownProducer { file: FileId, producer: TaskId },
+    /// A file names a producer, but that task does not list the file
+    /// among its outputs (a severed producer link).
+    ProducerLinkBroken { file: FileId, producer: TaskId },
+    /// A file's consumer list refers to a task id that does not exist.
+    UnknownConsumer { file: FileId, consumer: TaskId },
+    /// A file lists a consumer, but that task does not list the file
+    /// among its inputs.
+    ConsumerLinkBroken { file: FileId, consumer: TaskId },
+    /// A task's input refers to a file id that does not exist.
+    UnknownInput { task: TaskId, input: FileId },
+    /// A task lists an input, but that file does not list the task as a
+    /// consumer (the reverse edge is missing).
+    InputLinkBroken { task: TaskId, input: FileId },
+    /// A task's output refers to a file id that does not exist.
+    UnknownOutput { task: TaskId, output: FileId },
+    /// A task lists an output, but that file does not name the task as
+    /// its producer.
+    OutputLinkBroken { task: TaskId, output: FileId },
+    /// No topological order exists: the graph contains a cycle.
+    Cycle,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ValidateError::UnknownProducer { file, producer } => {
+                write!(f, "file {file:?} has unknown producer {producer:?}")
+            }
+            ValidateError::ProducerLinkBroken { file, producer } => {
+                write!(
+                    f,
+                    "file {file:?} not among outputs of its producer {producer:?}"
+                )
+            }
+            ValidateError::UnknownConsumer { file, consumer } => {
+                write!(f, "file {file:?} has unknown consumer {consumer:?}")
+            }
+            ValidateError::ConsumerLinkBroken { file, consumer } => {
+                write!(
+                    f,
+                    "file {file:?} not among inputs of its consumer {consumer:?}"
+                )
+            }
+            ValidateError::UnknownInput { task, input } => {
+                write!(f, "task {task:?} reads unknown file {input:?}")
+            }
+            ValidateError::InputLinkBroken { task, input } => {
+                write!(
+                    f,
+                    "task {task:?} reads file {input:?} which does not list it as consumer"
+                )
+            }
+            ValidateError::UnknownOutput { task, output } => {
+                write!(f, "task {task:?} writes unknown file {output:?}")
+            }
+            ValidateError::OutputLinkBroken { task, output } => {
+                write!(
+                    f,
+                    "task {task:?} writes file {output:?} which names a different producer"
+                )
+            }
+            ValidateError::Cycle => write!(f, "task graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
 
 /// Index of a task within its [`TaskGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -101,7 +179,10 @@ impl TaskGraph {
         let name = name.into();
         let tid = TaskId(self.tasks.len() as u32);
         for &f in &inputs {
-            assert!((f.0 as usize) < self.files.len(), "unknown input file {f:?}");
+            assert!(
+                (f.0 as usize) < self.files.len(),
+                "unknown input file {f:?}"
+            );
             self.files[f.0 as usize].consumers.push(tid);
         }
         let mut outputs = Vec::with_capacity(output_sizes.len());
@@ -164,7 +245,9 @@ impl TaskGraph {
 
     /// Files nobody consumes (the workflow's final results).
     pub fn sink_files(&self) -> impl Iterator<Item = &FileNode> {
-        self.files.iter().filter(|f| f.consumers.is_empty() && f.producer.is_some())
+        self.files
+            .iter()
+            .filter(|f| f.consumers.is_empty() && f.producer.is_some())
     }
 
     /// Total bytes of external input.
@@ -174,34 +257,78 @@ impl TaskGraph {
 
     /// Validate structural invariants. The builder API makes cycles
     /// impossible (tasks may only consume already-declared files), so this
-    /// mainly guards hand-edited graphs: every file's producer/consumer
-    /// links must be consistent, and a topological order must exist.
-    pub fn validate(&self) -> Result<(), String> {
+    /// mainly guards hand-edited graphs: every file↔task link must be
+    /// consistent in both directions, and a topological order must exist.
+    pub fn validate(&self) -> Result<(), ValidateError> {
         for f in &self.files {
             if let Some(p) = f.producer {
                 let pt = self
                     .tasks
                     .get(p.0 as usize)
-                    .ok_or_else(|| format!("file {:?} has unknown producer {:?}", f.id, p))?;
+                    .ok_or(ValidateError::UnknownProducer {
+                        file: f.id,
+                        producer: p,
+                    })?;
                 if !pt.outputs.contains(&f.id) {
-                    return Err(format!("file {:?} not among producer outputs", f.id));
+                    return Err(ValidateError::ProducerLinkBroken {
+                        file: f.id,
+                        producer: p,
+                    });
                 }
             }
             for &c in &f.consumers {
                 let ct = self
                     .tasks
                     .get(c.0 as usize)
-                    .ok_or_else(|| format!("file {:?} has unknown consumer {:?}", f.id, c))?;
+                    .ok_or(ValidateError::UnknownConsumer {
+                        file: f.id,
+                        consumer: c,
+                    })?;
                 if !ct.inputs.contains(&f.id) {
-                    return Err(format!("file {:?} not among consumer inputs", f.id));
+                    return Err(ValidateError::ConsumerLinkBroken {
+                        file: f.id,
+                        consumer: c,
+                    });
+                }
+            }
+        }
+        for t in &self.tasks {
+            for &i in &t.inputs {
+                let fi = self
+                    .files
+                    .get(i.0 as usize)
+                    .ok_or(ValidateError::UnknownInput {
+                        task: t.id,
+                        input: i,
+                    })?;
+                if !fi.consumers.contains(&t.id) {
+                    return Err(ValidateError::InputLinkBroken {
+                        task: t.id,
+                        input: i,
+                    });
+                }
+            }
+            for &o in &t.outputs {
+                let fo = self
+                    .files
+                    .get(o.0 as usize)
+                    .ok_or(ValidateError::UnknownOutput {
+                        task: t.id,
+                        output: o,
+                    })?;
+                if fo.producer != Some(t.id) {
+                    return Err(ValidateError::OutputLinkBroken {
+                        task: t.id,
+                        output: o,
+                    });
                 }
             }
         }
         self.topo_order().map(|_| ())
     }
 
-    /// A topological order of tasks, or an error if a cycle exists.
-    pub fn topo_order(&self) -> Result<Vec<TaskId>, String> {
+    /// A topological order of tasks, or [`ValidateError::Cycle`].
+    pub fn topo_order(&self) -> Result<Vec<TaskId>, ValidateError> {
         let n = self.tasks.len();
         let mut indegree = vec![0usize; n];
         for t in &self.tasks {
@@ -231,7 +358,7 @@ impl TaskGraph {
         if order.len() == n {
             Ok(order)
         } else {
-            Err("task graph contains a cycle".into())
+            Err(ValidateError::Cycle)
         }
     }
 
@@ -276,6 +403,35 @@ impl TaskGraph {
         self.tasks.iter().map(|t| t.inputs.len()).max().unwrap_or(0)
     }
 
+    /// Map one [`TaskKind::Process`] task over each partition file: task
+    /// `<name_prefix>.<i>` consumes `partitions[i]` and produces a single
+    /// output of `output_size` bytes. Returns the output files, in
+    /// partition order. Together with [`crate::rewrite::add_tree_reduce`]
+    /// this is the builder shape every workload in the paper reduces to
+    /// (map partitions → accumulate partials).
+    pub fn map_partitions(
+        &mut self,
+        name_prefix: &str,
+        partitions: &[FileId],
+        output_size: u64,
+        work: f64,
+    ) -> Vec<FileId> {
+        partitions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let (_, outs) = self.add_task(
+                    format!("{name_prefix}.{i}"),
+                    TaskKind::Process,
+                    vec![p],
+                    &[output_size],
+                    work,
+                );
+                outs[0]
+            })
+            .collect()
+    }
+
     /// Mutable task storage — for in-crate graph rewriting only.
     pub(crate) fn tasks_mut(&mut self) -> &mut Vec<TaskNode> {
         &mut self.tasks
@@ -284,6 +440,15 @@ impl TaskGraph {
     /// Mutable file storage — for in-crate graph rewriting only.
     pub(crate) fn files_mut(&mut self) -> &mut Vec<FileNode> {
         &mut self.files
+    }
+
+    /// Raw mutable access to `(tasks, files)`, bypassing every builder
+    /// invariant. Exists so tests (vine-lint's corruption-injection suite
+    /// in particular) can sever links and forge duplicate outputs;
+    /// production code must use the builder API.
+    #[doc(hidden)]
+    pub fn raw_parts_mut(&mut self) -> (&mut Vec<TaskNode>, &mut Vec<FileNode>) {
+        (&mut self.tasks, &mut self.files)
     }
 }
 
@@ -387,6 +552,45 @@ mod tests {
         let mut g = diamond();
         // Corrupt: claim file 1 is consumed by task 3 without updating task.
         g.files[1].consumers.push(TaskId(3));
-        assert!(g.validate().is_err());
+        assert_eq!(
+            g.validate(),
+            Err(ValidateError::ConsumerLinkBroken {
+                file: FileId(1),
+                consumer: TaskId(3)
+            })
+        );
+    }
+
+    #[test]
+    fn validate_catches_severed_producer_link() {
+        let mut g = diamond();
+        // Corrupt the reverse direction: task 0 still lists file 1 as an
+        // output, but the file no longer names it as producer.
+        g.files[1].producer = None;
+        assert_eq!(
+            g.validate(),
+            Err(ValidateError::OutputLinkBroken {
+                task: TaskId(0),
+                output: FileId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn map_partitions_builds_one_task_per_partition() {
+        let mut g = TaskGraph::new();
+        let parts: Vec<FileId> = (0..5)
+            .map(|i| g.add_external_file(format!("p{i}"), 100))
+            .collect();
+        let outs = g.map_partitions("proc", &parts, 7, 1.0);
+        assert_eq!(outs.len(), 5);
+        assert_eq!(g.task_count(), 5);
+        assert!(g.validate().is_ok());
+        for (i, &o) in outs.iter().enumerate() {
+            let t = g.file(o).producer.unwrap();
+            assert_eq!(g.task(t).inputs, vec![parts[i]]);
+            assert_eq!(g.task(t).kind, TaskKind::Process);
+            assert_eq!(g.file(o).size_hint, 7);
+        }
     }
 }

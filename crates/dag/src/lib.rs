@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-dag — the DAG manager layer
 //!
 //! Plays the role Dask plays in the paper's stack (§II-B): it holds the
@@ -23,5 +25,5 @@ pub mod graph;
 pub mod rewrite;
 pub mod tracker;
 
-pub use graph::{FileId, FileNode, TaskGraph, TaskId, TaskKind, TaskNode};
+pub use graph::{FileId, FileNode, TaskGraph, TaskId, TaskKind, TaskNode, ValidateError};
 pub use tracker::{ReadyTracker, TaskState};

@@ -108,7 +108,12 @@ impl ReadyTracker {
     pub fn counts(&self) -> (usize, usize, usize, usize) {
         let total = self.state.len();
         let blocked = total - self.ready.len() - self.running_count - self.done_count;
-        (blocked, self.ready.len(), self.running_count, self.done_count)
+        (
+            blocked,
+            self.ready.len(),
+            self.running_count,
+            self.done_count,
+        )
     }
 
     /// True when every task is `Done`.
@@ -133,7 +138,11 @@ impl ReadyTracker {
     /// # Panics
     /// If the task is not ready.
     pub fn mark_running(&mut self, t: TaskId) {
-        assert_eq!(self.state[t.0 as usize], TaskState::Ready, "task {t:?} not ready");
+        assert_eq!(
+            self.state[t.0 as usize],
+            TaskState::Ready,
+            "task {t:?} not ready"
+        );
         self.ready.remove(&t);
         self.state[t.0 as usize] = TaskState::Running;
         self.running_count += 1;

@@ -105,11 +105,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn len_checked(&mut self, elem_size: usize, what: &'static str) -> Result<usize, CodecError> {
@@ -135,7 +139,9 @@ impl<'a> Reader<'a> {
         let n = self.len_checked(4, "u32 vector length")?;
         (0..n)
             .map(|_| {
-                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+                Ok(u32::from_le_bytes(
+                    self.take(4)?.try_into().expect("4 bytes"),
+                ))
             })
             .collect()
     }
@@ -175,14 +181,19 @@ fn read_h1(r: &mut Reader) -> Result<Hist1D, CodecError> {
     let overflow = r.f64()?;
     let sum_w = r.f64()?;
     let sum_wx = r.f64()?;
-    Ok(Hist1D::from_raw_parts(lo, hi, counts, underflow, overflow, sum_w, sum_wx))
+    Ok(Hist1D::from_raw_parts(
+        lo, hi, counts, underflow, overflow, sum_w, sum_wx,
+    ))
 }
 
 /// Encode a histogram set.
 pub fn encode_histogram_set(set: &HistogramSet) -> Vec<u8> {
     let mut w = Writer::new(TAG_HISTSET);
     w.u64(set.events_processed);
-    let h1: Vec<(&str, &Hist1D)> = set.h1_names().map(|n| (n, set.h1(n).expect("listed"))).collect();
+    let h1: Vec<(&str, &Hist1D)> = set
+        .h1_names()
+        .map(|n| (n, set.h1(n).expect("listed")))
+        .collect();
     w.u64(h1.len() as u64);
     for (name, h) in h1 {
         w.str(name);
@@ -234,7 +245,9 @@ pub fn decode_histogram_set(buf: &[u8]) -> Result<HistogramSet, CodecError> {
         let sum_w = r.f64()?;
         set.set_h2(
             name,
-            Hist2D::from_raw_parts(x_bins, y_bins, x_lo, x_hi, y_lo, y_hi, counts, outside, sum_w),
+            Hist2D::from_raw_parts(
+                x_bins, y_bins, x_lo, x_hi, y_lo, y_hi, counts, outside, sum_w,
+            ),
         );
     }
     r.finish()?;
@@ -296,7 +309,9 @@ pub fn decode_event_batch(buf: &[u8]) -> Result<EventBatch, CodecError> {
         offsets.push(0u32);
         let mut acc = 0u32;
         for &c in &counts {
-            acc = acc.checked_add(c).ok_or(CodecError::Corrupt("offset overflow"))?;
+            acc = acc
+                .checked_add(c)
+                .ok_or(CodecError::Corrupt("offset overflow"))?;
             offsets.push(acc);
         }
         batch.set_jagged(name, Jagged::from_parts(offsets, values));
@@ -364,7 +379,10 @@ mod tests {
     #[test]
     fn wrong_tag_rejected() {
         let bytes = encode_histogram_set(&sample_set());
-        assert_eq!(decode_event_batch(&bytes).unwrap_err(), CodecError::BadHeader);
+        assert_eq!(
+            decode_event_batch(&bytes).unwrap_err(),
+            CodecError::BadHeader
+        );
     }
 
     #[test]

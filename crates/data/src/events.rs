@@ -17,7 +17,11 @@ pub struct EventBatch {
 impl EventBatch {
     /// An empty batch of `n_events` events with no columns yet.
     pub fn new(n_events: usize) -> Self {
-        EventBatch { n_events, scalars: BTreeMap::new(), jagged: BTreeMap::new() }
+        EventBatch {
+            n_events,
+            scalars: BTreeMap::new(),
+            jagged: BTreeMap::new(),
+        }
     }
 
     /// Number of events.

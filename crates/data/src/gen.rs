@@ -105,7 +105,10 @@ impl EventGenerator {
                 btags.push(self.sample_btag(&mut rng));
             }
             // Jets arrive pt-sorted, as in NanoAOD.
-            sort_by_leading(&mut pts, &mut [&mut etas, &mut phis, &mut masses, &mut btags]);
+            sort_by_leading(
+                &mut pts,
+                &mut [&mut etas, &mut phis, &mut masses, &mut btags],
+            );
             jet_pt.push_event(pts);
             jet_eta.push_event(etas);
             jet_phi.push_event(phis);
@@ -114,7 +117,11 @@ impl EventGenerator {
 
             // Photons: background multiplicity, plus occasional signal.
             let signal = rng.gen_bool(self.triphoton_signal_fraction.clamp(0.0, 1.0));
-            let np = if signal { 3 } else { photon_mult.sample(&mut rng) as usize };
+            let np = if signal {
+                3
+            } else {
+                photon_mult.sample(&mut rng) as usize
+            };
             let (mut ppts, mut petas, mut pphis) = (Vec::new(), Vec::new(), Vec::new());
             for k in 0..np {
                 let pt = if signal {
@@ -216,8 +223,16 @@ mod tests {
         let g = EventGenerator::default();
         let b = g.generate("ds", 0, 0, 10);
         assert_eq!(b.len(), 10);
-        for col in ["Jet_pt", "Jet_eta", "Jet_phi", "Jet_mass", "Jet_btag",
-                    "Photon_pt", "Photon_eta", "Photon_phi"] {
+        for col in [
+            "Jet_pt",
+            "Jet_eta",
+            "Jet_phi",
+            "Jet_mass",
+            "Jet_btag",
+            "Photon_pt",
+            "Photon_eta",
+            "Photon_phi",
+        ] {
             assert!(b.jagged(col).is_some(), "missing {col}");
             assert_eq!(b.jagged(col).unwrap().len(), 10);
         }
@@ -253,7 +268,10 @@ mod tests {
         let pts = b.jagged("Jet_pt").unwrap().values();
         let low = pts.iter().filter(|&&p| p < 40.0).count();
         let high = pts.iter().filter(|&&p| p >= 100.0).count();
-        assert!(low > 5 * high, "spectrum not falling: low={low} high={high}");
+        assert!(
+            low > 5 * high,
+            "spectrum not falling: low={low} high={high}"
+        );
         assert!(pts.iter().all(|&p| p >= 20.0));
     }
 
@@ -276,7 +294,10 @@ mod tests {
         let b = g.generate("sig", 0, 0, 2000);
         let np = b.jagged("Photon_pt").unwrap().counts();
         let three = np.iter().filter(|&&n| n >= 3).count();
-        assert!(three as f64 > 0.4 * 2000.0, "3-photon rate too low: {three}");
+        assert!(
+            three as f64 > 0.4 * 2000.0,
+            "3-photon rate too low: {three}"
+        );
     }
 
     #[test]

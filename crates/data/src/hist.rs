@@ -150,7 +150,15 @@ impl Hist1D {
         sum_wx: f64,
     ) -> Self {
         assert!(!counts.is_empty() && hi > lo, "invalid histogram axis");
-        Hist1D { lo, hi, counts, underflow, overflow, sum_w, sum_wx }
+        Hist1D {
+            lo,
+            hi,
+            counts,
+            underflow,
+            overflow,
+            sum_w,
+            sum_wx,
+        }
     }
 }
 
@@ -278,7 +286,17 @@ impl Hist2D {
     ) -> Self {
         assert!(x_bins > 0 && y_bins > 0 && counts.len() == x_bins * y_bins);
         assert!(x_hi > x_lo && y_hi > y_lo);
-        Hist2D { x_bins, y_bins, x_lo, x_hi, y_lo, y_hi, counts, outside, sum_w }
+        Hist2D {
+            x_bins,
+            y_bins,
+            x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+            counts,
+            outside,
+            sum_w,
+        }
     }
 }
 

@@ -15,7 +15,10 @@ pub struct Jagged {
 impl Jagged {
     /// An empty jagged array (zero events).
     pub fn new() -> Self {
-        Jagged { offsets: vec![0], values: Vec::new() }
+        Jagged {
+            offsets: vec![0],
+            values: Vec::new(),
+        }
     }
 
     /// Build from per-event lists.
@@ -37,7 +40,10 @@ impl Jagged {
     /// If offsets are not monotone starting at 0 and ending at
     /// `values.len()`.
     pub fn from_parts(offsets: Vec<u32>, values: Vec<f64>) -> Self {
-        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert!(
+            !offsets.is_empty() && offsets[0] == 0,
+            "offsets must start at 0"
+        );
         assert!(
             offsets.windows(2).all(|w| w[0] <= w[1]),
             "offsets must be monotone"

@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-data — synthetic HEP data substrate
 //!
 //! Stands in for the CMS ROOT datasets the paper consumes (which are
@@ -24,7 +26,9 @@ pub mod hist;
 pub mod jagged;
 pub mod rootfile;
 
-pub use codec::{decode_event_batch, decode_histogram_set, encode_event_batch, encode_histogram_set, CodecError};
+pub use codec::{
+    decode_event_batch, decode_histogram_set, encode_event_batch, encode_histogram_set, CodecError,
+};
 pub use events::EventBatch;
 pub use gen::EventGenerator;
 pub use hist::{Hist1D, Hist2D, HistogramSet};

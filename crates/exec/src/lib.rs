@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-exec — a real threaded manager/worker runtime
 //!
 //! The simulation in `vine-core` reproduces the paper's cluster-scale

@@ -105,7 +105,10 @@ mod tests {
         let t1 = Instant::now();
         let _big = LibraryState::build(1_000_000);
         let big = t1.elapsed();
-        assert!(big > small, "library build cost not increasing: {small:?} vs {big:?}");
+        assert!(
+            big > small,
+            "library build cost not increasing: {small:?} vs {big:?}"
+        );
     }
 
     #[test]

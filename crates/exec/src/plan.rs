@@ -63,12 +63,21 @@ impl ExecPlan {
                     1.0,
                 );
                 debug_assert_eq!(tid.0 as usize, actions.len());
-                actions.push(TaskAction::Process { dataset: di, chunk: *chunk });
+                actions.push(TaskAction::Process {
+                    dataset: di,
+                    chunk: *chunk,
+                });
                 partials.push(outs[0]);
             }
             let before = graph.task_count();
-            let result =
-                add_tree_reduce(&mut graph, &format!("{}.reduce", ds.name), &partials, arity, 1, 0.1);
+            let result = add_tree_reduce(
+                &mut graph,
+                &format!("{}.reduce", ds.name),
+                &partials,
+                arity,
+                1,
+                0.1,
+            );
             for _ in before..graph.task_count() {
                 actions.push(TaskAction::Accumulate);
             }
@@ -82,9 +91,22 @@ impl ExecPlan {
             actions.push(TaskAction::Accumulate);
         }
 
-        debug_assert!(graph.validate().is_ok());
+        // Pre-flight: a plan the builder emits must lint clean on the
+        // structural (G) family — anything else is a bug in this builder,
+        // not in the caller's inputs.
+        let report = vine_lint::lint_graph(&graph);
+        assert!(
+            !report.has_errors(),
+            "ExecPlan::build produced a graph with lint errors:\n{}",
+            report.to_text()
+        );
         debug_assert_eq!(actions.len(), graph.task_count());
-        ExecPlan { graph, actions, dataset_results, final_result }
+        ExecPlan {
+            graph,
+            actions,
+            dataset_results,
+            final_result,
+        }
     }
 
     /// Number of tasks in the plan.

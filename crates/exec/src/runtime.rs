@@ -120,28 +120,40 @@ impl Executor {
                 let mode = self.mode;
                 let import_work = self.import_work;
                 scope.spawn(move || {
-                    worker_loop(worker, task_rx, done_tx, mode, import_work, processor, datasets)
+                    worker_loop(
+                        worker,
+                        task_rx,
+                        done_tx,
+                        mode,
+                        import_work,
+                        processor,
+                        datasets,
+                    )
                 });
             }
             drop(task_rx);
             drop(done_tx);
 
             // Prime the pipeline with every initially-ready task.
-            let dispatch = |tracker: &mut ReadyTracker,
-                                storage: &HashMap<FileId, Arc<HistogramSet>>| {
-                while let Some(task) = tracker.pop_ready() {
-                    let inputs = plan
-                        .graph
-                        .task(task)
-                        .inputs
-                        .iter()
-                        .filter_map(|f| storage.get(f).cloned())
-                        .collect();
-                    task_tx
-                        .send(TaskMsg { task, action: plan.action(task).clone(), inputs })
-                        .expect("workers alive");
-                }
-            };
+            let dispatch =
+                |tracker: &mut ReadyTracker, storage: &HashMap<FileId, Arc<HistogramSet>>| {
+                    while let Some(task) = tracker.pop_ready() {
+                        let inputs = plan
+                            .graph
+                            .task(task)
+                            .inputs
+                            .iter()
+                            .filter_map(|f| storage.get(f).cloned())
+                            .collect();
+                        task_tx
+                            .send(TaskMsg {
+                                task,
+                                action: plan.action(task).clone(),
+                                inputs,
+                            })
+                            .expect("workers alive");
+                    }
+                };
             dispatch(&mut tracker, &storage);
 
             while !tracker.is_complete() {
@@ -168,7 +180,13 @@ impl Executor {
         let dataset_results = plan
             .dataset_results
             .iter()
-            .map(|f| storage.get(f).expect("dataset result produced").as_ref().clone())
+            .map(|f| {
+                storage
+                    .get(f)
+                    .expect("dataset result produced")
+                    .as_ref()
+                    .clone()
+            })
             .collect();
         // In serverless mode each worker built the library once at startup.
         if self.mode == ExecMode::Serverless {
@@ -266,7 +284,12 @@ mod tests {
     }
 
     fn exec(mode: ExecMode, threads: usize) -> Executor {
-        Executor { threads, mode, import_work: 20_000, arity: 3 }
+        Executor {
+            threads,
+            mode,
+            import_work: 20_000,
+            arity: 3,
+        }
     }
 
     #[test]
@@ -319,7 +342,12 @@ mod tests {
         let dss = datasets(1, 500);
         let proc = Dv3Processor::default();
         // Big library so the rebuild dominates task time.
-        let mk = |mode| Executor { threads: 2, mode, import_work: 2_000_000, arity: 4 };
+        let mk = |mode| Executor {
+            threads: 2,
+            mode,
+            import_work: 2_000_000,
+            arity: 4,
+        };
         let std_report = mk(ExecMode::Standard).run(&proc, &dss);
         let srv_report = mk(ExecMode::Serverless).run(&proc, &dss);
         assert!(
@@ -335,7 +363,11 @@ mod tests {
         let dss = datasets(3, 300);
         let proc = Dv3Processor::default();
         let report = exec(ExecMode::Serverless, 4).run(&proc, &dss);
-        let total: u64 = report.dataset_results.iter().map(|r| r.events_processed).sum();
+        let total: u64 = report
+            .dataset_results
+            .iter()
+            .map(|r| r.events_processed)
+            .sum();
         assert_eq!(total, report.events_processed);
         assert_eq!(report.dataset_results.len(), 3);
     }

@@ -1,0 +1,179 @@
+//! Integration tests: the lints against real workloads and configs.
+//!
+//! The headline regression is Fig 11 — the single-node reduction on
+//! RS-class workers must be rejected statically (R001) while the tree
+//! counterpart passes, without simulating either. The property tests pin
+//! the other direction: graphs built through the `TaskGraph` builder API
+//! never trip a structural error, and only injected corruptions do.
+
+use proptest::prelude::*;
+use vine_analysis::{ReductionShape, WorkloadSpec};
+use vine_cluster::{ClusterSpec, WorkerSpec};
+use vine_core::EngineConfig;
+use vine_dag::{TaskGraph, TaskKind};
+use vine_lint::{lint_all, lint_graph, Code};
+use vine_simcore::units::gbit_per_sec;
+
+fn rs_cluster(workers: usize) -> ClusterSpec {
+    ClusterSpec {
+        workers,
+        worker: WorkerSpec::rs_triphoton(),
+        manager_link_bw: gbit_per_sec(12.0),
+    }
+}
+
+// ----- Fig 11, statically ---------------------------------------------------
+
+#[test]
+fn fig11_single_node_reduction_is_rejected_statically() {
+    // Paper scale: each dataset's partials converge on one accumulation;
+    // one worker hosting a core-count's worth of them needs ~2 TB against
+    // a 700 GB disk. The lint proves it without running a single event.
+    let spec = WorkloadSpec::rs_triphoton().with_reduction(ReductionShape::SingleNode);
+    let cfg = EngineConfig::stack4(rs_cluster(14), 42);
+    let report = lint_all(&spec.to_graph(), &cfg.lint_facts());
+    assert!(
+        report.has_code(Code::R001),
+        "expected R001:\n{}",
+        report.to_text()
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn fig11_tree_reduction_passes_statically() {
+    let spec = WorkloadSpec::rs_triphoton().with_reduction(ReductionShape::Tree { arity: 8 });
+    let cfg = EngineConfig::stack4(rs_cluster(14), 42);
+    let report = lint_all(&spec.to_graph(), &cfg.lint_facts());
+    assert!(
+        !report.has_errors(),
+        "tree variant must pass:\n{}",
+        report.to_text()
+    );
+}
+
+// ----- presets × workloads stay clean ---------------------------------------
+
+#[test]
+fn standard_presets_lint_without_errors() {
+    for spec in [
+        WorkloadSpec::dv3_small(),
+        WorkloadSpec::dv3_medium(),
+        WorkloadSpec::dv3_large(),
+        WorkloadSpec::rs_triphoton(),
+    ] {
+        let g = spec.to_graph();
+        for stack in 1..=4 {
+            let cfg = EngineConfig::stack(stack, ClusterSpec::standard(200), 42);
+            let report = lint_all(&g, &cfg.lint_facts());
+            assert!(
+                !report.has_errors(),
+                "{} / stack {stack}:\n{}",
+                spec.name,
+                report.to_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn dask_preset_is_clean_below_scale_and_flagged_above() {
+    let cfg = EngineConfig::dask_distributed(ClusterSpec::standard(10), 42);
+    let small = WorkloadSpec::dv3_small().to_graph();
+    let r = lint_all(&small, &cfg.lint_facts());
+    assert!(!r.has_errors(), "{}", r.to_text());
+
+    let large = WorkloadSpec::dv3_large().to_graph(); // 1.2 TB of input
+    let r = lint_all(&large, &cfg.lint_facts());
+    assert!(r.has_code(Code::C005) && r.has_errors());
+}
+
+// ----- injected corruptions -------------------------------------------------
+
+fn pipeline() -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let parts: Vec<_> = (0..8)
+        .map(|i| g.add_external_file(format!("p{i}"), 1_000_000))
+        .collect();
+    let partials = g.map_partitions("proc", &parts, 500_000, 1.0);
+    g.add_task("acc", TaskKind::Accumulate, partials, &[1_000], 0.5);
+    g
+}
+
+#[test]
+fn severed_producer_link_is_caught_as_g001() {
+    let mut g = pipeline();
+    let (tasks, _) = g.raw_parts_mut();
+    // Task 0 claims no outputs, but its output file still names it as
+    // producer: a severed producer link.
+    tasks[0].outputs.clear();
+    let r = lint_graph(&g);
+    assert!(r.has_code(Code::G001) && r.has_errors(), "{}", r.to_text());
+}
+
+#[test]
+fn duplicate_output_name_is_caught_as_g003() {
+    let mut g = pipeline();
+    let (_, files) = g.raw_parts_mut();
+    let clone = files[8].name.clone(); // first partial
+    files[9].name = clone;
+    let r = lint_graph(&g);
+    assert!(r.has_code(Code::G003) && r.has_errors(), "{}", r.to_text());
+}
+
+#[test]
+fn over_capacity_reduce_is_caught_as_r001() {
+    // 8 partials of 50 GB into one accumulation on 12-core workers with
+    // 100 GB disks: a single pin of 400 GB can never fit.
+    let mut g = TaskGraph::new();
+    let parts: Vec<_> = (0..8)
+        .map(|i| g.add_external_file(format!("p{i}"), 50_000_000_000))
+        .collect();
+    g.add_task("acc", TaskKind::Accumulate, parts, &[1_000], 0.5);
+    let mut cluster = ClusterSpec::standard(4);
+    cluster.worker.disk_bytes = 100_000_000_000;
+    let cfg = EngineConfig::stack4(cluster, 42);
+    let r = lint_all(&g, &cfg.lint_facts());
+    assert!(r.has_code(Code::R001) && r.has_code(Code::R002) && r.has_errors());
+}
+
+// ----- builder graphs lint clean (property) ---------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any graph assembled through the builder API — externals, mapped
+    /// partitions, a bounded-arity reduction — has no structural errors.
+    #[test]
+    fn builder_graphs_have_no_structural_errors(
+        n_parts in 1usize..40,
+        arity in 2usize..9,
+        part_bytes in 1u64..1_000_000,
+    ) {
+        let mut g = TaskGraph::new();
+        let parts: Vec<_> = (0..n_parts)
+            .map(|i| g.add_external_file(format!("p{i}"), part_bytes))
+            .collect();
+        let partials = g.map_partitions("proc", &parts, part_bytes / 2 + 1, 1.0);
+        vine_dag::rewrite::add_tree_reduce(&mut g, "acc", &partials, arity, 1_000, 0.1);
+        let r = lint_graph(&g);
+        prop_assert!(!r.has_errors(), "{}", r.to_text());
+    }
+
+    /// The full battery against the reference facts: builder graphs with
+    /// modest file sizes produce no errors either.
+    #[test]
+    fn builder_graphs_pass_full_battery_on_reference_facts(
+        n_parts in 1usize..30,
+        arity in 2usize..6,
+    ) {
+        let mut g = TaskGraph::new();
+        let parts: Vec<_> = (0..n_parts)
+            .map(|i| g.add_external_file(format!("p{i}"), 1_000_000))
+            .collect();
+        let partials = g.map_partitions("proc", &parts, 500_000, 1.0);
+        vine_dag::rewrite::add_tree_reduce(&mut g, "acc", &partials, arity, 1_000, 0.1);
+        let r = lint_all(&g, &vine_lint::EngineFacts::default());
+        prop_assert!(!r.has_errors(), "{}", r.to_text());
+    }
+}

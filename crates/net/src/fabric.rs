@@ -157,8 +157,8 @@ impl Fabric {
             }
             // Round up to the next microsecond so the flow is always fully
             // drained (never early) when the completion event fires.
-            let finish = self.now
-                + SimDur::from_micros((f.remaining / f.rate * 1e6).ceil().max(0.0) as u64);
+            let finish =
+                self.now + SimDur::from_micros((f.remaining / f.rate * 1e6).ceil().max(0.0) as u64);
             match best {
                 // Tie-break on FlowId for determinism.
                 Some((bt, bid)) if (finish, id) >= (bt, bid) => {}
@@ -430,7 +430,15 @@ mod tests {
         let mut fab = Fabric::new();
         let nodes: Vec<NodeId> = (0..20).map(|_| fab.add_symmetric_node(1e9)).collect();
         let ids: Vec<FlowId> = (0..10)
-            .map(|i| fab.start_flow(SimTime::ZERO, nodes[2 * i], nodes[2 * i + 1], 1_000_000_000, f64::INFINITY))
+            .map(|i| {
+                fab.start_flow(
+                    SimTime::ZERO,
+                    nodes[2 * i],
+                    nodes[2 * i + 1],
+                    1_000_000_000,
+                    f64::INFINITY,
+                )
+            })
             .collect();
         for &id in &ids {
             assert!((fab.flow_rate(id).unwrap() - 1e9).abs() < 10.0);

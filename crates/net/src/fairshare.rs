@@ -65,7 +65,15 @@ pub fn max_min_fair(flows: &[FlowSpec], link_capacity: &[f64]) -> Vec<f64> {
                 && flows[i].rate_cap.is_finite()
                 && flows[i].rate_cap <= bottleneck_share + EPS
             {
-                fix_flow(i, flows[i].rate_cap, flows, &mut rate, &mut remaining, &mut load, &mut active);
+                fix_flow(
+                    i,
+                    flows[i].rate_cap,
+                    flows,
+                    &mut rate,
+                    &mut remaining,
+                    &mut load,
+                    &mut active,
+                );
                 active_count -= 1;
                 fixed_any_cap = true;
             }
@@ -98,7 +106,15 @@ pub fn max_min_fair(flows: &[FlowSpec], link_capacity: &[f64]) -> Vec<f64> {
         let mut fixed_any = false;
         for i in 0..n {
             if active[i] && (flows[i].egress_link == l || flows[i].ingress_link == l) {
-                fix_flow(i, bottleneck_share, flows, &mut rate, &mut remaining, &mut load, &mut active);
+                fix_flow(
+                    i,
+                    bottleneck_share,
+                    flows,
+                    &mut rate,
+                    &mut remaining,
+                    &mut load,
+                    &mut active,
+                );
                 active_count -= 1;
                 fixed_any = true;
             }
@@ -138,7 +154,11 @@ mod tests {
     const INF: f64 = f64::INFINITY;
 
     fn spec(e: usize, i: usize, cap: f64) -> FlowSpec {
-        FlowSpec { egress_link: e, ingress_link: i, rate_cap: cap }
+        FlowSpec {
+            egress_link: e,
+            ingress_link: i,
+            rate_cap: cap,
+        }
     }
 
     #[test]
@@ -156,10 +176,7 @@ mod tests {
     #[test]
     fn equal_flows_share_equally() {
         // Two flows out of the same egress link into distinct sinks.
-        let rates = max_min_fair(
-            &[spec(0, 1, INF), spec(0, 2, INF)],
-            &[100.0, 100.0, 100.0],
-        );
+        let rates = max_min_fair(&[spec(0, 1, INF), spec(0, 2, INF)], &[100.0, 100.0, 100.0]);
         assert!((rates[0] - 50.0).abs() < 1e-6);
         assert!((rates[1] - 50.0).abs() < 1e-6);
     }
@@ -167,10 +184,7 @@ mod tests {
     #[test]
     fn capped_flow_releases_capacity_to_peer() {
         // Flow 0 capped at 10; flow 1 picks up the slack.
-        let rates = max_min_fair(
-            &[spec(0, 1, 10.0), spec(0, 2, INF)],
-            &[100.0, 100.0, 100.0],
-        );
+        let rates = max_min_fair(&[spec(0, 1, 10.0), spec(0, 2, INF)], &[100.0, 100.0, 100.0]);
         assert!((rates[0] - 10.0).abs() < 1e-6);
         assert!((rates[1] - 90.0).abs() < 1e-6);
     }

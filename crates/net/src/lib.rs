@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-net — cluster network fabric
 //!
 //! Models the in-cluster network as a star: every node (manager, workers,

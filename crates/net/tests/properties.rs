@@ -9,12 +9,20 @@ fn flows_and_caps() -> impl Strategy<Value = (Vec<FlowSpec>, Vec<f64>)> {
     (2usize..10).prop_flat_map(|n_links| {
         let caps = proptest::collection::vec(1.0f64..1000.0, n_links..=n_links);
         let flows = proptest::collection::vec(
-            (0..n_links, 0..n_links, prop_oneof![Just(f64::INFINITY), 0.5f64..500.0]),
+            (
+                0..n_links,
+                0..n_links,
+                prop_oneof![Just(f64::INFINITY), 0.5f64..500.0],
+            ),
             1..30,
         )
         .prop_map(|v| {
             v.into_iter()
-                .map(|(e, i, cap)| FlowSpec { egress_link: e, ingress_link: i, rate_cap: cap })
+                .map(|(e, i, cap)| FlowSpec {
+                    egress_link: e,
+                    ingress_link: i,
+                    rate_cap: cap,
+                })
                 .collect::<Vec<_>>()
         });
         (flows, caps)

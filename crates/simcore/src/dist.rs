@@ -59,7 +59,9 @@ impl Dist {
                 let v = if sd <= 0.0 {
                     mean
                 } else {
-                    Normal::new(mean, sd).expect("finite parameters").sample(rng)
+                    Normal::new(mean, sd)
+                        .expect("finite parameters")
+                        .sample(rng)
                 };
                 v.max(min)
             }
@@ -96,10 +98,20 @@ impl Dist {
         let k = k.max(0.0);
         match *self {
             Dist::Constant(v) => Dist::Constant(v * k),
-            Dist::Uniform { lo, hi } => Dist::Uniform { lo: lo * k, hi: hi * k },
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * k,
+                hi: hi * k,
+            },
             Dist::Exponential { mean } => Dist::Exponential { mean: mean * k },
-            Dist::LogNormal { median, sigma } => Dist::LogNormal { median: median * k, sigma },
-            Dist::Normal { mean, sd, min } => Dist::Normal { mean: mean * k, sd: sd * k, min: min * k },
+            Dist::LogNormal { median, sigma } => Dist::LogNormal {
+                median: median * k,
+                sigma,
+            },
+            Dist::Normal { mean, sd, min } => Dist::Normal {
+                mean: mean * k,
+                sd: sd * k,
+                min: min * k,
+            },
         }
     }
 }
@@ -151,7 +163,10 @@ mod tests {
     #[test]
     fn lognormal_median_approx() {
         let mut r = rng();
-        let d = Dist::LogNormal { median: 4.0, sigma: 0.8 };
+        let d = Dist::LogNormal {
+            median: 4.0,
+            sigma: 0.8,
+        };
         let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = xs[xs.len() / 2];
@@ -161,7 +176,11 @@ mod tests {
     #[test]
     fn normal_clamps_at_min() {
         let mut r = rng();
-        let d = Dist::Normal { mean: 0.0, sd: 1.0, min: 0.25 };
+        let d = Dist::Normal {
+            mean: 0.0,
+            sd: 1.0,
+            min: 0.25,
+        };
         for _ in 0..1000 {
             assert!(d.sample(&mut r) >= 0.25);
         }
@@ -173,8 +192,15 @@ mod tests {
         let dists = [
             Dist::Constant(-1.0),
             Dist::Exponential { mean: -3.0 },
-            Dist::LogNormal { median: -2.0, sigma: 1.0 },
-            Dist::Normal { mean: -10.0, sd: 0.1, min: -20.0 },
+            Dist::LogNormal {
+                median: -2.0,
+                sigma: 1.0,
+            },
+            Dist::Normal {
+                mean: -10.0,
+                sd: 0.1,
+                min: -20.0,
+            },
         ];
         for d in dists {
             for _ in 0..100 {
@@ -188,13 +214,19 @@ mod tests {
         assert_eq!(Dist::Constant(2.0).mean(), 2.0);
         assert_eq!(Dist::Uniform { lo: 1.0, hi: 3.0 }.mean(), 2.0);
         assert_eq!(Dist::Exponential { mean: 7.0 }.mean(), 7.0);
-        let ln = Dist::LogNormal { median: 4.0, sigma: 0.5 };
+        let ln = Dist::LogNormal {
+            median: 4.0,
+            sigma: 0.5,
+        };
         assert!((ln.mean() - 4.0 * (0.125f64).exp()).abs() < 1e-12);
     }
 
     #[test]
     fn scaled_scales_samples_statistically() {
-        let d = Dist::LogNormal { median: 2.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            median: 2.0,
+            sigma: 0.5,
+        };
         let s = d.scaled(8.0);
         assert!((s.mean() - 8.0 * d.mean()).abs() < 1e-9);
     }

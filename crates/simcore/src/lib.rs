@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-simcore — deterministic discrete-event simulation kernel
 //!
 //! Foundation for the TaskVine reproduction: every experiment in the paper

@@ -149,7 +149,12 @@ impl IntervalTrace {
     /// Record one interval.
     pub fn push(&mut self, entity: usize, start: SimTime, end: SimTime, tag: u32) {
         debug_assert!(start <= end);
-        self.intervals.push(Interval { entity, start, end, tag });
+        self.intervals.push(Interval {
+            entity,
+            start,
+            end,
+            tag,
+        });
     }
 
     /// All recorded intervals, in insertion order.
@@ -195,7 +200,10 @@ pub struct TransferMatrix {
 impl TransferMatrix {
     /// A zeroed matrix over `n` nodes.
     pub fn new(n: usize) -> Self {
-        TransferMatrix { n, bytes: vec![0; n * n] }
+        TransferMatrix {
+            n,
+            bytes: vec![0; n * n],
+        }
     }
 
     /// Number of nodes.
@@ -249,7 +257,10 @@ impl LogHistogram {
     /// A histogram with `bins` log₂ bins starting at `min` (> 0).
     pub fn new(min: f64, bins: usize) -> Self {
         assert!(min > 0.0 && bins > 0);
-        LogHistogram { min, counts: vec![0; bins] }
+        LogHistogram {
+            min,
+            counts: vec![0; bins],
+        }
     }
 
     /// Record one value.
@@ -347,10 +358,7 @@ mod tests {
         let mut s = TimeSeries::new();
         s.push(t(1), 5.0);
         let grid = s.resample(t(2), SimDur::from_secs(1));
-        assert_eq!(
-            grid,
-            vec![(t(0), 0.0), (t(1), 5.0), (t(2), 5.0)]
-        );
+        assert_eq!(grid, vec![(t(0), 0.0), (t(1), 5.0), (t(2), 5.0)]);
     }
 
     #[test]
@@ -370,7 +378,10 @@ mod tests {
         c.add(t(1), -1);
         c.set(t(2), 10);
         assert_eq!(c.value(), 10);
-        assert_eq!(c.series().points(), &[(t(0), 3.0), (t(1), 2.0), (t(2), 10.0)]);
+        assert_eq!(
+            c.series().points(),
+            &[(t(0), 3.0), (t(1), 2.0), (t(2), 10.0)]
+        );
     }
 
     #[test]

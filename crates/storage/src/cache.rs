@@ -39,7 +39,10 @@ pub enum CacheError {
 impl std::fmt::Display for CacheError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CacheError::WontFit { needed, reclaimable } => write!(
+            CacheError::WontFit {
+                needed,
+                reclaimable,
+            } => write!(
                 f,
                 "cache overflow: need {needed} bytes but only {reclaimable} reclaimable"
             ),
@@ -190,7 +193,12 @@ impl LocalCache {
             None => {
                 self.entries.insert(
                     name,
-                    Entry { size, kind, pins: 0, last_use: tick },
+                    Entry {
+                        size,
+                        kind,
+                        pins: 0,
+                        last_use: tick,
+                    },
                 );
                 self.used += size;
             }
@@ -268,7 +276,10 @@ mod tests {
     #[test]
     fn insert_and_lookup() {
         let mut c = LocalCache::new(1000);
-        assert_eq!(c.insert(name(1), 400, CacheEntryKind::Input).unwrap(), vec![]);
+        assert_eq!(
+            c.insert(name(1), 400, CacheEntryKind::Input).unwrap(),
+            vec![]
+        );
         assert!(c.contains(name(1)));
         assert_eq!(c.size_of(name(1)), Some(400));
         assert_eq!(c.used(), 400);
@@ -294,7 +305,9 @@ mod tests {
         for i in 0..5 {
             c.insert(name(i), 200, CacheEntryKind::Input).unwrap();
         }
-        let evicted = c.insert(name(9), 900, CacheEntryKind::Intermediate).unwrap();
+        let evicted = c
+            .insert(name(9), 900, CacheEntryKind::Intermediate)
+            .unwrap();
         // need 900 bytes, free 0, victims are 200 bytes each -> 5 evictions
         assert_eq!(evicted.len(), 5);
         assert_eq!(c.used(), 900);
@@ -308,7 +321,13 @@ mod tests {
         c.insert(name(2), 300, CacheEntryKind::Input).unwrap();
         // Needs 500: only name(2) (300) is reclaimable -> WontFit.
         let err = c.insert(name(3), 500, CacheEntryKind::Input).unwrap_err();
-        assert_eq!(err, CacheError::WontFit { needed: 500, reclaimable: 400 });
+        assert_eq!(
+            err,
+            CacheError::WontFit {
+                needed: 500,
+                reclaimable: 400
+            }
+        );
         // Cache unchanged on failure.
         assert!(c.contains(name(1)));
         assert!(c.contains(name(2)));
@@ -369,7 +388,8 @@ mod tests {
     #[test]
     fn remove_frees_space_but_not_pinned() {
         let mut c = LocalCache::new(1000);
-        c.insert(name(1), 500, CacheEntryKind::Intermediate).unwrap();
+        c.insert(name(1), 500, CacheEntryKind::Intermediate)
+            .unwrap();
         c.pin(name(1)).unwrap();
         assert!(c.remove(name(1)).is_err());
         c.unpin(name(1)).unwrap();
@@ -407,7 +427,8 @@ mod tests {
     fn used_by_kind_partitions() {
         let mut c = LocalCache::new(1000);
         c.insert(name(1), 100, CacheEntryKind::Input).unwrap();
-        c.insert(name(2), 200, CacheEntryKind::Intermediate).unwrap();
+        c.insert(name(2), 200, CacheEntryKind::Intermediate)
+            .unwrap();
         c.insert(name(3), 300, CacheEntryKind::Library).unwrap();
         assert_eq!(c.used_by_kind(CacheEntryKind::Input), 100);
         assert_eq!(c.used_by_kind(CacheEntryKind::Intermediate), 200);

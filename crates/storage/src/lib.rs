@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # vine-storage — storage substrate
 //!
 //! The paper's storage layer (§II-D, §IV-A) has three tiers, all modeled

@@ -15,7 +15,10 @@ use reshaping_hep::core::{Engine, EngineConfig};
 use reshaping_hep::simcore::units::fmt_bytes;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let spec = WorkloadSpec::dv3_large().scaled_down(scale);
     let workers = (200 / scale).max(2);
     let graph = spec.to_graph();
@@ -35,12 +38,25 @@ fn main() {
         let runtime = r.makespan_secs();
         let base = *baseline.get_or_insert(runtime);
         println!("Stack {stack}:");
-        println!("  runtime            {:>10.0} s   (speedup {:.2}x)", runtime, base / runtime);
-        println!("  via manager        {:>10}", fmt_bytes(r.stats.manager_bytes));
+        println!(
+            "  runtime            {:>10.0} s   (speedup {:.2}x)",
+            runtime,
+            base / runtime
+        );
+        println!(
+            "  via manager        {:>10}",
+            fmt_bytes(r.stats.manager_bytes)
+        );
         println!("  peer transfers     {:>10}", fmt_bytes(r.stats.peer_bytes));
-        println!("  from shared FS     {:>10}", fmt_bytes(r.stats.shared_fs_bytes));
+        println!(
+            "  from shared FS     {:>10}",
+            fmt_bytes(r.stats.shared_fs_bytes)
+        );
         println!("  mean task time     {:>10.2} s", r.mean_task_secs());
-        println!("  task executions    {:>10}   (preemptions: {})", r.stats.task_executions, r.stats.preemptions);
+        println!(
+            "  task executions    {:>10}   (preemptions: {})",
+            r.stats.task_executions, r.stats.preemptions
+        );
         println!();
     }
     println!("Paper (full scale): 3545 s -> 3378 s -> 730 s -> 272 s (13.03x total).");

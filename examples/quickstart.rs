@@ -43,7 +43,10 @@ fn main() {
     );
 
     // manager.compute(..., task_mode='function-calls', lib_resources={'cores':12})
-    let executor = Executor { mode: ExecMode::Serverless, ..Executor::default() };
+    let executor = Executor {
+        mode: ExecMode::Serverless,
+        ..Executor::default()
+    };
     let report = executor.run(&MetHistogram, std::slice::from_ref(&dataset));
 
     let met = report.final_result.h1("met").expect("met histogram");

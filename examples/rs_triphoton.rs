@@ -28,7 +28,10 @@ fn main() {
         ds.generator.resonance_mass = 750.0;
     }
 
-    let executor = Executor { mode: ExecMode::Serverless, ..Executor::default() };
+    let executor = Executor {
+        mode: ExecMode::Serverless,
+        ..Executor::default()
+    };
     let report = executor.run(&TriPhotonProcessor::default(), &datasets);
     let m3 = report.final_result.h1("triphoton_mass").expect("spectrum");
 
@@ -52,9 +55,14 @@ fn main() {
     let scale = 5;
     for (label, shape) in [
         ("single-node reduction", ReductionShape::SingleNode),
-        ("tree reduction (arity 8)", ReductionShape::Tree { arity: 8 }),
+        (
+            "tree reduction (arity 8)",
+            ReductionShape::Tree { arity: 8 },
+        ),
     ] {
-        let spec = WorkloadSpec::rs_triphoton().scaled_down(scale).with_reduction(shape);
+        let spec = WorkloadSpec::rs_triphoton()
+            .scaled_down(scale)
+            .with_reduction(shape);
         let mut cluster = ClusterSpec {
             workers,
             worker: WorkerSpec::rs_triphoton(),

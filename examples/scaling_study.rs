@@ -16,7 +16,10 @@ use reshaping_hep::cluster::ClusterSpec;
 use reshaping_hep::core::{Engine, EngineConfig};
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let spec = WorkloadSpec::dv3_large().scaled_down(scale);
     let graph_tasks = spec.to_graph().task_count();
     println!("DV3 at 1/{scale} scale: {graph_tasks} tasks\n");

@@ -24,8 +24,14 @@ fn main() {
 
     let processor = Dv3Processor::default();
     let mut results = Vec::new();
-    for (label, mode) in [("standard tasks", ExecMode::Standard), ("function calls", ExecMode::Serverless)] {
-        let executor = Executor { mode, ..Executor::default() };
+    for (label, mode) in [
+        ("standard tasks", ExecMode::Standard),
+        ("function calls", ExecMode::Serverless),
+    ] {
+        let executor = Executor {
+            mode,
+            ..Executor::default()
+        };
         let report = executor.run(&processor, std::slice::from_ref(&dataset));
         println!("{label}:");
         println!("  makespan          {:>12?}", report.makespan);
@@ -44,7 +50,10 @@ fn main() {
         results[0].final_result, results[1].final_result,
         "execution paradigm must not change the physics"
     );
-    let h = results[0].final_result.h1("dijet_mass").expect("dijet mass");
+    let h = results[0]
+        .final_result
+        .h1("dijet_mass")
+        .expect("dijet mass");
     println!(
         "physics identical in both modes: {} dijet candidates, mean mass {:.1} GeV",
         h.total() as u64,

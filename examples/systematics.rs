@@ -12,7 +12,7 @@
 use reshaping_hep::analysis::{Cutflow, Dv3Processor, Variation, VariedProcessor};
 use reshaping_hep::dag::dot::{to_dot, DotOptions};
 use reshaping_hep::data::{decode_histogram_set, encode_histogram_set, Dataset};
-use reshaping_hep::exec::{ExecMode, Executor, ExecPlan};
+use reshaping_hep::exec::{ExecMode, ExecPlan, Executor};
 use reshaping_hep::simcore::units::{fmt_bytes, KB, MB};
 
 fn main() {
@@ -20,12 +20,21 @@ fn main() {
     let processor = VariedProcessor::new(
         Dv3Processor::default(),
         vec![
-            Variation::JetEnergyScale { label: "jesUp", shift: 0.05 },
-            Variation::JetEnergyScale { label: "jesDown", shift: -0.05 },
+            Variation::JetEnergyScale {
+                label: "jesUp",
+                shift: 0.05,
+            },
+            Variation::JetEnergyScale {
+                label: "jesDown",
+                shift: -0.05,
+            },
         ],
     );
 
-    let executor = Executor { mode: ExecMode::Serverless, ..Executor::default() };
+    let executor = Executor {
+        mode: ExecMode::Serverless,
+        ..Executor::default()
+    };
     let report = executor.run(&processor, std::slice::from_ref(&dataset));
 
     println!(
@@ -73,7 +82,13 @@ fn main() {
 
     // Export the workflow DAG for inspection.
     let plan = ExecPlan::build(std::slice::from_ref(&dataset), 8);
-    let dot = to_dot(&plan.graph, DotOptions { show_files: false, max_tasks: 40 });
+    let dot = to_dot(
+        &plan.graph,
+        DotOptions {
+            show_files: false,
+            max_tasks: 40,
+        },
+    );
     match std::fs::write("results/systematics_dag.dot", &dot) {
         Ok(()) => println!("workflow DAG written to results/systematics_dag.dot"),
         Err(_) => println!("(skipping DAG export; results/ not writable)"),

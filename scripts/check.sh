@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Workspace hygiene gate: formatting, clippy (warnings are errors), tests.
+# Run from the repository root. Pass extra cargo args through, e.g.
+#   scripts/check.sh --offline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets "$@" -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q "$@"
+
+echo "check.sh: all green"

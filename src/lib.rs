@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! # reshaping-hep — umbrella crate for the TaskVine reproduction
 //!
 //! Reproduction of *Reshaping High Energy Physics Applications for
@@ -26,6 +28,7 @@ pub use vine_core as core;
 pub use vine_dag as dag;
 pub use vine_data as data;
 pub use vine_exec as exec;
+pub use vine_lint as lint;
 pub use vine_net as net;
 pub use vine_simcore as simcore;
 pub use vine_storage as storage;

@@ -3,7 +3,7 @@
 
 use reshaping_hep::analysis::{ReductionShape, WorkloadSpec};
 use reshaping_hep::cluster::{ClusterSpec, PreemptionModel};
-use reshaping_hep::core::{Engine, EngineConfig};
+use reshaping_hep::core::{Engine, EngineConfig, Preflight, RunOutcome};
 use reshaping_hep::dag::{TaskGraph, TaskKind};
 use reshaping_hep::simcore::units::{GB, MB};
 
@@ -24,7 +24,9 @@ fn survives_preemption_storm() {
     // every worker dies every ~2 minutes on average.
     let spec = WorkloadSpec::dv3_large().scaled_down(40);
     let mut cfg = EngineConfig::stack4(ClusterSpec::standard(5), 21);
-    cfg.preemption = PreemptionModel { rate_per_sec: 1.0 / 100.0 };
+    cfg.preemption = PreemptionModel {
+        rate_per_sec: 1.0 / 100.0,
+    };
     let r = Engine::new(cfg, spec.to_graph()).run();
     assert!(r.completed(), "{:?}", r.outcome);
     assert!(r.stats.preemptions > 0, "storm produced no preemptions");
@@ -43,7 +45,9 @@ fn preemption_costs_time_but_not_correctness() {
     };
     let stormy = {
         let mut cfg = EngineConfig::stack4(ClusterSpec::standard(5), 21);
-        cfg.preemption = PreemptionModel { rate_per_sec: 1.0 / 100.0 };
+        cfg.preemption = PreemptionModel {
+            rate_per_sec: 1.0 / 100.0,
+        };
         Engine::new(cfg, spec.to_graph()).run()
     };
     assert!(quiet.completed() && stormy.completed());
@@ -59,7 +63,9 @@ fn preemption_costs_time_but_not_correctness() {
 fn workqueue_also_recovers_from_preemption() {
     let spec = WorkloadSpec::dv3_large().scaled_down(40);
     let mut cfg = EngineConfig::stack2(ClusterSpec::standard(5), 17);
-    cfg.preemption = PreemptionModel { rate_per_sec: 1.0 / 200.0 };
+    cfg.preemption = PreemptionModel {
+        rate_per_sec: 1.0 / 200.0,
+    };
     let r = Engine::new(cfg, spec.to_graph()).run();
     assert!(r.completed(), "{:?}", r.outcome);
 }
@@ -78,10 +84,53 @@ fn impossible_reduction_fails_cleanly_not_forever() {
     g.add_task("acc", TaskKind::Accumulate, partials, &[MB], 1.0);
     let mut cluster = ClusterSpec::standard(4);
     cluster.worker.disk_bytes = 20 * GB; // 100 GB of pinned inputs never fit
-    let cfg = EngineConfig::stack4(cluster, 5).deterministic();
+    let mut cfg = EngineConfig::stack4(cluster, 5).deterministic();
+    // Bypass the pre-flight lint: this test is about the *runtime*
+    // crash-loop guard (the static rejection has its own test below).
+    cfg.preflight = Preflight::Off;
     let r = Engine::new(cfg, g).run();
     assert!(!r.completed());
     assert!(r.stats.cache_overflow_failures > 0);
+}
+
+#[test]
+fn impossible_reduction_is_rejected_by_preflight() {
+    // The same shape under the default `Preflight::Enforce`: vine-lint's
+    // R001/R002 bounds prove infeasibility and the engine refuses to
+    // simulate — zero events, zero worker crashes.
+    let mut g = TaskGraph::new();
+    let mut partials = Vec::new();
+    for i in 0..100 {
+        let f = g.add_external_file(format!("c{i}"), MB);
+        let (_, outs) = g.add_task(format!("p{i}"), TaskKind::Process, vec![f], &[GB], 0.1);
+        partials.push(outs[0]);
+    }
+    g.add_task("acc", TaskKind::Accumulate, partials, &[MB], 1.0);
+    let mut cluster = ClusterSpec::standard(4);
+    cluster.worker.disk_bytes = 20 * GB;
+    let cfg = EngineConfig::stack4(cluster, 5).deterministic();
+    let r = Engine::new(cfg, g).run();
+    assert!(!r.completed());
+    assert_eq!(
+        r.stats.cache_overflow_failures, 0,
+        "must fail before simulating"
+    );
+    match &r.outcome {
+        RunOutcome::Failed { reason } => {
+            assert!(
+                reason.starts_with("pre-flight lint:"),
+                "unexpected reason: {reason}"
+            )
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert!(
+        r.lint_findings
+            .iter()
+            .any(|d| d.code == reshaping_hep::lint::Code::R001),
+        "expected an R001 finding: {:?}",
+        r.lint_findings
+    );
 }
 
 #[test]

@@ -2,7 +2,9 @@
 //! sequential reference, threaded standard tasks, threaded serverless,
 //! any thread count, any reduction arity — same histograms.
 
-use reshaping_hep::analysis::{run_processor_pipeline, Dv3Processor, Processor, TriPhotonProcessor};
+use reshaping_hep::analysis::{
+    run_processor_pipeline, Dv3Processor, Processor, TriPhotonProcessor,
+};
 use reshaping_hep::data::{Dataset, HistogramSet};
 use reshaping_hep::exec::{ExecMode, Executor};
 use reshaping_hep::simcore::units::KB;
@@ -49,7 +51,12 @@ fn dv3_executor_matches_reference_in_all_modes() {
     let expect = reference(&p, &dss);
     for mode in [ExecMode::Standard, ExecMode::Serverless] {
         for threads in [1, 4] {
-            let exec = Executor { threads, mode, import_work: 10_000, arity: 4 };
+            let exec = Executor {
+                threads,
+                mode,
+                import_work: 10_000,
+                arity: 4,
+            };
             let got = exec.run(&p, &dss);
             assert_physics_equal(&got.final_result, &expect);
         }
@@ -64,7 +71,12 @@ fn triphoton_executor_matches_reference() {
     }
     let p = TriPhotonProcessor::default();
     let expect = reference(&p, &dss);
-    let exec = Executor { threads: 6, mode: ExecMode::Serverless, import_work: 10_000, arity: 2 };
+    let exec = Executor {
+        threads: 6,
+        mode: ExecMode::Serverless,
+        import_work: 10_000,
+        arity: 2,
+    };
     let got = exec.run(&p, &dss);
     assert_physics_equal(&got.final_result, &expect);
     // There is actual signal in the answer.
@@ -77,7 +89,12 @@ fn reduction_arity_does_not_change_results() {
     let p = Dv3Processor::default();
     let mut previous: Option<HistogramSet> = None;
     for arity in [2, 3, 8, 64] {
-        let exec = Executor { threads: 3, mode: ExecMode::Serverless, import_work: 5_000, arity };
+        let exec = Executor {
+            threads: 3,
+            mode: ExecMode::Serverless,
+            import_work: 5_000,
+            arity,
+        };
         let got = exec.run(&p, &dss).final_result;
         if let Some(prev) = &previous {
             assert_physics_equal(&got, prev);
