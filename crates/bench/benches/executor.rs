@@ -25,6 +25,7 @@ fn bench_modes(c: &mut Criterion) {
                 mode,
                 import_work: 200_000,
                 arity: 4,
+                obs: false,
             };
             b.iter(|| black_box(exec.run(&proc, &dss).tasks_executed))
         });

@@ -1,0 +1,52 @@
+//! Overhead of the observability layer on the simulation engine's hot
+//! dispatch loop: the same DV3-Small run with recording disabled (the
+//! default `NullRecorder` path, which must stay within a couple percent
+//! of an uninstrumented engine) versus full in-memory span/counter
+//! recording plus per-task attribution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vine_analysis::WorkloadSpec;
+use vine_cluster::ClusterSpec;
+use vine_core::{Engine, EngineConfig};
+use vine_obs::MemoryRecorder;
+
+const SCALE: usize = 20;
+
+fn config(obs: bool) -> EngineConfig {
+    let cluster = ClusterSpec::standard(8);
+    let cfg = EngineConfig::stack(4, cluster, 42).deterministic();
+    if obs {
+        cfg.with_obs()
+    } else {
+        cfg
+    }
+}
+
+fn graph() -> vine_dag::TaskGraph {
+    WorkloadSpec::dv3_small().scaled_down(SCALE).to_graph()
+}
+
+fn bench_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("null_recorder", |b| {
+        b.iter(|| {
+            let r = Engine::new(config(false), graph()).run();
+            black_box(r.stats.task_executions)
+        })
+    });
+    group.bench_function("full_recording", |b| {
+        b.iter(|| {
+            let mut rec = MemoryRecorder::new();
+            let r = Engine::new(config(true), graph()).run_recorded(&mut rec);
+            black_box((r.stats.task_executions, rec.spans().len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_recording
+}
+criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! Ablation studies of TaskVine's design choices (replication, data-aware
 //! placement, peer-transfer throttling, data source). See DESIGN.md §5.
 //!
-//! Usage: ablations `[scale_down]`  (default 10)
+//! Usage: ablations `[scale_down] [--trace-out DIR] [--metrics]`
+//! (default 10)
 
 use vine_bench::experiments::ablations;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 use vine_simcore::units::fmt_bytes;
 
@@ -43,10 +45,8 @@ fn section(title: &str, rows: &[ablations::AblationRow]) {
 }
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let obs = ObsCli::parse();
+    let scale: usize = obs.rest.first().and_then(|s| s.parse().ok()).unwrap_or(10);
     eprintln!("Ablations at scale 1/{scale} ...");
     let workers = (200 / scale.max(1)).max(4);
     let cfg = vine_core::EngineConfig::stack4(vine_cluster::ClusterSpec::standard(workers), 42);
@@ -82,4 +82,15 @@ fn main() {
         "Datasource: site storage vs wide-area XRootD (DV3-Medium)",
         &ablations::datasource(42, scale),
     );
+
+    // Recorded baseline (stack 4, DV3-Large) for trace/metrics export.
+    if obs.enabled() {
+        obs.export_engine_run(
+            "ablations-baseline",
+            vine_core::EngineConfig::stack4(vine_cluster::ClusterSpec::standard(workers), 42),
+            vine_analysis::WorkloadSpec::dv3_large()
+                .scaled_down(scale.max(1))
+                .to_graph(),
+        );
+    }
 }

@@ -2,15 +2,19 @@
 //! 16 × 32-core workers, complexity 0.125–64, hoisted/unhoisted ×
 //! local/shared filesystem).
 //!
-//! Usage: fig10 `[n_tasks]`  (default 15000 = paper scale)
+//! Usage: fig10 `[n_tasks] [--trace-out DIR] [--metrics]`
+//! (default 15000 = paper scale)
 
 use vine_bench::experiments::fig10;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 use vine_core::ImportSource;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
+    let obs = ObsCli::parse();
+    let n: usize = obs
+        .rest
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(15_000);
     eprintln!("Fig 10: import hoisting sweep, {n} function calls ...");
@@ -78,4 +82,28 @@ fn main() {
         })
         .collect();
     report::write_csv("fig10_raw.csv", &report::to_csv(&raw_header, &raw));
+
+    // Recorded hoisted vs unhoisted runs (complexity 1, local imports):
+    // the imports phase in the digests shows exactly what hoisting saves.
+    if obs.enabled() {
+        let mut runs = Vec::new();
+        for hoist in [false, true] {
+            let mut cfg = vine_core::EngineConfig::stack4(fig10::hoisting_cluster(), 42);
+            cfg.exec_mode = vine_core::ExecMode::FunctionCalls {
+                hoist_imports: hoist,
+            };
+            let label = if hoist {
+                "fig10-hoisted"
+            } else {
+                "fig10-unhoisted"
+            };
+            runs.push(obs.export_engine_run(label, cfg, fig10::workflow(n, 1.0)));
+        }
+        if let (Some(Some(un)), Some(Some(ho))) = (runs.first(), runs.get(1)) {
+            if let (Some(ou), Some(oh)) = (&un.obs, &ho.obs) {
+                println!("\nUnhoisted -> hoisted digest diff:");
+                print!("{}", ou.digest.diff(&oh.digest).to_text());
+            }
+        }
+    }
 }

@@ -1,7 +1,8 @@
 //! Reproduce Fig 11: single-node vs hierarchical reduction on
 //! RS-TriPhoton (per-worker cache consumption, failures, runtimes).
 //!
-//! Usage: fig11 `[workers] [scale_down]`  (defaults: 14 workers, paper scale)
+//! Usage: fig11 `[workers] [scale_down] [--trace-out DIR] [--metrics]`
+//! (defaults: 14 workers, paper scale)
 //!
 //! The paper does not state the worker count for this experiment; with 14
 //! RS-class workers (700 GB disks) the single-node reduction pins more
@@ -10,20 +11,16 @@
 
 use vine_analysis::{ReductionShape, WorkloadSpec};
 use vine_bench::experiments::fig11;
+use vine_bench::obsout::ObsCli;
 use vine_bench::{preflight, report};
 use vine_core::EngineConfig;
 use vine_simcore::trace::series_to_csv;
 use vine_simcore::units::fmt_bytes;
 
 fn main() {
-    let workers: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(14);
-    let scale: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let obs = ObsCli::parse();
+    let workers: usize = obs.rest.first().and_then(|s| s.parse().ok()).unwrap_or(14);
+    let scale: usize = obs.rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
     eprintln!("Fig 11: reduction shaping, RS-TriPhoton on {workers} workers (scale 1/{scale}) ...");
 
     // Static verdicts first: vine-lint predicts the left panel's failure
@@ -83,5 +80,17 @@ fn main() {
                 .collect();
             report::write_csv(name, &series_to_csv(&named));
         }
+    }
+
+    // Recorded tree-reduction run for export (the shape that completes).
+    if obs.enabled() {
+        let spec = WorkloadSpec::rs_triphoton()
+            .scaled_down(scale)
+            .with_reduction(ReductionShape::Tree { arity: 8 });
+        obs.export_engine_run(
+            "fig11-tree",
+            EngineConfig::stack4(fig11::rs_cluster(workers), 42),
+            spec.to_graph(),
+        );
     }
 }

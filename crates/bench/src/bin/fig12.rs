@@ -1,16 +1,16 @@
 //! Reproduce Fig 12: workflow execution timeline (running + waiting
 //! tasks) for Stacks 1–4 over the first 300 seconds.
 //!
-//! Usage: fig12 `[scale_down]`  (default 1 = paper scale)
+//! Usage: fig12 `[scale_down] [--trace-out DIR] [--metrics]`
+//! (default 1 = paper scale)
 
 use vine_bench::experiments::fig12;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let obs = ObsCli::parse();
+    let scale: usize = obs.scale();
     eprintln!("Fig 12: stack timelines, DV3-Large (scale 1/{scale}) ...");
     let workers = (200 / scale).max(2);
     let spec = vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale);
@@ -76,4 +76,16 @@ fn main() {
         }
     }
     report::write_csv("fig12_timeline.csv", &csv);
+
+    // Recorded runs of every stack for trace/metrics export.
+    if obs.enabled() {
+        for stack in 1..=4 {
+            let cfg = vine_core::EngineConfig::stack(
+                stack,
+                vine_cluster::ClusterSpec::standard(workers),
+                42,
+            );
+            obs.export_engine_run(&format!("fig12-stack{stack}"), cfg, spec.to_graph());
+        }
+    }
 }

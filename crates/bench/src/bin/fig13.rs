@@ -2,13 +2,16 @@
 //! and 200 workers (the Gantt panels).
 //!
 //! Usage: fig13 `[small_workers] [large_workers] [scale_down]`
+//!        `[--trace-out DIR] [--metrics]`
 //! (defaults: 20, 200, 1 = paper scale)
 
 use vine_bench::experiments::fig13;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let obs = ObsCli::parse();
+    let mut args = obs.rest.iter();
     let small: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
     let large: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
     let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
@@ -71,5 +74,14 @@ fn main() {
             &format!("fig13_gantt_stack{}_{}w.csv", c.stack, c.workers),
             &csv,
         );
+    }
+
+    // Recorded Stack 4 run at the wide cluster for export — the TASK
+    // spans in the trace are the Gantt bars above, one per execution.
+    if obs.enabled() {
+        let mut cfg =
+            vine_core::EngineConfig::stack(4, vine_cluster::ClusterSpec::standard(large), 42);
+        cfg.trace.gantt = true;
+        obs.export_engine_run(&format!("fig13-stack4-{large}w"), cfg, spec.to_graph());
     }
 }

@@ -1,16 +1,16 @@
 //! Reproduce Fig 14a: TaskVine vs Dask.Distributed scaling on
 //! DV3-Small and DV3-Medium (60–300 cores).
 //!
-//! Usage: fig14a `[scale_down]`  (default 1 = paper scale)
+//! Usage: fig14a `[scale_down] [--trace-out DIR] [--metrics]`
+//! (default 1 = paper scale)
 
 use vine_bench::experiments::fig14a;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let obs = ObsCli::parse();
+    let scale: usize = obs.scale();
     eprintln!("Fig 14a: TaskVine vs Dask.Distributed, DV3-Small/Medium (scale 1/{scale}) ...");
     let cluster = vine_cluster::ClusterSpec::standard(5);
     for (wl, spec) in [
@@ -67,4 +67,19 @@ fn main() {
         }
     }
     report::write_csv("fig14a.csv", &report::to_csv(&header, &data));
+
+    // Recorded runs of both schedulers on DV3-Small for export.
+    if obs.enabled() {
+        let spec = vine_analysis::WorkloadSpec::dv3_small().scaled_down(scale);
+        obs.export_engine_run(
+            "fig14a-taskvine",
+            vine_core::EngineConfig::stack4(cluster, 42),
+            spec.to_graph(),
+        );
+        obs.export_engine_run(
+            "fig14a-dask",
+            vine_core::EngineConfig::dask_distributed(cluster, 42),
+            spec.to_graph(),
+        );
+    }
 }

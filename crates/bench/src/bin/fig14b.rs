@@ -1,16 +1,16 @@
 //! Reproduce Fig 14b: scaling DV3-Large and RS-TriPhoton from 120 to
 //! 2400 cores on TaskVine (plus Dask.Distributed's failure at this scale).
 //!
-//! Usage: fig14b `[scale_down]`  (default 1 = paper scale)
+//! Usage: fig14b `[scale_down] [--trace-out DIR] [--metrics]`
+//! (default 1 = paper scale)
 
 use vine_bench::experiments::fig14b;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let obs = ObsCli::parse();
+    let scale: usize = obs.scale();
     eprintln!("Fig 14b: large-scale scaling (scale 1/{scale}) ...");
     let cfg = vine_core::EngineConfig::stack4(vine_cluster::ClusterSpec::standard(200), 42);
     for (wl, spec) in [
@@ -60,4 +60,18 @@ fn main() {
     println!("Paper: DV3-Large peaks at 1200 cores; RS-TriPhoton keeps gaining to 2400;");
     println!("       Dask.Distributed cannot execute these workflows at this scale.");
     report::write_csv("fig14b.csv", &report::to_csv(&header, &data));
+
+    // Recorded DV3-Large run on the 200-worker cluster for export.
+    if obs.enabled() {
+        obs.export_engine_run(
+            "fig14b-dv3large",
+            vine_core::EngineConfig::stack4(
+                vine_cluster::ClusterSpec::standard((200 / scale).max(2)),
+                42,
+            ),
+            vine_analysis::WorkloadSpec::dv3_large()
+                .scaled_down(scale)
+                .to_graph(),
+        );
+    }
 }

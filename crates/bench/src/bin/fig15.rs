@@ -1,16 +1,16 @@
 //! Reproduce Fig 15: DV3-Huge — 185 000 tasks on 600 × 12-core workers
 //! (7200 cores).
 //!
-//! Usage: fig15 `[scale_down]`  (default 1 = paper scale; expect minutes)
+//! Usage: fig15 `[scale_down] [--trace-out DIR] [--metrics]`
+//! (default 1 = paper scale; expect minutes)
 
 use vine_bench::experiments::fig15;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let obs = ObsCli::parse();
+    let scale: usize = obs.scale();
     eprintln!("Fig 15: DV3-Huge on 7200 cores (scale 1/{scale}) — this is the big one ...");
     let workers = (600 / scale).max(4);
     vine_bench::preflight::announce_spec(
@@ -52,4 +52,15 @@ fn main() {
         csv.push_str(&format!("{:.0},{:.0},{:.0}\n", t.as_secs_f64(), r, w));
     }
     report::write_csv("fig15_timeline.csv", &csv);
+
+    // Recorded DV3-Huge run for export (as expensive as the run above).
+    if obs.enabled() {
+        obs.export_engine_run(
+            "fig15-dv3huge",
+            vine_core::EngineConfig::stack4(vine_cluster::ClusterSpec::standard(workers), 42),
+            vine_analysis::WorkloadSpec::dv3_huge()
+                .scaled_down(scale)
+                .to_graph(),
+        );
+    }
 }

@@ -1,17 +1,17 @@
 //! Reproduce Fig 7: data-transfer heatmap, Work Queue vs TaskVine.
 //!
-//! Usage: fig7 `[scale_down]`  (default 1 = paper scale)
+//! Usage: fig7 `[scale_down] [--trace-out DIR] [--metrics]`
+//! (default 1 = paper scale)
 
 use vine_bench::experiments::fig7;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 use vine_simcore::trace::matrix_to_csv;
 use vine_simcore::units::fmt_bytes;
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let obs = ObsCli::parse();
+    let scale: usize = obs.scale();
     eprintln!("Fig 7: transfer heatmap, DV3-Large (scale 1/{scale}) ...");
     let workers = (200 / scale).max(2);
     let spec = vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale);
@@ -54,4 +54,17 @@ fn main() {
     println!("{}", vine_bench::plot::ascii_heatmap(&tv.matrix, 40));
     report::write_csv("fig7_heatmap_wq.csv", &matrix_to_csv(&wq.matrix));
     report::write_csv("fig7_heatmap_taskvine.csv", &matrix_to_csv(&tv.matrix));
+
+    // Recorded WQ and TaskVine runs for export — the transfer instants in
+    // the trace are the raw events behind the heatmaps above.
+    if obs.enabled() {
+        for stack in [2usize, 3] {
+            let cfg = vine_core::EngineConfig::stack(
+                stack,
+                vine_cluster::ClusterSpec::standard(workers),
+                42,
+            );
+            obs.export_engine_run(&format!("fig7-stack{stack}"), cfg, spec.to_graph());
+        }
+    }
 }

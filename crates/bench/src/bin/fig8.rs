@@ -1,16 +1,20 @@
 //! Reproduce Fig 8: task execution time distribution, standard tasks vs
 //! function calls on DV3-Large.
 //!
-//! Usage: fig8 `[scale_down]`  (default 1 = paper scale)
+//! Usage: fig8 `[scale_down] [--trace-out DIR] [--metrics]`
+//! (default 1 = paper scale)
+//!
+//! With observability enabled, also records Stack 3 and Stack 4 runs and
+//! prints their digest diff: where the function-call speedup comes from,
+//! phase by phase.
 
 use vine_bench::experiments::fig8;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let obs = ObsCli::parse();
+    let scale: usize = obs.scale();
     eprintln!("Fig 8: task time distribution, DV3-Large (scale 1/{scale}) ...");
     let workers = (200 / scale).max(2);
     let spec = vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale);
@@ -43,4 +47,24 @@ fn main() {
         100.0 * d.functions.fraction_between(0.0, 4.0),
     );
     report::write_csv("fig8.csv", &report::to_csv(&header, &data));
+
+    // Recorded Stack 3 vs Stack 4 runs: export both and show which paper
+    // phases the per-task speedup comes from.
+    if obs.enabled() {
+        let mut runs = Vec::new();
+        for stack in [3usize, 4] {
+            let cfg = vine_core::EngineConfig::stack(
+                stack,
+                vine_cluster::ClusterSpec::standard(workers),
+                42,
+            );
+            runs.push(obs.export_engine_run(&format!("fig8-stack{stack}"), cfg, spec.to_graph()));
+        }
+        if let (Some(Some(s3)), Some(Some(s4))) = (runs.first(), runs.get(1)) {
+            if let (Some(o3), Some(o4)) = (&s3.obs, &s4.obs) {
+                println!("\nStack 3 -> Stack 4 digest diff:");
+                print!("{}", o3.digest.diff(&o4.digest).to_text());
+            }
+        }
+    }
 }

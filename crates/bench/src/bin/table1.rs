@@ -1,16 +1,16 @@
 //! Reproduce Table I: overall stack performance on DV3-Large.
 //!
-//! Usage: table1 `[scale_down]`  (default 1 = paper scale: 17 000 tasks,
-//! 200 x 12-core workers; e.g. 10 runs a 1/10-size configuration)
+//! Usage: table1 `[scale_down] [--trace-out DIR] [--metrics]`
+//! (default 1 = paper scale: 17 000 tasks, 200 x 12-core workers;
+//! e.g. 10 runs a 1/10-size configuration)
 
 use vine_bench::experiments::table1;
+use vine_bench::obsout::ObsCli;
 use vine_bench::report;
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let obs = ObsCli::parse();
+    let scale: usize = obs.scale();
     eprintln!("Table I: DV3-Large stack evolution (scale 1/{scale}) ...");
     let workers = (200 / scale).max(2);
     let spec = vine_analysis::WorkloadSpec::dv3_large().scaled_down(scale);
@@ -44,4 +44,11 @@ fn main() {
     println!("\nTABLE I: Overall Stack Performance (measured vs paper)\n");
     println!("{}", report::render_table(&header, &data));
     report::write_csv("table1.csv", &report::to_csv(&header, &data));
+
+    // Representative recorded run (Stack 4) for trace/metrics export.
+    if obs.enabled() {
+        let cfg =
+            vine_core::EngineConfig::stack(4, vine_cluster::ClusterSpec::standard(workers), 42);
+        obs.export_engine_run("table1-stack4", cfg, spec.to_graph());
+    }
 }

@@ -7,10 +7,16 @@
 //!          [--no-peer-transfers] [--placement round-robin]
 //!          [--replicas N] [--remote-inputs] [--dot FILE]
 //!          [--lint] [--lint-deny=warn] [--no-preflight]
+//!          [--trace-out DIR] [--metrics]
 //! ```
 //!
 //! Workloads: dv3-small, dv3-medium, dv3-large (default), dv3-huge,
 //! rs-triphoton.
+//!
+//! `--trace-out DIR` records the run and writes a Chrome `trace_event`
+//! JSON (open in Perfetto), span/counter CSVs, a per-task phase
+//! attribution CSV, and the run digest under DIR. `--metrics` exports the
+//! metrics registry (to DIR, or stdout without `--trace-out`).
 //!
 //! `--lint` analyzes the configuration and exits without simulating
 //! (exit 1 if any error-level diagnostic is found; with `--lint-deny=warn`
@@ -19,6 +25,7 @@
 //! makes it reject warnings as well.
 
 use vine_analysis::{ReductionShape, WorkloadSpec};
+use vine_bench::obsout::ObsCli;
 use vine_bench::plot;
 use vine_cluster::{ClusterSpec, WorkerSpec};
 use vine_core::{DataSource, Engine, EngineConfig, Placement, Preflight};
@@ -42,7 +49,7 @@ struct Args {
     no_preflight: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: Vec<String>) -> Result<Args, String> {
     let mut args = Args {
         workload: "dv3-large".into(),
         stack: 4,
@@ -60,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
         lint_deny_warn: false,
         no_preflight: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
@@ -133,7 +140,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() {
-    let args = match parse_args() {
+    let obs = ObsCli::parse();
+    let args = match parse_args(obs.rest.clone()) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
@@ -196,6 +204,9 @@ fn main() {
         cfg.data_source = DataSource::remote_xrootd_default();
     }
     cfg.trace.cache = true;
+    if obs.enabled() {
+        cfg.trace.obs = true;
+    }
     cfg.preflight = if args.no_preflight {
         Preflight::Off
     } else if args.lint_deny_warn {
@@ -236,7 +247,12 @@ fn main() {
         args.seed
     );
 
-    let r = Engine::new(cfg, graph).run();
+    let mut rec = vine_obs::MemoryRecorder::new();
+    let r = if obs.enabled() {
+        Engine::new(cfg, graph).run_recorded(&mut rec)
+    } else {
+        Engine::new(cfg, graph).run()
+    };
     println!();
     if !r.completed() {
         println!("RUN FAILED: {:?}", r.outcome);
@@ -267,5 +283,17 @@ fn main() {
         "{}",
         plot::ascii_series(&r.running_series, r.makespan_secs().max(1.0), 100, 8)
     );
+    if obs.enabled() {
+        let label = if args.dask {
+            format!("{}-dask-seed{}", args.workload, args.seed)
+        } else {
+            format!("{}-stack{}-seed{}", args.workload, args.stack, args.seed)
+        };
+        obs.export(&label, &rec, &r);
+        if let Some(o) = &r.obs {
+            println!();
+            print!("{}", o.digest.to_text());
+        }
+    }
     std::process::exit(if r.completed() { 0 } else { 1 });
 }

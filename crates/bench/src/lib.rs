@@ -23,6 +23,7 @@
 //! | Fig 15 (DV3-Huge at 7200 cores) | [`experiments::fig15`] | `fig15` |
 
 pub mod experiments;
+pub mod obsout;
 pub mod plot;
 pub mod preflight;
 pub mod report;

@@ -1,0 +1,196 @@
+//! Acceptance tests for the observability subsystem, end to end:
+//! the `vine-sim` CLI must emit valid Chrome trace JSON and a parseable
+//! metrics file, attribution must be exact on every stack, digests must
+//! diff sensibly (Stack 3 -> 4 speedup lands in the interpreter/import
+//! phases; same seed -> zero diff), and exports must be byte-stable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use vine_analysis::WorkloadSpec;
+use vine_bench::obsout;
+use vine_cluster::ClusterSpec;
+use vine_core::{Engine, EngineConfig, RunResult};
+use vine_obs::{chrome, csv, json::JsonValue, MemoryRecorder, MetricsRegistry, Phase};
+
+fn recorded_run(cfg: EngineConfig, graph: vine_dag::TaskGraph) -> (MemoryRecorder, RunResult) {
+    let mut rec = MemoryRecorder::new();
+    let r = Engine::new(cfg.with_obs(), graph).run_recorded(&mut rec);
+    (rec, r)
+}
+
+fn small_graph(scale: usize) -> vine_dag::TaskGraph {
+    WorkloadSpec::dv3_small().scaled_down(scale).to_graph()
+}
+
+#[test]
+fn vine_sim_trace_out_emits_valid_chrome_json_and_metrics() {
+    let dir = std::env::temp_dir().join(format!("vine-obs-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_vine-sim"))
+        .args([
+            "--workload",
+            "dv3-small",
+            "--scale",
+            "20",
+            "--workers",
+            "4",
+            "--trace-out",
+            dir.to_str().unwrap(),
+            "--metrics",
+        ])
+        .output()
+        .expect("vine-sim runs");
+    assert!(
+        out.status.success(),
+        "vine-sim failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let base: PathBuf = dir.join("dv3-small-stack4-seed42");
+    let read = |suffix: &str| {
+        std::fs::read_to_string(base.with_extension(suffix))
+            .unwrap_or_else(|e| panic!("missing {suffix}: {e}"))
+    };
+
+    // The metrics file parses and tells us how many tasks executed.
+    let metrics = MetricsRegistry::parse_text(&read("metrics.txt")).expect("metrics parse");
+    let executed = metrics.counter("tasks.executions").expect("counter") as usize;
+    assert!(executed > 0);
+
+    // The Chrome trace is valid JSON with at least one complete ("X")
+    // task span per executed task.
+    let trace = JsonValue::parse(&read("trace.json")).expect("valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    let task_spans = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("cat").and_then(|c| c.as_str()) == Some("task")
+        })
+        .count();
+    assert!(
+        task_spans >= executed,
+        "{task_spans} task spans < {executed} executions"
+    );
+
+    // Attribution rows cover every execution, and the digest survived.
+    let attrib_rows = read("attrib.csv").lines().count() - 1;
+    assert_eq!(attrib_rows, executed);
+    assert!(read("digest.txt").contains("critical_path_us"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn attribution_is_exact_on_every_stack_and_dask() {
+    let cluster = ClusterSpec::standard(4);
+    let mut configs: Vec<(String, EngineConfig)> = (1..=4)
+        .map(|s| {
+            (
+                format!("stack{s}"),
+                EngineConfig::stack(s, cluster, 11).deterministic(),
+            )
+        })
+        .collect();
+    configs.push((
+        "dask".into(),
+        EngineConfig::dask_distributed(cluster, 11).deterministic(),
+    ));
+    for (label, cfg) in configs {
+        let (_, r) = recorded_run(cfg, small_graph(20));
+        let obs = r.obs.as_ref().unwrap_or_else(|| panic!("{label}: no obs"));
+        assert!(r.completed(), "{label} did not complete");
+        assert!(
+            obs.all_exact(),
+            "{label}: phases do not sum to wall time exactly"
+        );
+        assert_eq!(
+            obs.attributions.len() as u64,
+            r.stats.task_executions,
+            "{label}: one attribution per execution"
+        );
+    }
+}
+
+#[test]
+fn stack3_to_stack4_diff_blames_interpreter_and_imports() {
+    let cluster = ClusterSpec::standard(8);
+    let graph = || WorkloadSpec::dv3_large().scaled_down(100).to_graph();
+    let (_, s3) = recorded_run(EngineConfig::stack(3, cluster, 42), graph());
+    let (_, s4) = recorded_run(EngineConfig::stack(4, cluster, 42), graph());
+    let (o3, o4) = (s3.obs.as_ref().unwrap(), s4.obs.as_ref().unwrap());
+    let diff = o3.digest.diff(&o4.digest);
+    let startup_saving =
+        diff.phase_delta(Phase::InterpreterStartup) + diff.phase_delta(Phase::Imports);
+    assert!(
+        startup_saving < 0,
+        "stack 4 should spend less on interpreter + imports: {}",
+        diff.to_text()
+    );
+    // Compute work is identical (same sampled task durations), so the
+    // per-task speedup is attributable to the startup phases.
+    assert_eq!(diff.phase_delta(Phase::Compute), 0, "{}", diff.to_text());
+}
+
+#[test]
+fn same_seed_same_config_digests_diff_to_zero() {
+    let cfg = || EngineConfig::stack4(ClusterSpec::standard(4), 7);
+    let (_, a) = recorded_run(cfg(), small_graph(20));
+    let (_, b) = recorded_run(cfg(), small_graph(20));
+    let diff = a.obs.unwrap().digest.diff(&b.obs.unwrap().digest);
+    assert!(diff.is_zero(), "non-zero diff:\n{}", diff.to_text());
+}
+
+#[test]
+fn exports_are_byte_identical_across_reruns() {
+    let run = || {
+        let (rec, r) = recorded_run(
+            EngineConfig::stack4(ClusterSpec::standard(4), 13),
+            small_graph(20),
+        );
+        let obs = r.obs.as_ref().unwrap();
+        (
+            chrome::to_chrome_json(&rec),
+            csv::spans_to_csv(&rec),
+            csv::counters_to_csv(&rec),
+            vine_obs::attrib::attributions_to_csv(&obs.attributions),
+            obs.digest.to_text(),
+            obsout::run_metrics(&r).to_text(),
+        )
+    };
+    assert_eq!(run(), run(), "exports must be deterministic");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The attribution invariant holds for arbitrary stack, cluster
+        /// width, and seed: every per-task phase breakdown sums to that
+        /// task's wall time exactly, on the simulated clock.
+        #[test]
+        fn attribution_invariant_over_random_configs(
+            stack in 1usize..=4,
+            workers in 2usize..=6,
+            seed in 0u64..1000,
+        ) {
+            let cfg = EngineConfig::stack(stack, ClusterSpec::standard(workers), seed);
+            let (_, r) = recorded_run(cfg, small_graph(25));
+            let obs = r.obs.as_ref().unwrap();
+            prop_assert!(obs.all_exact());
+            for a in &obs.attributions {
+                prop_assert_eq!(a.phases.total_us(), a.wall_us());
+            }
+            // Critical path <= makespan <= serialized execution.
+            let serial: u64 = obs.attributions.iter().map(|a| a.wall_us()).sum();
+            prop_assert!(obs.digest.critical_path_us <= obs.digest.makespan_us);
+            prop_assert!(obs.digest.makespan_us <= serial);
+        }
+    }
+}

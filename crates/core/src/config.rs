@@ -109,6 +109,10 @@ pub struct TraceConfig {
     pub cache: bool,
     /// Task execution time histograms (Fig 8).
     pub task_times: bool,
+    /// Per-task phase attribution and run digest (`RunResult::obs`).
+    /// Off by default: the attribution map costs memory per in-flight
+    /// task and the digest is only needed for analysis runs.
+    pub obs: bool,
 }
 
 impl Default for TraceConfig {
@@ -119,6 +123,7 @@ impl Default for TraceConfig {
             transfers: false,
             cache: false,
             task_times: true,
+            obs: false,
         }
     }
 }
@@ -279,7 +284,14 @@ impl EngineConfig {
             transfers: true,
             cache: true,
             task_times: true,
+            obs: true,
         };
+        self
+    }
+
+    /// Enable per-task phase attribution and the run digest.
+    pub fn with_obs(mut self) -> Self {
+        self.trace.obs = true;
         self
     }
 

@@ -71,6 +71,9 @@ pub struct RunResult {
     /// Pre-flight lint findings for this (graph, config) pair, recorded
     /// even when the gate lets the run proceed.
     pub lint_findings: Vec<vine_lint::Diagnostic>,
+    /// Per-task phase attributions and the run digest, when
+    /// `TraceConfig::obs` was on.
+    pub obs: Option<vine_obs::RunObs>,
 }
 
 impl RunResult {
@@ -117,6 +120,7 @@ mod tests {
             task_time_hist: None,
             cache_failures: Vec::new(),
             lint_findings: Vec::new(),
+            obs: None,
         }
     }
 

@@ -8,6 +8,9 @@ use crossbeam::channel;
 use vine_analysis::Processor;
 use vine_dag::{FileId, ReadyTracker, TaskId};
 use vine_data::{Dataset, HistogramSet};
+use vine_obs::{
+    Clock, CriticalPath, Phase, PhaseBreakdown, RunDigest, RunObs, TaskAttribution, WallClock,
+};
 
 use crate::library::LibraryState;
 use crate::plan::{ExecPlan, TaskAction};
@@ -34,6 +37,10 @@ pub struct Executor {
     pub import_work: usize,
     /// Accumulation-tree arity.
     pub arity: usize,
+    /// Record per-task phase attributions and a run digest
+    /// ([`ExecReport::obs`]). Off by default; workers then take no
+    /// timestamps beyond the existing per-task stopwatch.
+    pub obs: bool,
 }
 
 impl Default for Executor {
@@ -43,6 +50,7 @@ impl Default for Executor {
             mode: ExecMode::Serverless,
             import_work: LibraryState::DEFAULT_WORK,
             arity: 8,
+            obs: false,
         }
     }
 }
@@ -68,6 +76,11 @@ pub struct ExecReport {
     pub per_worker_tasks: Vec<u64>,
     /// Size of the final result when serialized with the wire codec.
     pub result_bytes: u64,
+    /// Per-task phase attributions and the run digest, when
+    /// [`Executor::obs`] was on. Phases are wall-clock microseconds from
+    /// the same [`WallClock`] on every thread, so the attribution
+    /// invariant (phases sum to wall time exactly) holds here too.
+    pub obs: Option<RunObs>,
 }
 
 impl ExecReport {
@@ -85,6 +98,9 @@ struct TaskMsg {
     task: TaskId,
     action: TaskAction,
     inputs: Vec<Arc<HistogramSet>>,
+    /// Dispatch timestamp (µs on the shared run clock) — the execution's
+    /// attribution starts here.
+    sent_us: u64,
 }
 
 struct DoneMsg {
@@ -93,6 +109,7 @@ struct DoneMsg {
     output: Arc<HistogramSet>,
     elapsed: Duration,
     built_library: bool,
+    attribution: Option<TaskAttribution>,
 }
 
 impl Executor {
@@ -107,8 +124,12 @@ impl Executor {
         let mut storage: HashMap<FileId, Arc<HistogramSet>> = HashMap::new();
         let mut task_times = Vec::with_capacity(plan.task_count());
         let mut library_builds = 0u64;
+        let mut attributions: Vec<TaskAttribution> = Vec::new();
 
         let started = Instant::now();
+        // One monotonic clock shared by the manager and every worker, so
+        // cross-thread timestamps (dispatch → receipt) are comparable.
+        let clock = WallClock::start();
         let (task_tx, task_rx) = channel::unbounded::<TaskMsg>();
         let (done_tx, done_rx) = channel::unbounded::<DoneMsg>();
 
@@ -119,6 +140,8 @@ impl Executor {
                 let done_tx = done_tx.clone();
                 let mode = self.mode;
                 let import_work = self.import_work;
+                let obs = self.obs;
+                let clock = &clock;
                 scope.spawn(move || {
                     worker_loop(
                         worker,
@@ -126,6 +149,8 @@ impl Executor {
                         done_tx,
                         mode,
                         import_work,
+                        obs,
+                        clock,
                         processor,
                         datasets,
                     )
@@ -150,6 +175,7 @@ impl Executor {
                                 task,
                                 action: plan.action(task).clone(),
                                 inputs,
+                                sent_us: clock.now_us(),
                             })
                             .expect("workers alive");
                     }
@@ -165,6 +191,9 @@ impl Executor {
                 per_worker_tasks[done.worker] += 1;
                 if done.built_library {
                     library_builds += 1;
+                }
+                if let Some(a) = done.attribution {
+                    attributions.push(a);
                 }
                 tracker.mark_done(done.task);
                 dispatch(&mut tracker, &storage);
@@ -193,26 +222,55 @@ impl Executor {
             library_builds += threads as u64;
         }
         let result_bytes = vine_data::encode_histogram_set(&final_result).len() as u64;
+        let makespan = started.elapsed();
+        let obs = if self.obs {
+            // Critical-path weights: each task ran exactly once here (no
+            // failures in the threaded runtime).
+            let mut walls = vec![0u64; plan.graph.task_count()];
+            for a in &attributions {
+                walls[a.task as usize] = a.wall_us();
+            }
+            let cp = CriticalPath::compute(&plan.graph, &walls);
+            let label = format!("exec-{:?}-t{threads}", self.mode);
+            let mut digest = RunDigest::from_attributions(
+                label,
+                makespan.as_micros() as u64,
+                Some(&cp),
+                &attributions,
+            );
+            digest.set_counter("library_builds", library_builds);
+            digest.set_counter("threads", threads as u64);
+            Some(RunObs {
+                attributions,
+                digest,
+            })
+        } else {
+            None
+        };
         ExecReport {
             events_processed: final_result.events_processed,
             final_result,
             dataset_results,
-            makespan: started.elapsed(),
+            makespan,
             tasks_executed: task_times.len() as u64,
             task_times,
             library_builds,
             per_worker_tasks,
             result_bytes,
+            obs,
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<P: Processor + ?Sized>(
     worker: usize,
     task_rx: channel::Receiver<TaskMsg>,
     done_tx: channel::Sender<DoneMsg>,
     mode: ExecMode,
     import_work: usize,
+    obs: bool,
+    clock: &WallClock,
     processor: &P,
     datasets: &[Dataset],
 ) {
@@ -222,6 +280,7 @@ fn worker_loop<P: Processor + ?Sized>(
         ExecMode::Standard => None,
     };
     while let Ok(msg) = task_rx.recv() {
+        let t_recv = clock.now_us();
         let t0 = Instant::now();
         let mut built = false;
         // Standard tasks re-load the library on every execution.
@@ -234,6 +293,7 @@ fn worker_loop<P: Processor + ?Sized>(
                 &fresh
             }
         };
+        let t_lib = clock.now_us();
         let output = match msg.action {
             TaskAction::Process { dataset, chunk } => {
                 let batch = datasets[dataset].materialize(&chunk);
@@ -258,12 +318,37 @@ fn worker_loop<P: Processor + ?Sized>(
             }
         };
         let elapsed = t0.elapsed();
+        let t_done = clock.now_us();
+        let output = Arc::new(output);
+        // Each phase is the delta between consecutive reads of the shared
+        // monotonic clock, so the phases sum to `end_us - start_us`
+        // exactly. Interpreter startup has no in-process analog (no
+        // process spawn) and input transfer is an Arc clone: both stay 0;
+        // the library (re)build is the imports phase.
+        let attribution = if obs {
+            let t_out = clock.now_us();
+            let mut phases = PhaseBreakdown::new();
+            phases.set(Phase::Dispatch, t_recv.saturating_sub(msg.sent_us));
+            phases.set(Phase::Imports, t_lib.saturating_sub(t_recv));
+            phases.set(Phase::Compute, t_done.saturating_sub(t_lib));
+            phases.set(Phase::OutputTransfer, t_out.saturating_sub(t_done));
+            Some(TaskAttribution {
+                task: msg.task.0,
+                worker: worker as u32,
+                start_us: msg.sent_us,
+                end_us: t_out,
+                phases,
+            })
+        } else {
+            None
+        };
         let msg = DoneMsg {
             task: msg.task,
             worker,
-            output: Arc::new(output),
+            output,
             elapsed,
             built_library: built,
+            attribution,
         };
         if done_tx.send(msg).is_err() {
             return; // manager is gone
@@ -289,6 +374,7 @@ mod tests {
             mode,
             import_work: 20_000,
             arity: 3,
+            obs: false,
         }
     }
 
@@ -347,6 +433,7 @@ mod tests {
             mode,
             import_work: 2_000_000,
             arity: 4,
+            obs: false,
         };
         let std_report = mk(ExecMode::Standard).run(&proc, &dss);
         let srv_report = mk(ExecMode::Serverless).run(&proc, &dss);
@@ -392,6 +479,47 @@ mod tests {
         // And it decodes back to the same physics.
         let back = vine_data::decode_histogram_set(&encoded).unwrap();
         assert_eq!(back, report.final_result);
+    }
+
+    #[test]
+    fn attribution_is_exact_and_diff_blames_imports() {
+        let dss = datasets(1, 300);
+        let proc = Dv3Processor::default();
+        let mk = |mode| Executor {
+            threads: 2,
+            mode,
+            import_work: 500_000,
+            arity: 3,
+            obs: true,
+        };
+        let std_report = mk(ExecMode::Standard).run(&proc, &dss);
+        let srv_report = mk(ExecMode::Serverless).run(&proc, &dss);
+
+        let std_obs = std_report.obs.as_ref().unwrap();
+        let srv_obs = srv_report.obs.as_ref().unwrap();
+        assert!(std_obs.all_exact(), "phases must sum to wall time exactly");
+        assert!(srv_obs.all_exact());
+        assert_eq!(
+            std_obs.digest.task_executions, std_report.tasks_executed,
+            "one attribution per executed task"
+        );
+        assert!(std_obs.digest.critical_path_us > 0);
+        // The standard-mode penalty is the per-task library rebuild: the
+        // serverless diff must be dominated by the imports phase.
+        let diff = std_obs.digest.diff(&srv_obs.digest);
+        assert!(
+            diff.phase_delta(vine_obs::Phase::Imports) < 0,
+            "serverless should spend less on imports: {}",
+            diff.to_text()
+        );
+    }
+
+    #[test]
+    fn obs_off_means_no_report_section() {
+        let dss = datasets(1, 100);
+        let proc = Dv3Processor::default();
+        let report = exec(ExecMode::Serverless, 2).run(&proc, &dss);
+        assert!(report.obs.is_none());
     }
 
     #[test]

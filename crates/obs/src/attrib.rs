@@ -1,0 +1,254 @@
+//! Per-task overhead attribution into the paper's cost phases.
+//!
+//! Table I's speedups come from shrinking specific per-task overheads:
+//! dispatch latency, input staging, Python interpreter startup, software
+//! import time. This module decomposes every task execution into those
+//! phases with the invariant that **the phases sum to the task's wall
+//! time exactly** (integer microseconds, no rounding residue) — enforced
+//! by [`TaskAttribution::is_exact`] and checked by property tests.
+
+use std::fmt::Write as _;
+
+/// The cost phases of one task execution, in display order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Manager serial-loop time to create and send the assignment.
+    Dispatch,
+    /// Waiting for inputs: network transfer, shared-FS reads, local disk
+    /// reads, and (serverless) waiting for a library slot.
+    InputTransfer,
+    /// Python interpreter startup (standard tasks) or function-call
+    /// invocation overhead (serverless).
+    InterpreterStartup,
+    /// Software-environment import time paid by this task.
+    Imports,
+    /// The task's own useful work.
+    Compute,
+    /// Writing/staging outputs: local disk writes plus (WQ) the output
+    /// flow back to the manager.
+    OutputTransfer,
+}
+
+/// Number of phases.
+pub const NPHASES: usize = 6;
+
+/// All phases, in display order.
+pub const PHASES: [Phase; NPHASES] = [
+    Phase::Dispatch,
+    Phase::InputTransfer,
+    Phase::InterpreterStartup,
+    Phase::Imports,
+    Phase::Compute,
+    Phase::OutputTransfer,
+];
+
+impl Phase {
+    /// Stable machine-readable name (used in CSV headers and digests).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Dispatch => "dispatch",
+            Phase::InputTransfer => "input_transfer",
+            Phase::InterpreterStartup => "interpreter_startup",
+            Phase::Imports => "imports",
+            Phase::Compute => "compute",
+            Phase::OutputTransfer => "output_transfer",
+        }
+    }
+
+    /// Index into a [`PhaseBreakdown`]'s array.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Dispatch => 0,
+            Phase::InputTransfer => 1,
+            Phase::InterpreterStartup => 2,
+            Phase::Imports => 3,
+            Phase::Compute => 4,
+            Phase::OutputTransfer => 5,
+        }
+    }
+}
+
+/// Microseconds per phase for one task (or summed over many).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Time per phase, indexed by [`Phase::index`].
+    pub us: [u64; NPHASES],
+}
+
+impl PhaseBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time in one phase.
+    pub fn get(&self, p: Phase) -> u64 {
+        self.us[p.index()]
+    }
+
+    /// Add time to one phase.
+    pub fn add(&mut self, p: Phase, us: u64) {
+        self.us[p.index()] += us;
+    }
+
+    /// Set one phase.
+    pub fn set(&mut self, p: Phase, us: u64) {
+        self.us[p.index()] = us;
+    }
+
+    /// Sum across all phases.
+    pub fn total_us(&self) -> u64 {
+        self.us.iter().sum()
+    }
+
+    /// Element-wise accumulate.
+    pub fn accumulate(&mut self, other: &PhaseBreakdown) {
+        for i in 0..NPHASES {
+            self.us[i] += other.us[i];
+        }
+    }
+
+    /// The phase holding the most time (ties break to display order).
+    pub fn dominant(&self) -> Phase {
+        let mut best = Phase::Dispatch;
+        let mut best_us = self.us[0];
+        for p in PHASES {
+            if self.us[p.index()] > best_us {
+                best = p;
+                best_us = self.us[p.index()];
+            }
+        }
+        best
+    }
+}
+
+/// The full decomposition of one task execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskAttribution {
+    /// Task id in the run's graph.
+    pub task: u32,
+    /// Worker that executed it.
+    pub worker: u32,
+    /// When the manager committed the assignment (µs since run origin).
+    pub start_us: u64,
+    /// When the task's outputs were fully delivered (µs since run origin).
+    pub end_us: u64,
+    /// Per-phase decomposition of `[start_us, end_us)`.
+    pub phases: PhaseBreakdown,
+}
+
+impl TaskAttribution {
+    /// Wall time of the execution.
+    pub fn wall_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// True if the phases sum to the wall time exactly — the core
+    /// attribution invariant.
+    pub fn is_exact(&self) -> bool {
+        self.phases.total_us() == self.wall_us()
+    }
+}
+
+/// Sum many attributions into aggregate phase totals.
+pub fn phase_totals(attrs: &[TaskAttribution]) -> PhaseBreakdown {
+    let mut total = PhaseBreakdown::new();
+    for a in attrs {
+        total.accumulate(&a.phases);
+    }
+    total
+}
+
+/// Render attributions as CSV, one row per task, sorted by task id
+/// (then start time) so the output is deterministic.
+pub fn attributions_to_csv(attrs: &[TaskAttribution]) -> String {
+    let mut rows: Vec<&TaskAttribution> = attrs.iter().collect();
+    rows.sort_by_key(|a| (a.task, a.start_us, a.worker));
+    let mut out = String::from("task,worker,start_us,end_us,wall_us");
+    for p in PHASES {
+        let _ = write!(out, ",{}_us", p.name());
+    }
+    out.push('\n');
+    for a in rows {
+        let _ = write!(
+            out,
+            "{},{},{},{},{}",
+            a.task,
+            a.worker,
+            a.start_us,
+            a.end_us,
+            a.wall_us()
+        );
+        for p in PHASES {
+            let _ = write!(out, ",{}", a.phases.get(p));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(task: u32, phases: [u64; NPHASES]) -> TaskAttribution {
+        let breakdown = PhaseBreakdown { us: phases };
+        TaskAttribution {
+            task,
+            worker: 0,
+            start_us: 100,
+            end_us: 100 + breakdown.total_us(),
+            phases: breakdown,
+        }
+    }
+
+    #[test]
+    fn exactness_holds_when_phases_span_the_wall() {
+        let a = attr(1, [25_000, 10, 1_500_000, 8_000_000, 60_000_000, 500]);
+        assert!(a.is_exact());
+        assert_eq!(a.wall_us(), a.phases.total_us());
+    }
+
+    #[test]
+    fn exactness_fails_on_residue() {
+        let mut a = attr(1, [1, 2, 3, 4, 5, 6]);
+        a.end_us += 1;
+        assert!(!a.is_exact());
+    }
+
+    #[test]
+    fn dominant_phase_and_totals() {
+        let attrs = vec![
+            attr(0, [10, 0, 100, 50, 200, 5]),
+            attr(1, [10, 0, 100, 50, 900, 5]),
+        ];
+        let totals = phase_totals(&attrs);
+        assert_eq!(totals.get(Phase::Compute), 1100);
+        assert_eq!(totals.get(Phase::Dispatch), 20);
+        assert_eq!(totals.dominant(), Phase::Compute);
+        assert_eq!(totals.total_us(), attrs.iter().map(|a| a.wall_us()).sum());
+    }
+
+    #[test]
+    fn dominant_breaks_ties_to_display_order() {
+        let b = PhaseBreakdown::new();
+        assert_eq!(b.dominant(), Phase::Dispatch);
+    }
+
+    #[test]
+    fn csv_is_sorted_and_complete() {
+        let attrs = vec![attr(5, [1, 2, 3, 4, 5, 6]), attr(2, [6, 5, 4, 3, 2, 1])];
+        let csv = attributions_to_csv(&attrs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "task,worker,start_us,end_us,wall_us,dispatch_us,input_transfer_us,\
+             interpreter_startup_us,imports_us,compute_us,output_transfer_us"
+                .split_whitespace()
+                .collect::<String>()
+        );
+        assert!(lines[1].starts_with("2,"));
+        assert!(lines[2].starts_with("5,"));
+        assert!(lines[1].ends_with(",6,5,4,3,2,1"));
+    }
+}

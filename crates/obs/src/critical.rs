@@ -1,0 +1,146 @@
+//! Critical-path extraction over a completed DAG.
+//!
+//! Given per-task wall times (from attribution), the weighted critical
+//! path is the longest dependency chain by total time — the floor on
+//! makespan no amount of added parallelism can beat (§V: DV3's
+//! near-interactive target is bounded by the accumulation spine). The
+//! invariant `critical_path ≤ makespan ≤ Σ task walls` is checked by
+//! property tests.
+
+use vine_dag::{TaskGraph, TaskId};
+
+/// The weighted critical path of a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Tasks on the path, in dependency order (producer first).
+    pub tasks: Vec<TaskId>,
+    /// Total wall time along the path, microseconds.
+    pub total_us: u64,
+}
+
+impl CriticalPath {
+    /// Compute the critical path of `graph`, weighting task `t` by
+    /// `wall_us[t.0]`. Tasks missing from `wall_us` (e.g. never executed)
+    /// weigh zero.
+    ///
+    /// # Panics
+    /// If the graph contains a cycle (graphs are validated at build time).
+    pub fn compute(graph: &TaskGraph, wall_us: &[u64]) -> CriticalPath {
+        let order = graph.topo_order().expect("graph must be acyclic");
+        let n = graph.task_count();
+        // finish[t] = longest total time of any chain ending at t.
+        let mut finish = vec![0u64; n];
+        // pred[t] = previous task on that chain.
+        let mut pred: Vec<Option<TaskId>> = vec![None; n];
+        for &t in &order {
+            let ti = t.0 as usize;
+            let w = wall_us.get(ti).copied().unwrap_or(0);
+            let mut best = 0u64;
+            let mut best_pred = None;
+            for &f in &graph.task(t).inputs {
+                if let Some(p) = graph.file(f).producer {
+                    let pf = finish[p.0 as usize];
+                    if pf > best || (pf == best && best_pred.is_none()) {
+                        best = pf;
+                        best_pred = Some(p);
+                    }
+                }
+            }
+            finish[ti] = best + w;
+            pred[ti] = best_pred;
+        }
+        let Some(end) = (0..n).max_by_key(|&i| (finish[i], std::cmp::Reverse(i))) else {
+            return CriticalPath {
+                tasks: Vec::new(),
+                total_us: 0,
+            };
+        };
+        let total_us = finish[end];
+        let mut tasks = Vec::new();
+        let mut cur = Some(TaskId(end as u32));
+        while let Some(t) = cur {
+            tasks.push(t);
+            cur = pred[t.0 as usize];
+        }
+        tasks.reverse();
+        CriticalPath { tasks, total_us }
+    }
+
+    /// Number of tasks on the path.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True for an empty graph's path.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_dag::TaskKind;
+
+    /// ext -> a -> (f1,f2); f1 -> b; f2 -> c; (b,c) -> d
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let ext = g.add_external_file("in", 1);
+        let (_, a_out) = g.add_task("a", TaskKind::Process, vec![ext], &[1, 1], 1.0);
+        let (_, b_out) = g.add_task("b", TaskKind::Process, vec![a_out[0]], &[1], 1.0);
+        let (_, c_out) = g.add_task("c", TaskKind::Process, vec![a_out[1]], &[1], 1.0);
+        g.add_task(
+            "d",
+            TaskKind::Accumulate,
+            vec![b_out[0], c_out[0]],
+            &[1],
+            1.0,
+        );
+        g
+    }
+
+    #[test]
+    fn picks_the_heavier_branch() {
+        let g = diamond();
+        // b takes 10, c takes 90: path must go a -> c -> d.
+        let cp = CriticalPath::compute(&g, &[5, 10, 90, 2]);
+        assert_eq!(cp.total_us, 5 + 90 + 2);
+        assert_eq!(cp.tasks, vec![TaskId(0), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn path_is_bounded_by_sum_of_walls() {
+        let g = diamond();
+        let walls = [5u64, 10, 90, 2];
+        let cp = CriticalPath::compute(&g, &walls);
+        assert!(cp.total_us <= walls.iter().sum());
+        assert_eq!(cp.len(), 3);
+    }
+
+    #[test]
+    fn independent_tasks_yield_single_task_path() {
+        let mut g = TaskGraph::new();
+        let e = g.add_external_file("in", 1);
+        g.add_task("x", TaskKind::Process, vec![e], &[1], 1.0);
+        g.add_task("y", TaskKind::Process, vec![e], &[1], 1.0);
+        let cp = CriticalPath::compute(&g, &[3, 7]);
+        assert_eq!(cp.total_us, 7);
+        assert_eq!(cp.tasks, vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_path() {
+        let g = TaskGraph::new();
+        let cp = CriticalPath::compute(&g, &[]);
+        assert!(cp.is_empty());
+        assert_eq!(cp.total_us, 0);
+    }
+
+    #[test]
+    fn missing_walls_weigh_zero() {
+        let g = diamond();
+        let cp = CriticalPath::compute(&g, &[1]); // only task 0 known
+        assert_eq!(cp.total_us, 1);
+        assert!(cp.tasks.contains(&TaskId(0)));
+    }
+}

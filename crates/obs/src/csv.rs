@@ -1,0 +1,132 @@
+//! Deterministic CSV export of recorded spans and counter samples.
+//!
+//! Rows are sorted (spans by `(start, track, name)`, counters by
+//! `(name, track, time)`) so two identical runs produce byte-identical
+//! files regardless of internal iteration order.
+
+use std::fmt::Write as _;
+
+use crate::recorder::MemoryRecorder;
+use crate::span::AttrValue;
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn attr_text(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Str(s) => s.clone(),
+        AttrValue::U64(n) => n.to_string(),
+        AttrValue::I64(n) => n.to_string(),
+        AttrValue::F64(f) => f.to_string(),
+    }
+}
+
+/// Render spans as CSV with columns
+/// `category,name,track,start_us,end_us,dur_us,attrs` where `attrs` is a
+/// `key=value` list joined by `;` in attribute order.
+pub fn spans_to_csv(rec: &MemoryRecorder) -> String {
+    let mut rows: Vec<&crate::span::Span> = rec.spans().iter().collect();
+    rows.sort_by(|a, b| {
+        (a.start_us, a.track, &a.name, a.end_us).cmp(&(b.start_us, b.track, &b.name, b.end_us))
+    });
+    let mut out = String::from("category,name,track,start_us,end_us,dur_us,attrs\n");
+    for s in rows {
+        let attrs = s
+            .attrs
+            .iter()
+            .map(|a| format!("{}={}", a.key, attr_text(&a.value)))
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            s.category,
+            csv_field(&s.name),
+            s.track,
+            s.start_us,
+            s.end_us,
+            s.dur_us(),
+            csv_field(&attrs)
+        );
+    }
+    out
+}
+
+/// Render counter samples as CSV with columns `counter,track,t_us,value`.
+pub fn counters_to_csv(rec: &MemoryRecorder) -> String {
+    let mut rows: Vec<_> = rec.counters().to_vec();
+    rows.sort_by(|a, b| {
+        (a.name, a.track, a.t_us)
+            .cmp(&(b.name, b.track, b.t_us))
+            .then(a.value.total_cmp(&b.value))
+    });
+    let mut out = String::from("counter,track,t_us,value\n");
+    for c in rows {
+        let _ = writeln!(out, "{},{},{},{}", c.name, c.track, c.t_us, c.value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::span::{category, Attr, Span};
+
+    fn span(name: &str, start: u64, track: u32) -> Span {
+        Span {
+            name: name.into(),
+            category: category::TASK,
+            start_us: start,
+            end_us: start + 10,
+            track,
+            attrs: vec![Attr::u64("task", 1)],
+        }
+    }
+
+    #[test]
+    fn span_csv_is_sorted_by_time_then_track() {
+        let mut r = MemoryRecorder::new();
+        r.span(span("late", 50, 0));
+        r.span(span("early", 10, 2));
+        r.span(span("early2", 10, 1));
+        let csv = spans_to_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "category,name,track,start_us,end_us,dur_us,attrs");
+        assert!(lines[1].contains("early2"));
+        assert!(lines[2].contains("early,"));
+        assert!(lines[3].contains("late"));
+    }
+
+    #[test]
+    fn fields_with_commas_and_quotes_are_quoted() {
+        let mut r = MemoryRecorder::new();
+        r.span(Span {
+            name: "a,b \"c\"".into(),
+            category: category::MANAGER,
+            start_us: 0,
+            end_us: 1,
+            track: 0,
+            attrs: vec![],
+        });
+        let csv = spans_to_csv(&r);
+        assert!(csv.contains("\"a,b \"\"c\"\"\""));
+    }
+
+    #[test]
+    fn counter_csv_sorted_and_deterministic() {
+        let mut a = MemoryRecorder::new();
+        a.counter("z", 0, 5, 1.0);
+        a.counter("a", 0, 9, 2.0);
+        let mut b = MemoryRecorder::new();
+        b.counter("a", 0, 9, 2.0);
+        b.counter("z", 0, 5, 1.0);
+        assert_eq!(counters_to_csv(&a), counters_to_csv(&b));
+        assert!(counters_to_csv(&a).starts_with("counter,track,t_us,value\na,0,9,2\n"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Run digests and cross-run diffing.
+//!
+//! A [`RunDigest`] is a compact, deterministic summary of one run:
+//! makespan, execution count, aggregate phase totals, critical path, and
+//! named counters. [`RunDigest::diff`] compares two digests phase by
+//! phase — the tool behind the paper's Table I narrative ("Stack 4 beat
+//! Stack 3 because interpreter startup and import time collapsed").
+//! Two same-seed simulated runs diff to zero (checked in tests).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::attrib::{phase_totals, Phase, PhaseBreakdown, TaskAttribution, NPHASES, PHASES};
+use crate::critical::CriticalPath;
+
+/// Compact summary of one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunDigest {
+    /// Caller-supplied label (e.g. "stack3-dv3-small-seed7").
+    pub label: String,
+    /// Run wall time, microseconds.
+    pub makespan_us: u64,
+    /// Number of task executions attributed (includes retried attempts).
+    pub task_executions: u64,
+    /// Aggregate time per phase over all executions.
+    pub phase_totals_us: PhaseBreakdown,
+    /// Weighted critical path of the completed DAG, microseconds.
+    pub critical_path_us: u64,
+    /// Named counters (sorted), e.g. evictions, preemptions, cache hits.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunDigest {
+    /// Build a digest from attributions plus run-level facts.
+    pub fn from_attributions(
+        label: impl Into<String>,
+        makespan_us: u64,
+        critical_path: Option<&CriticalPath>,
+        attrs: &[TaskAttribution],
+    ) -> RunDigest {
+        RunDigest {
+            label: label.into(),
+            makespan_us,
+            task_executions: attrs.len() as u64,
+            phase_totals_us: phase_totals(attrs),
+            critical_path_us: critical_path.map_or(0, |c| c.total_us),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Set a named counter.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_string(), v);
+    }
+
+    /// Compare `self` (baseline) against `other` (candidate).
+    pub fn diff(&self, other: &RunDigest) -> DigestDiff {
+        let mut phase_delta_us = [0i64; NPHASES];
+        for p in PHASES {
+            phase_delta_us[p.index()] =
+                other.phase_totals_us.get(p) as i64 - self.phase_totals_us.get(p) as i64;
+        }
+        let mut counter_deltas = BTreeMap::new();
+        let keys = self.counters.keys().chain(other.counters.keys());
+        for k in keys {
+            let a = self.counters.get(k).copied().unwrap_or(0);
+            let b = other.counters.get(k).copied().unwrap_or(0);
+            if !counter_deltas.contains_key(k) {
+                counter_deltas.insert(k.clone(), b as i64 - a as i64);
+            }
+        }
+        DigestDiff {
+            base_label: self.label.clone(),
+            other_label: other.label.clone(),
+            makespan_delta_us: other.makespan_us as i64 - self.makespan_us as i64,
+            critical_path_delta_us: other.critical_path_us as i64 - self.critical_path_us as i64,
+            task_executions_delta: other.task_executions as i64 - self.task_executions as i64,
+            phase_delta_us,
+            counter_deltas,
+        }
+    }
+
+    /// Deterministic text rendering (sorted counters, fixed phase order).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run {}", self.label);
+        let _ = writeln!(out, "makespan_us {}", self.makespan_us);
+        let _ = writeln!(out, "task_executions {}", self.task_executions);
+        let _ = writeln!(out, "critical_path_us {}", self.critical_path_us);
+        for p in PHASES {
+            let _ = writeln!(out, "phase {} {}", p.name(), self.phase_totals_us.get(p));
+        }
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter {k} {v}");
+        }
+        out
+    }
+}
+
+/// The phase-by-phase difference between two runs. Deltas are
+/// `other - base`: negative means the candidate spent less.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DigestDiff {
+    /// Baseline run label.
+    pub base_label: String,
+    /// Candidate run label.
+    pub other_label: String,
+    /// Makespan delta, µs (negative = candidate faster).
+    pub makespan_delta_us: i64,
+    /// Critical-path delta, µs.
+    pub critical_path_delta_us: i64,
+    /// Execution-count delta.
+    pub task_executions_delta: i64,
+    /// Per-phase aggregate delta, µs, indexed by [`Phase::index`].
+    pub phase_delta_us: [i64; NPHASES],
+    /// Per-counter delta (union of both runs' counters).
+    pub counter_deltas: BTreeMap<String, i64>,
+}
+
+impl DigestDiff {
+    /// True when nothing differs — the expected result of diffing two
+    /// same-seed runs.
+    pub fn is_zero(&self) -> bool {
+        self.makespan_delta_us == 0
+            && self.critical_path_delta_us == 0
+            && self.task_executions_delta == 0
+            && self.phase_delta_us.iter().all(|&d| d == 0)
+            && self.counter_deltas.values().all(|&d| d == 0)
+    }
+
+    /// Delta for one phase.
+    pub fn phase_delta(&self, p: Phase) -> i64 {
+        self.phase_delta_us[p.index()]
+    }
+
+    /// The phase with the largest absolute delta (ties break to display
+    /// order) — "where did the speedup come from?".
+    pub fn dominant_phase(&self) -> Phase {
+        let mut best = Phase::Dispatch;
+        let mut best_abs = self.phase_delta_us[0].unsigned_abs();
+        for p in PHASES {
+            let a = self.phase_delta_us[p.index()].unsigned_abs();
+            if a > best_abs {
+                best = p;
+                best_abs = a;
+            }
+        }
+        best
+    }
+
+    /// Sum of phase deltas (equals total attributed-time change).
+    pub fn total_phase_delta_us(&self) -> i64 {
+        self.phase_delta_us.iter().sum()
+    }
+
+    /// Deterministic text rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "diff {} -> {}", self.base_label, self.other_label);
+        let _ = writeln!(out, "makespan_delta_us {:+}", self.makespan_delta_us);
+        let _ = writeln!(
+            out,
+            "critical_path_delta_us {:+}",
+            self.critical_path_delta_us
+        );
+        let _ = writeln!(
+            out,
+            "task_executions_delta {:+}",
+            self.task_executions_delta
+        );
+        for p in PHASES {
+            let _ = writeln!(out, "phase {} {:+}", p.name(), self.phase_delta(p));
+        }
+        for (k, v) in &self.counter_deltas {
+            let _ = writeln!(out, "counter {k} {v:+}");
+        }
+        out
+    }
+}
+
+/// Everything a recorded run hands back to callers: the raw per-task
+/// attributions plus the digest built from them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunObs {
+    /// One entry per attributed task execution.
+    pub attributions: Vec<TaskAttribution>,
+    /// The run's digest.
+    pub digest: RunDigest,
+}
+
+impl RunObs {
+    /// True if every attribution satisfies the exactness invariant.
+    pub fn all_exact(&self) -> bool {
+        self.attributions.iter().all(TaskAttribution::is_exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(task: u32, phases: [u64; NPHASES]) -> TaskAttribution {
+        let phases = PhaseBreakdown { us: phases };
+        TaskAttribution {
+            task,
+            worker: 0,
+            start_us: 0,
+            end_us: phases.total_us(),
+            phases,
+        }
+    }
+
+    fn digest(label: &str, compute: u64, imports: u64) -> RunDigest {
+        let attrs = vec![attr(0, [10, 5, 100, imports, compute, 3])];
+        let mut d = RunDigest::from_attributions(label, 10_000, None, &attrs);
+        d.set_counter("evictions", 2);
+        d
+    }
+
+    #[test]
+    fn same_digest_diffs_to_zero() {
+        let a = digest("a", 500, 80);
+        let b = digest("b", 500, 80);
+        let d = a.diff(&b);
+        assert!(d.is_zero(), "non-zero diff: {}", d.to_text());
+    }
+
+    #[test]
+    fn diff_localizes_the_changed_phase() {
+        let base = digest("stack3", 500, 8_000);
+        let cand = digest("stack4", 500, 0);
+        let d = base.diff(&cand);
+        assert!(!d.is_zero());
+        assert_eq!(d.phase_delta(Phase::Imports), -8_000);
+        assert_eq!(d.phase_delta(Phase::Compute), 0);
+        assert_eq!(d.dominant_phase(), Phase::Imports);
+        assert_eq!(d.total_phase_delta_us(), -8_000);
+    }
+
+    #[test]
+    fn counter_deltas_cover_the_union() {
+        let mut a = digest("a", 1, 1);
+        a.set_counter("only_a", 5);
+        let mut b = digest("b", 1, 1);
+        b.set_counter("only_b", 7);
+        let d = a.diff(&b);
+        assert_eq!(d.counter_deltas["only_a"], -5);
+        assert_eq!(d.counter_deltas["only_b"], 7);
+        assert_eq!(d.counter_deltas["evictions"], 0);
+    }
+
+    #[test]
+    fn text_renderings_are_deterministic() {
+        let a = digest("a", 500, 80);
+        assert_eq!(a.to_text(), digest("a", 500, 80).to_text());
+        assert!(a.to_text().starts_with("run a\nmakespan_us 10000\n"));
+        let d = a.diff(&digest("b", 400, 80));
+        assert!(d.to_text().contains("phase compute -100"));
+    }
+
+    #[test]
+    fn run_obs_exactness_check() {
+        let good = RunObs {
+            attributions: vec![attr(0, [1, 2, 3, 4, 5, 6])],
+            digest: digest("g", 1, 1),
+        };
+        assert!(good.all_exact());
+        let mut bad = good.clone();
+        bad.attributions[0].end_us += 1;
+        assert!(!bad.all_exact());
+    }
+}

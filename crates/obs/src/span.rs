@@ -1,0 +1,198 @@
+//! The structured event model: spans, instant events, and attributes.
+//!
+//! Times are plain `u64` microseconds since the run origin, so the same
+//! types describe simulated time (`vine-core`, where the origin is t=0 of
+//! the event loop) and wall-clock time (`vine-exec`, where the origin is
+//! the start of the run as measured by a [`crate::WallClock`]).
+
+/// A typed attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// A string value (escaped on JSON export).
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+}
+
+/// One key/value attribute. Keys are `&'static str` so attaching
+/// attributes never allocates for the key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attr {
+    /// Attribute name.
+    pub key: &'static str,
+    /// Attribute value.
+    pub value: AttrValue,
+}
+
+impl Attr {
+    /// A string attribute.
+    pub fn str(key: &'static str, v: impl Into<String>) -> Self {
+        Attr {
+            key,
+            value: AttrValue::Str(v.into()),
+        }
+    }
+
+    /// An unsigned-integer attribute.
+    pub fn u64(key: &'static str, v: u64) -> Self {
+        Attr {
+            key,
+            value: AttrValue::U64(v),
+        }
+    }
+
+    /// A signed-integer attribute.
+    pub fn i64(key: &'static str, v: i64) -> Self {
+        Attr {
+            key,
+            value: AttrValue::I64(v),
+        }
+    }
+
+    /// A float attribute.
+    pub fn f64(key: &'static str, v: f64) -> Self {
+        Attr {
+            key,
+            value: AttrValue::F64(v),
+        }
+    }
+}
+
+/// Well-known span/event categories shared by both execution paths.
+/// Exporters pass categories through; the [`crate::FigureRecorder`]
+/// interprets them to feed the figure sinks.
+pub mod category {
+    /// A task execution on a worker (one span per execution attempt that
+    /// ran to completion).
+    pub const TASK: &str = "task";
+    /// Manager serial-loop work: dispatch and collect operations.
+    pub const MANAGER: &str = "manager";
+    /// LibraryTask instantiation (serverless mode).
+    pub const LIBRARY: &str = "library";
+    /// A completed data transfer (instant event carrying `src`, `dst`,
+    /// `bytes`).
+    pub const TRANSFER: &str = "transfer";
+    /// Worker lifecycle instants: preemption, cache overflow, start.
+    pub const WORKER: &str = "worker";
+}
+
+/// Well-known counter names.
+pub mod counter {
+    /// Tasks currently executing.
+    pub const RUNNING: &str = "tasks.running";
+    /// Tasks ready but not yet dispatched.
+    pub const WAITING: &str = "tasks.waiting";
+    /// Bytes resident in a worker's cache (track = worker lane).
+    pub const CACHE_USED: &str = "cache.used";
+}
+
+/// The manager's lane in the track/`tid` numbering. Workers occupy lanes
+/// `1..=W` (worker `w` is lane `w + 1`), matching the transfer-matrix
+/// node convention.
+pub const MANAGER_TRACK: u32 = 0;
+
+/// The lane of worker `w`.
+pub fn worker_track(w: usize) -> u32 {
+    w as u32 + 1
+}
+
+/// A named interval with a category, a lane, and attributes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Display name (e.g. the task name).
+    pub name: String,
+    /// Category (see [`category`]).
+    pub category: &'static str,
+    /// Start, microseconds since run origin.
+    pub start_us: u64,
+    /// End, microseconds since run origin (`>= start_us`).
+    pub end_us: u64,
+    /// Lane (Chrome `tid`): [`MANAGER_TRACK`] or [`worker_track`].
+    pub track: u32,
+    /// Typed attributes.
+    pub attrs: Vec<Attr>,
+}
+
+impl Span {
+    /// Span duration in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Look up an attribute value by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|a| a.key == key).map(|a| &a.value)
+    }
+
+    /// Look up a `u64` attribute by key.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        match self.attr(key) {
+            Some(AttrValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// A point-in-time event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstantEvent {
+    /// Display name.
+    pub name: String,
+    /// Category (see [`category`]).
+    pub category: &'static str,
+    /// When, microseconds since run origin.
+    pub t_us: u64,
+    /// Lane.
+    pub track: u32,
+    /// Typed attributes.
+    pub attrs: Vec<Attr>,
+}
+
+impl InstantEvent {
+    /// Look up an attribute value by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|a| a.key == key).map(|a| &a.value)
+    }
+
+    /// Look up a `u64` attribute by key.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        match self.attr(key) {
+            Some(AttrValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_duration_and_attr_lookup() {
+        let s = Span {
+            name: "p0".into(),
+            category: category::TASK,
+            start_us: 10,
+            end_us: 35,
+            track: worker_track(2),
+            attrs: vec![Attr::u64("task", 7), Attr::str("kind", "process")],
+        };
+        assert_eq!(s.dur_us(), 25);
+        assert_eq!(s.track, 3);
+        assert_eq!(s.attr_u64("task"), Some(7));
+        assert_eq!(s.attr("kind"), Some(&AttrValue::Str("process".into())));
+        assert_eq!(s.attr("absent"), None);
+        assert_eq!(s.attr_u64("kind"), None);
+    }
+
+    #[test]
+    fn track_numbering_reserves_manager_lane() {
+        assert_eq!(MANAGER_TRACK, 0);
+        assert_eq!(worker_track(0), 1);
+        assert_eq!(worker_track(9), 10);
+    }
+}

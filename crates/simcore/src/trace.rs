@@ -7,9 +7,31 @@
 //! * [`TransferMatrix`] — node-pair transfer bytes for the heatmap (Fig 7).
 //! * [`LogHistogram`] — log-binned task execution times (Fig 8).
 
+use std::fmt;
 use std::fmt::Write as _;
 
 use crate::time::{SimDur, SimTime};
+
+/// A time went backwards in [`TimeSeries::try_push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfOrder {
+    /// The last recorded time.
+    pub last: SimTime,
+    /// The earlier time that was pushed.
+    pub pushed: SimTime,
+}
+
+impl fmt::Display for OutOfOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "time series pushed out of order: {} after {}",
+            self.pushed, self.last
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrder {}
 
 /// A sequence of `(time, value)` points.
 #[derive(Clone, Debug, Default)]
@@ -23,13 +45,31 @@ impl TimeSeries {
         Self::default()
     }
 
-    /// Append a point. Times may repeat but must not decrease.
+    /// Append a point. Times may repeat but must not decrease; an
+    /// out-of-order time is clamped to the last recorded time (in every
+    /// build profile — `value_at`'s binary search silently misreads an
+    /// unsorted series, so release builds must not accept one either).
+    /// Use [`TimeSeries::try_push`] to detect the violation instead.
     pub fn push(&mut self, t: SimTime, v: f64) {
-        debug_assert!(
-            self.points.last().is_none_or(|&(lt, _)| lt <= t),
-            "TimeSeries must be pushed in time order"
-        );
+        let t = match self.points.last() {
+            Some(&(lt, _)) if t < lt => lt,
+            _ => t,
+        };
         self.points.push((t, v));
+    }
+
+    /// Append a point, rejecting out-of-order times.
+    pub fn try_push(&mut self, t: SimTime, v: f64) -> Result<(), OutOfOrder> {
+        if let Some(&(lt, _)) = self.points.last() {
+            if t < lt {
+                return Err(OutOfOrder {
+                    last: lt,
+                    pushed: t,
+                });
+            }
+        }
+        self.points.push((t, v));
+        Ok(())
     }
 
     /// The recorded points, in time order.
@@ -339,6 +379,37 @@ mod tests {
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn out_of_order_push_clamps_in_all_builds() {
+        // Regression: this used to be a debug_assert only — release
+        // builds silently recorded a decreasing time, corrupting
+        // `value_at`'s binary search.
+        let mut s = TimeSeries::new();
+        s.push(t(5), 1.0);
+        s.push(t(3), 2.0); // out of order: clamped to t=5
+        assert_eq!(s.points(), &[(t(5), 1.0), (t(5), 2.0)]);
+        assert_eq!(s.value_at(t(5)), 2.0);
+        assert_eq!(s.value_at(t(4)), 0.0);
+    }
+
+    #[test]
+    fn try_push_reports_the_violation() {
+        let mut s = TimeSeries::new();
+        assert!(s.try_push(t(5), 1.0).is_ok());
+        assert!(s.try_push(t(5), 2.0).is_ok()); // equal times are fine
+        let err = s.try_push(t(3), 9.0).unwrap_err();
+        assert_eq!(
+            err,
+            OutOfOrder {
+                last: t(5),
+                pushed: t(3)
+            }
+        );
+        // The rejected point was not recorded.
+        assert_eq!(s.len(), 2);
+        assert!(err.to_string().contains("out of order"));
     }
 
     #[test]

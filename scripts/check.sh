@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets "$@" -- -D warnings
 
+echo "== cargo build --all-targets =="
+cargo build --workspace --all-targets "$@"
+
 echo "== cargo test =="
 cargo test --workspace -q "$@"
 

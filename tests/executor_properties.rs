@@ -45,6 +45,7 @@ proptest! {
             mode: if serverless { ExecMode::Serverless } else { ExecMode::Standard },
             import_work: 1_000,
             arity,
+            obs: false,
         };
         let got = exec.run(&p, &datasets);
 
@@ -70,7 +71,7 @@ proptest! {
         let ds = vec![Dataset::synthesize("det.ds", total_kb * 1000, 1000, 120, 3)];
         let p = Dv3Processor::default();
         let run = |threads| {
-            Executor { threads, mode: ExecMode::Serverless, import_work: 1_000, arity: 3 }
+            Executor { threads, mode: ExecMode::Serverless, import_work: 1_000, arity: 3, obs: false }
                 .run(&p, &ds)
                 .final_result
         };

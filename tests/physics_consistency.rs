@@ -56,6 +56,7 @@ fn dv3_executor_matches_reference_in_all_modes() {
                 mode,
                 import_work: 10_000,
                 arity: 4,
+                obs: false,
             };
             let got = exec.run(&p, &dss);
             assert_physics_equal(&got.final_result, &expect);
@@ -76,6 +77,7 @@ fn triphoton_executor_matches_reference() {
         mode: ExecMode::Serverless,
         import_work: 10_000,
         arity: 2,
+        obs: false,
     };
     let got = exec.run(&p, &dss);
     assert_physics_equal(&got.final_result, &expect);
@@ -94,6 +96,7 @@ fn reduction_arity_does_not_change_results() {
             mode: ExecMode::Serverless,
             import_work: 5_000,
             arity,
+            obs: false,
         };
         let got = exec.run(&p, &dss).final_result;
         if let Some(prev) = &previous {
