@@ -66,6 +66,12 @@ pub struct WorkloadSpec {
     pub work_scale: f64,
     /// Accumulation shape.
     pub reduction: ReductionShape,
+    /// Which revision of the analyst's final selection/reduction this is.
+    /// Bumping it renames the reduction stage (and therefore its
+    /// cachenames) while leaving the process stage untouched — the shape
+    /// of an interactive "tweak the cuts and resubmit" iteration, where a
+    /// warm facility re-runs only the reductions.
+    pub edit_generation: u32,
 }
 
 impl WorkloadSpec {
@@ -81,6 +87,7 @@ impl WorkloadSpec {
             accum_output_bytes: 200 * MB,
             work_scale: 1.0,
             reduction: ReductionShape::Tree { arity: 16 },
+            edit_generation: 0,
         }
     }
 
@@ -96,6 +103,7 @@ impl WorkloadSpec {
             accum_output_bytes: 40 * MB,
             work_scale: 1.0,
             reduction: ReductionShape::Tree { arity: 16 },
+            edit_generation: 0,
         }
     }
 
@@ -111,6 +119,7 @@ impl WorkloadSpec {
             accum_output_bytes: 200 * MB,
             work_scale: 1.0,
             reduction: ReductionShape::Tree { arity: 16 },
+            edit_generation: 0,
         }
     }
 
@@ -126,6 +135,7 @@ impl WorkloadSpec {
             accum_output_bytes: 200 * MB,
             work_scale: 1.0,
             reduction: ReductionShape::Tree { arity: 16 },
+            edit_generation: 0,
         }
     }
 
@@ -144,6 +154,7 @@ impl WorkloadSpec {
             accum_output_bytes: GB,
             work_scale: 1.8,
             reduction: ReductionShape::Tree { arity: 8 },
+            edit_generation: 0,
         }
     }
 
@@ -161,6 +172,14 @@ impl WorkloadSpec {
     /// Replace the reduction shape.
     pub fn with_reduction(mut self, reduction: ReductionShape) -> Self {
         self.reduction = reduction;
+        self
+    }
+
+    /// Mark this spec as the `n`-th edit of the analyst's selection.
+    /// Process-stage tasks and files keep their names (warm caches still
+    /// hit); the reduction stage is renamed and must re-run.
+    pub fn with_edit_generation(mut self, n: u32) -> Self {
+        self.edit_generation = n;
         self
     }
 
@@ -200,10 +219,15 @@ impl WorkloadSpec {
                 );
                 partials.push(outs[0]);
             }
+            let reduce_prefix = if self.edit_generation == 0 {
+                format!("{}.ds{d}.reduce", self.name)
+            } else {
+                format!("{}.ds{d}.reduce.g{}", self.name, self.edit_generation)
+            };
             match self.reduction {
                 ReductionShape::SingleNode => {
                     g.add_task(
-                        format!("{}.ds{d}.reduce", self.name),
+                        reduce_prefix,
                         TaskKind::Accumulate,
                         partials.clone(),
                         &[self.accum_output_bytes],
@@ -213,7 +237,7 @@ impl WorkloadSpec {
                 ReductionShape::Tree { arity } => {
                     add_tree_reduce(
                         &mut g,
-                        &format!("{}.ds{d}.reduce", self.name),
+                        &reduce_prefix,
                         &partials,
                         arity,
                         self.accum_output_bytes,
@@ -368,5 +392,31 @@ mod tests {
     fn chunk_bytes_near_70mb_for_dv3_large() {
         let c = WorkloadSpec::dv3_large().chunk_bytes();
         assert!((60 * MB..90 * MB).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn edit_generation_renames_only_the_reduction_stage() {
+        let spec = WorkloadSpec::dv3_small().scaled_down(20);
+        let g0 = spec.clone().to_graph();
+        let g1 = spec.with_edit_generation(1).to_graph();
+        let names = |g: &TaskGraph| -> (Vec<String>, Vec<String>) {
+            let mut process = Vec::new();
+            let mut reduce = Vec::new();
+            for t in g.tasks() {
+                match t.kind {
+                    TaskKind::Process => process.push(t.name.clone()),
+                    _ => reduce.push(t.name.clone()),
+                }
+            }
+            (process, reduce)
+        };
+        let (p0, r0) = names(&g0);
+        let (p1, r1) = names(&g1);
+        assert_eq!(p0, p1, "process stage must be untouched by an edit");
+        assert!(!r0.is_empty() && r0.len() == r1.len());
+        for (a, b) in r0.iter().zip(&r1) {
+            assert_ne!(a, b, "every reduction task must be renamed");
+            assert!(b.contains(".g1"), "{b}");
+        }
     }
 }

@@ -111,11 +111,13 @@ mod tests {
         let times: Vec<f64> = pts.iter().map(|p| p.makespan_s.unwrap()).collect();
         // More cores help at first...
         assert!(times[1] < times[0] * 0.95, "{times:?}");
-        // ...but the largest step shows clearly diminished returns.
+        // ...but the largest step shows clearly diminished returns: the
+        // final doubling of cores buys well under half the speedup of
+        // the first, and under 15% outright.
         let last_gain = times[3] / times[4];
         let first_gain = times[0] / times[1];
         assert!(
-            last_gain < first_gain * 0.75,
+            last_gain < 1.15 && (last_gain - 1.0) < (first_gain - 1.0) * 0.5,
             "no plateau: first {first_gain}, last {last_gain} ({times:?})"
         );
     }

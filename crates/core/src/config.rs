@@ -169,6 +169,11 @@ pub struct EngineConfig {
     pub placement: Placement,
     /// Where external inputs are read from.
     pub data_source: DataSource,
+    /// Satisfy tasks whose output cachenames are already resident in a
+    /// warm session ([`crate::SessionState`]) instead of re-executing
+    /// them. Only takes effect for TaskVine runs launched through
+    /// [`crate::Engine::run_in_session`]; cold runs are unaffected.
+    pub memoization: bool,
     /// Master RNG seed.
     pub seed: u64,
     /// Trace selection.
@@ -200,6 +205,7 @@ impl EngineConfig {
             replicate_max_bytes: 512 * 1_000_000,
             placement: Placement::DataAware,
             data_source: DataSource::SharedFilesystem,
+            memoization: true,
             seed,
             trace: TraceConfig::default(),
             dask_unstable_above_bytes: Some(TB / 2),

@@ -37,11 +37,13 @@ pub mod cost;
 pub mod engine;
 pub mod placement;
 pub mod result;
+pub mod session;
 
 pub use config::{
     DataSource, EngineConfig, ExecMode, ImportSource, Placement, Preflight, SchedulerKind,
     TraceConfig,
 };
 pub use cost::TaskTimeModel;
-pub use engine::Engine;
+pub use engine::{graph_file_cachename, Engine};
 pub use result::{RunOutcome, RunResult, RunStats};
+pub use session::SessionState;

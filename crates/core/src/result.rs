@@ -40,6 +40,12 @@ pub struct RunStats {
     /// Sum of task execution durations (overhead + compute + local I/O)
     /// across all executions, in microseconds.
     pub total_task_busy_us: u64,
+    /// Tasks satisfied from a warm session's caches instead of executing
+    /// (zero outside [`crate::Engine::run_in_session`]).
+    pub memoized_tasks: u64,
+    /// Bytes of already-resident outputs those memoized tasks would have
+    /// produced (compute and transfer the warm start avoided).
+    pub warm_hit_bytes: u64,
 }
 
 /// Everything one simulated run produces.

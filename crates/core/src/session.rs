@@ -1,0 +1,203 @@
+//! Cross-run session state: worker caches that outlive a single run.
+//!
+//! A facility (`vine-serve`) keeps one [`SessionState`] per cluster and
+//! threads it through consecutive [`crate::Engine::run_in_session`] calls.
+//! Whatever each worker's [`LocalCache`] retained at the end of one run —
+//! partials, reduction products, staged inputs, all keyed by cachename —
+//! is still there when the next graph arrives, so a resubmitted analysis
+//! finds its intermediates warm and skips their producers entirely
+//! (see [`vine_dag::MemoPlan`]).
+//!
+//! The session owns only *storage* state. Network, worker liveness, and
+//! scheduling state are per-run: a preemption inside a run clears that
+//! worker's cache (reflected here after writeback), and
+//! [`SessionState::preempt_worker`] models a preemption that lands
+//! *between* runs.
+
+use std::collections::BTreeMap;
+
+use vine_cluster::ClusterSpec;
+use vine_storage::{CacheName, LocalCache};
+
+/// Per-worker cache state carried across runs on one cluster.
+#[derive(Clone, Debug)]
+pub struct SessionState {
+    caches: Vec<LocalCache>,
+    runs_completed: u64,
+}
+
+impl SessionState {
+    /// A cold session over `cluster`: one empty cache per worker, sized to
+    /// its disk. Matches the worker geometry of TaskVine/Work Queue runs
+    /// (Dask.Distributed splits workers share-nothing and needs a session
+    /// built with [`SessionState::from_caches`] if one is wanted at all).
+    pub fn new(cluster: &ClusterSpec) -> Self {
+        SessionState {
+            caches: (0..cluster.workers)
+                .map(|_| LocalCache::new(cluster.worker.disk_bytes))
+                .collect(),
+            runs_completed: 0,
+        }
+    }
+
+    /// Adopt pre-existing caches (tests, or non-standard geometries).
+    pub fn from_caches(caches: Vec<LocalCache>) -> Self {
+        SessionState {
+            caches,
+            runs_completed: 0,
+        }
+    }
+
+    /// Number of workers this session holds state for.
+    pub fn worker_count(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The per-worker caches, indexed by worker.
+    pub fn caches(&self) -> &[LocalCache] {
+        &self.caches
+    }
+
+    /// One worker's cache.
+    pub fn cache(&self, w: usize) -> &LocalCache {
+        &self.caches[w]
+    }
+
+    /// Total resident bytes across all workers (replicas counted once per
+    /// copy).
+    pub fn resident_bytes(&self) -> u64 {
+        self.caches.iter().map(|c| c.used()).sum()
+    }
+
+    /// Unique resident cachenames with their sizes, deterministically
+    /// ordered. Replicated entries appear once (at the size of the largest
+    /// copy, though copies of one cachename should agree).
+    pub fn unique_resident(&self) -> BTreeMap<CacheName, u64> {
+        let mut out = BTreeMap::new();
+        for c in &self.caches {
+            for (name, size, _) in c.iter() {
+                let e = out.entry(name).or_insert(0);
+                *e = (*e).max(size);
+            }
+        }
+        out
+    }
+
+    /// True if any worker holds the named entry.
+    pub fn contains(&self, name: CacheName) -> bool {
+        self.caches.iter().any(|c| c.contains(name))
+    }
+
+    /// Drop every copy of the named entry; returns unique bytes freed
+    /// (0 when absent). Session caches are never pinned between runs, so
+    /// removal cannot fail.
+    pub fn evict(&mut self, name: CacheName) -> u64 {
+        let mut freed = 0u64;
+        for c in &mut self.caches {
+            c.clear_pins();
+            if let Ok(size) = c.remove(name) {
+                freed = freed.max(size);
+            }
+        }
+        freed
+    }
+
+    /// A preemption between runs: worker `w` (and everything on its disk)
+    /// is gone; its replacement arrives with an empty cache.
+    pub fn preempt_worker(&mut self, w: usize) {
+        self.caches[w].clear_pins();
+        self.caches[w].clear();
+    }
+
+    /// Runs completed through this session.
+    pub fn runs_completed(&self) -> u64 {
+        self.runs_completed
+    }
+
+    /// Lifetime cache insertions summed over workers (survives clears).
+    pub fn lifetime_insertions(&self) -> u64 {
+        self.caches.iter().map(|c| c.lifetime_insertions()).sum()
+    }
+
+    /// Lifetime cache evictions summed over workers (survives clears).
+    pub fn lifetime_evictions(&self) -> u64 {
+        self.caches.iter().map(|c| c.lifetime_evictions()).sum()
+    }
+
+    /// Consume the session, yielding its caches.
+    pub fn into_caches(self) -> Vec<LocalCache> {
+        self.caches
+    }
+
+    /// Engine-side: take the caches for a run (leaves empty zero-capacity
+    /// placeholders) — paired with [`SessionState::restore_caches`].
+    pub(crate) fn take_caches(&mut self) -> Vec<LocalCache> {
+        std::mem::take(&mut self.caches)
+    }
+
+    /// Engine-side: put the (post-run) caches back and count the run.
+    pub(crate) fn restore_caches(&mut self, caches: Vec<LocalCache>) {
+        self.caches = caches;
+        self.runs_completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_storage::CacheEntryKind;
+
+    fn name(i: u32) -> CacheName {
+        CacheName::for_dataset_file("s", i)
+    }
+
+    fn session_with_entries() -> SessionState {
+        let mut a = LocalCache::new(1000);
+        let mut b = LocalCache::new(1000);
+        a.insert(name(1), 100, CacheEntryKind::Intermediate)
+            .unwrap();
+        a.insert(name(2), 200, CacheEntryKind::Intermediate)
+            .unwrap();
+        b.insert(name(2), 200, CacheEntryKind::Intermediate)
+            .unwrap();
+        SessionState::from_caches(vec![a, b])
+    }
+
+    #[test]
+    fn resident_accounting_counts_copies_and_uniques() {
+        let s = session_with_entries();
+        assert_eq!(s.resident_bytes(), 500);
+        let uniq = s.unique_resident();
+        assert_eq!(uniq.len(), 2);
+        assert_eq!(uniq.values().sum::<u64>(), 300);
+        assert!(s.contains(name(1)));
+        assert!(!s.contains(name(3)));
+    }
+
+    #[test]
+    fn evict_removes_all_copies() {
+        let mut s = session_with_entries();
+        assert_eq!(s.evict(name(2)), 200);
+        assert!(!s.contains(name(2)));
+        assert_eq!(s.resident_bytes(), 100);
+        assert_eq!(s.evict(name(2)), 0);
+    }
+
+    #[test]
+    fn preempt_clears_one_worker() {
+        let mut s = session_with_entries();
+        s.preempt_worker(0);
+        assert_eq!(s.cache(0).used(), 0);
+        assert!(s.contains(name(2)), "replica on worker 1 survives");
+        assert!(!s.contains(name(1)), "sole copy on worker 0 is gone");
+    }
+
+    #[test]
+    fn cold_session_matches_cluster_geometry() {
+        let cluster = ClusterSpec::standard(3);
+        let s = SessionState::new(&cluster);
+        assert_eq!(s.worker_count(), 3);
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.cache(0).capacity(), cluster.worker.disk_bytes);
+    }
+}

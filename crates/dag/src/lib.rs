@@ -22,8 +22,10 @@
 
 pub mod dot;
 pub mod graph;
+pub mod memo;
 pub mod rewrite;
 pub mod tracker;
 
 pub use graph::{FileId, FileNode, TaskGraph, TaskId, TaskKind, TaskNode, ValidateError};
+pub use memo::MemoPlan;
 pub use tracker::{ReadyTracker, TaskState};

@@ -1,0 +1,293 @@
+//! Cachename memoization: which tasks need not re-execute because their
+//! outputs are already resident in a warm cluster session.
+//!
+//! A facility (`vine-serve`) keeps per-worker caches alive *between* runs,
+//! so a resubmitted graph finds many of its intermediates already on disk
+//! somewhere, keyed by cachename. [`MemoPlan`] decides, before dispatch,
+//! which tasks are *satisfied from cache*: a task may be skipped when every
+//! output some downstream consumer (or the analyst, for sink files) still
+//! needs is resident. The analysis runs backward over the graph so a whole
+//! ancestor chain collapses when only its final product survives, and a
+//! producer whose partial was evicted re-runs even though its siblings hit.
+//!
+//! The rule, evaluated consumers-before-producers:
+//!
+//! ```text
+//! must_run(T) ⇔ ∃ output f of T:  ¬resident(f) ∧ needed(f)
+//! needed(f)   ⇔ f is a sink  ∨  ∃ consumer C of f: must_run(C)
+//! ```
+//!
+//! This guarantees the invariant the scheduler relies on: if a task runs
+//! and one of its inputs' producers was skipped, that input is resident —
+//! otherwise the producer would have had a non-resident needed output and
+//! could not have been skipped.
+//!
+//! Invalidation is the scheduler's job: when preemption or eviction later
+//! destroys the only copy of a memoized file, the policy declares the loss
+//! and the [`crate::ReadyTracker`] revives the (skipped) producer chain.
+
+use crate::graph::{FileId, TaskGraph, TaskId};
+
+/// The result of the backward must-run analysis over one graph against a
+/// snapshot of cache residency.
+#[derive(Clone, Debug)]
+pub struct MemoPlan {
+    skip: Vec<bool>,
+    resident: Vec<bool>,
+    /// Tasks satisfied from cache (skipped).
+    pub skipped_tasks: usize,
+    /// Resident output files of skipped tasks (warm hits).
+    pub warm_files: usize,
+    /// Bytes of those warm-hit files (by graph size hint).
+    pub warm_bytes: u64,
+}
+
+impl MemoPlan {
+    /// Analyze `graph` against residency: `resident(f)` must report whether
+    /// a physical copy of produced file `f` exists somewhere in the session
+    /// (external inputs are ignored — they are always re-readable).
+    ///
+    /// Relies on the builder's guarantee that task ids are topologically
+    /// ordered (a task only consumes files that already exist).
+    pub fn compute(graph: &TaskGraph, resident: impl Fn(FileId) -> bool) -> Self {
+        let nt = graph.task_count();
+        let nf = graph.file_count();
+        let mut is_resident = vec![false; nf];
+        for f in graph.files() {
+            if f.producer.is_some() && resident(f.id) {
+                is_resident[f.id.0 as usize] = true;
+            }
+        }
+
+        let mut must_run = vec![false; nt];
+        for ti in (0..nt).rev() {
+            let task = &graph.tasks()[ti];
+            if task.outputs.is_empty() {
+                // An output-less task's effect is invisible to the cache;
+                // conservatively always run it (G004 flags these anyway).
+                must_run[ti] = true;
+                continue;
+            }
+            must_run[ti] = task.outputs.iter().any(|&f| {
+                let fnode = graph.file(f);
+                let needed = fnode.consumers.is_empty()
+                    || fnode.consumers.iter().any(|c| must_run[c.0 as usize]);
+                needed && !is_resident[f.0 as usize]
+            });
+        }
+
+        let mut skipped_tasks = 0;
+        let mut warm_files = 0;
+        let mut warm_bytes = 0u64;
+        for (ti, &must) in must_run.iter().enumerate() {
+            if must {
+                continue;
+            }
+            skipped_tasks += 1;
+            for &f in &graph.tasks()[ti].outputs {
+                if is_resident[f.0 as usize] {
+                    warm_files += 1;
+                    warm_bytes += graph.file(f).size_hint;
+                }
+            }
+        }
+
+        MemoPlan {
+            skip: must_run.iter().map(|&m| !m).collect(),
+            resident: is_resident,
+            skipped_tasks,
+            warm_files,
+            warm_bytes,
+        }
+    }
+
+    /// A plan that skips nothing (cold session).
+    pub fn cold(graph: &TaskGraph) -> Self {
+        MemoPlan {
+            skip: vec![false; graph.task_count()],
+            resident: vec![false; graph.file_count()],
+            skipped_tasks: 0,
+            warm_files: 0,
+            warm_bytes: 0,
+        }
+    }
+
+    /// Whether the plan satisfies this task from cache.
+    pub fn skips(&self, t: TaskId) -> bool {
+        self.skip[t.0 as usize]
+    }
+
+    /// Whether the plan saw a resident copy of this produced file.
+    pub fn is_resident(&self, f: FileId) -> bool {
+        self.resident[f.0 as usize]
+    }
+
+    /// The per-task skip mask (indexed by task id).
+    pub fn skip_mask(&self) -> &[bool] {
+        &self.skip
+    }
+
+    /// The per-file residency mask (indexed by file id).
+    pub fn resident_mask(&self) -> &[bool] {
+        &self.resident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{TaskGraph, TaskKind};
+    use crate::tracker::{ReadyTracker, TaskState};
+    use std::collections::HashSet;
+
+    /// e0 -> p0 -> f0 ; e1 -> p1 -> f1 ; (f0,f1) -> acc -> out
+    fn chain() -> (TaskGraph, TaskId, TaskId, TaskId) {
+        let mut g = TaskGraph::new();
+        let e0 = g.add_external_file("e0", 10);
+        let e1 = g.add_external_file("e1", 10);
+        let (p0, _) = g.add_task("p0", TaskKind::Process, vec![e0], &[5], 1.0);
+        let (p1, _) = g.add_task("p1", TaskKind::Process, vec![e1], &[5], 1.0);
+        let f0 = g.task(p0).outputs[0];
+        let f1 = g.task(p1).outputs[0];
+        let (acc, _) = g.add_task("acc", TaskKind::Accumulate, vec![f0, f1], &[1], 1.0);
+        (g, p0, p1, acc)
+    }
+
+    fn plan_with(g: &TaskGraph, resident: &[FileId]) -> MemoPlan {
+        let set: HashSet<FileId> = resident.iter().copied().collect();
+        MemoPlan::compute(g, |f| set.contains(&f))
+    }
+
+    #[test]
+    fn cold_session_skips_nothing() {
+        let (g, p0, p1, acc) = chain();
+        let plan = plan_with(&g, &[]);
+        assert_eq!(plan.skipped_tasks, 0);
+        assert!(!plan.skips(p0) && !plan.skips(p1) && !plan.skips(acc));
+    }
+
+    #[test]
+    fn fully_warm_session_skips_everything() {
+        let (g, p0, p1, acc) = chain();
+        let all: Vec<FileId> = g
+            .files()
+            .iter()
+            .filter(|f| f.producer.is_some())
+            .map(|f| f.id)
+            .collect();
+        let plan = plan_with(&g, &all);
+        assert_eq!(plan.skipped_tasks, 3);
+        assert!(plan.skips(p0) && plan.skips(p1) && plan.skips(acc));
+        assert_eq!(plan.warm_files, 3);
+    }
+
+    #[test]
+    fn resident_sink_collapses_whole_ancestry() {
+        // Only the final accumulate output survived; the partials were
+        // evicted. Nothing needs the partials, so nothing re-runs.
+        let (g, p0, p1, acc) = chain();
+        let sink = g.task(acc).outputs[0];
+        let plan = plan_with(&g, &[sink]);
+        assert_eq!(plan.skipped_tasks, 3);
+        assert!(plan.skips(p0) && plan.skips(p1) && plan.skips(acc));
+    }
+
+    #[test]
+    fn missing_partial_reruns_only_its_producer_chain() {
+        // f0 resident, f1 evicted, sink gone: acc must run, p1 must run
+        // (acc needs f1), p0 is satisfied by the resident f0.
+        let (g, p0, p1, acc) = chain();
+        let f0 = g.task(p0).outputs[0];
+        let plan = plan_with(&g, &[f0]);
+        assert!(plan.skips(p0), "resident partial's producer re-ran");
+        assert!(!plan.skips(p1));
+        assert!(!plan.skips(acc));
+        assert_eq!(plan.skipped_tasks, 1);
+    }
+
+    #[test]
+    fn skip_invariant_inputs_of_runners_are_resident_or_regenerated() {
+        // For every resident pattern of the chain: if a task must run,
+        // each of its inputs is either resident or its producer also runs.
+        let (g, _, _, _) = chain();
+        let produced: Vec<FileId> = g
+            .files()
+            .iter()
+            .filter(|f| f.producer.is_some())
+            .map(|f| f.id)
+            .collect();
+        for mask in 0..(1u32 << produced.len()) {
+            let resident: Vec<FileId> = produced
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &f)| f)
+                .collect();
+            let plan = plan_with(&g, &resident);
+            for t in g.tasks() {
+                if plan.skips(t.id) {
+                    continue;
+                }
+                for &f in &t.inputs {
+                    let p = g.file(f).producer;
+                    let ok = p.is_none() || plan.is_resident(f) || !plan.skips(p.unwrap());
+                    assert!(ok, "mask {mask:b}: runner {:?} has a memoized hole", t.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_tracker_starts_with_skipped_tasks_done() {
+        let (g, p0, p1, acc) = chain();
+        let f0 = g.task(p0).outputs[0];
+        let plan = plan_with(&g, &[f0]);
+        let t = ReadyTracker::with_warm_state(&g, plan.resident_mask(), plan.skip_mask());
+        assert_eq!(t.state(p0), TaskState::Done);
+        assert_eq!(t.state(p1), TaskState::Ready);
+        assert_eq!(t.state(acc), TaskState::Blocked);
+        assert!(!t.is_complete());
+        // p1 then acc complete the run.
+        t_run(t, &[p1, acc]);
+    }
+
+    fn t_run(mut t: ReadyTracker, order: &[TaskId]) {
+        for &task in order {
+            t.mark_running(task);
+            t.mark_done(task);
+        }
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn fully_warm_tracker_is_complete_immediately() {
+        let (g, _, _, acc) = chain();
+        let sink = g.task(acc).outputs[0];
+        let plan = plan_with(&g, &[sink]);
+        let t = ReadyTracker::with_warm_state(&g, plan.resident_mask(), plan.skip_mask());
+        assert!(t.is_complete());
+        assert_eq!(t.total_completions(), 0, "memo hits are not completions");
+    }
+
+    #[test]
+    fn losing_a_memoized_sole_copy_revives_the_skipped_chain() {
+        // Warm from the sink alone; then the sink's only copy is lost.
+        // The tracker must revive acc, and (the policy declaring the
+        // partials lost too, since no copies exist) p0 and p1.
+        let (g, p0, p1, acc) = chain();
+        let sink = g.task(acc).outputs[0];
+        let plan = plan_with(&g, &[sink]);
+        let mut t = ReadyTracker::with_warm_state(&g, plan.resident_mask(), plan.skip_mask());
+        assert!(t.is_complete());
+        t.mark_file_lost(sink);
+        assert_eq!(t.state(acc), TaskState::Blocked);
+        // The policy notices acc's inputs have no physical copies either.
+        let f0 = g.task(p0).outputs[0];
+        let f1 = g.task(p1).outputs[0];
+        t.mark_file_lost(f0);
+        t.mark_file_lost(f1);
+        assert_eq!(t.state(p0), TaskState::Ready);
+        assert_eq!(t.state(p1), TaskState::Ready);
+        t_run(t, &[p0, p1, acc]);
+    }
+}

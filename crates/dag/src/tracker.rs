@@ -84,6 +84,59 @@ impl ReadyTracker {
         t
     }
 
+    /// Initialize against a *warm* session: `resident[f]` marks produced
+    /// files that already exist somewhere in the cluster, `skip[t]` marks
+    /// tasks a [`crate::memo::MemoPlan`] satisfies from cache. Skipped
+    /// tasks start `Done` without counting as completions; resident files
+    /// start available, so consumers that do run can fetch them.
+    ///
+    /// The caller is responsible for `skip` being memo-sound (a skipped
+    /// task's needed outputs resident — see [`crate::memo`]); a skipped
+    /// task may legitimately have *unneeded* outputs that are not
+    /// resident, which is the one sanctioned relaxation of the module
+    /// invariant. If such a file later turns out to be needed after all
+    /// (an eviction revived one of its consumers), the policy declares it
+    /// lost and [`ReadyTracker::mark_file_lost`] revives the producer.
+    pub fn with_warm_state(graph: &TaskGraph, resident: &[bool], skip: &[bool]) -> Self {
+        let nt = graph.task_count();
+        let nf = graph.file_count();
+        assert_eq!(resident.len(), nf, "residency mask length");
+        assert_eq!(skip.len(), nt, "skip mask length");
+        let mut t = ReadyTracker {
+            task_inputs: graph.tasks().iter().map(|t| t.inputs.clone()).collect(),
+            task_outputs: graph.tasks().iter().map(|t| t.outputs.clone()).collect(),
+            file_producer: graph.files().iter().map(|f| f.producer).collect(),
+            file_consumers: graph.files().iter().map(|f| f.consumers.clone()).collect(),
+            state: vec![TaskState::Blocked; nt],
+            file_available: vec![false; nf],
+            missing_inputs: vec![0; nt],
+            ready: BTreeSet::new(),
+            done_count: 0,
+            running_count: 0,
+            completions: 0,
+        };
+        for (i, &res) in resident.iter().enumerate() {
+            if t.file_producer[i].is_none() || res {
+                t.file_available[i] = true;
+            }
+        }
+        for (i, &skip_i) in skip.iter().enumerate() {
+            let missing = t.task_inputs[i]
+                .iter()
+                .filter(|f| !t.file_available[f.0 as usize])
+                .count();
+            t.missing_inputs[i] = missing;
+            if skip_i {
+                t.state[i] = TaskState::Done;
+                t.done_count += 1;
+            } else if missing == 0 {
+                t.state[i] = TaskState::Ready;
+                t.ready.insert(TaskId(i as u32));
+            }
+        }
+        t
+    }
+
     /// Current state of a task.
     pub fn state(&self, t: TaskId) -> TaskState {
         self.state[t.0 as usize]
@@ -199,29 +252,35 @@ impl ReadyTracker {
     /// a no-op because the shared filesystem retains them.
     pub fn mark_file_lost(&mut self, f: FileId) -> Vec<TaskId> {
         let fi = f.0 as usize;
-        if !self.file_available[fi] || self.file_producer[fi].is_none() {
+        let Some(p) = self.file_producer[fi] else {
             return Vec::new();
-        }
-        self.file_available[fi] = false;
+        };
+        let was_available = self.file_available[fi];
         let mut newly_ready = Vec::new();
 
-        // Pending consumers lose an input.
-        for ci in 0..self.file_consumers[fi].len() {
-            let c = self.file_consumers[fi][ci];
-            let cs = c.0 as usize;
-            self.missing_inputs[cs] += 1;
-            if self.state[cs] == TaskState::Ready {
-                self.ready.remove(&c);
-                self.state[cs] = TaskState::Blocked;
+        if was_available {
+            self.file_available[fi] = false;
+            // Pending consumers lose an input.
+            for ci in 0..self.file_consumers[fi].len() {
+                let c = self.file_consumers[fi][ci];
+                let cs = c.0 as usize;
+                self.missing_inputs[cs] += 1;
+                if self.state[cs] == TaskState::Ready {
+                    self.ready.remove(&c);
+                    self.state[cs] = TaskState::Blocked;
+                }
+                // Running consumers already hold their inputs; Done
+                // consumers no longer need them. Both keep their state,
+                // but their missing-count now reflects the lost file in
+                // case they must re-run later.
             }
-            // Running consumers already hold their inputs; Done consumers
-            // no longer need them. Both keep their state, but their
-            // missing-count now reflects the lost file in case they must
-            // re-run later.
         }
+        // Even when the file was never marked available — a memoized
+        // (warm-skipped) task's unneeded output has no availability bit —
+        // a Done producer must still be revived so the file can be
+        // regenerated; consumer bookkeeping already counts it as missing.
 
         // The producer must run again.
-        let p = self.file_producer[fi].expect("checked above");
         let pi = p.0 as usize;
         match self.state[pi] {
             TaskState::Done => {

@@ -1,0 +1,226 @@
+//! Facility lints (F codes): multi-tenant serving configurations that
+//! can never work.
+//!
+//! A `vine-serve` facility admits submissions from weighted tenants onto
+//! a shared cluster. The failure modes here are quieter than Fig 11's —
+//! a tenant whose quota exceeds the cluster just waits forever, a
+//! zero-weight tenant is silently starved — so the facility runs these
+//! checks before accepting its first submission, mirroring the engine's
+//! own pre-flight gate.
+
+use crate::{fmt_bytes, Code, Diagnostic, Locus, Report, SchedulerFamily, Severity};
+
+/// One tenant's admission knobs, as the facility sees them.
+#[derive(Clone, Debug)]
+pub struct TenantFacts {
+    /// Display name (diagnostics only).
+    pub name: String,
+    /// Fair-share weight (larger = more throughput).
+    pub weight: f64,
+    /// Cap on cores this tenant may hold in flight at once.
+    pub max_inflight_cores: u32,
+    /// Cap on session-resident cache bytes attributed to this tenant.
+    pub max_resident_bytes: u64,
+}
+
+/// A plain snapshot of the facility knobs the F lints read.
+#[derive(Clone, Debug)]
+pub struct FacilityFacts {
+    /// Scheduler generation runs execute under.
+    pub scheduler: SchedulerFamily,
+    /// Warm-cache memoization requested.
+    pub memoization: bool,
+    /// Workers in the cluster.
+    pub workers: usize,
+    /// Cores per worker.
+    pub cores_per_worker: u32,
+    /// Disk (cache capacity) per worker, bytes.
+    pub disk_per_worker: u64,
+    /// Workers each admitted run receives.
+    pub workers_per_run: usize,
+    /// The tenants, in facility order.
+    pub tenants: Vec<TenantFacts>,
+}
+
+impl FacilityFacts {
+    fn total_cores(&self) -> u64 {
+        self.workers as u64 * self.cores_per_worker as u64
+    }
+
+    fn aggregate_disk(&self) -> u64 {
+        self.workers as u64 * self.disk_per_worker
+    }
+}
+
+/// Run the facility lints.
+pub fn lint_facility(facts: &FacilityFacts) -> Report {
+    let mut report = Report::new();
+
+    if facts.tenants.is_empty() {
+        report.push(Diagnostic {
+            code: Code::F002,
+            severity: Severity::Error,
+            locus: Locus::Config,
+            message: "facility has no tenants; nothing can ever be admitted".into(),
+            suggestion: Some("configure at least one tenant with a positive weight".into()),
+        });
+    }
+
+    for (i, t) in facts.tenants.iter().enumerate() {
+        if u64::from(t.max_inflight_cores) > facts.total_cores() {
+            report.push(Diagnostic {
+                code: Code::F001,
+                severity: Severity::Error,
+                locus: Locus::Tenant(i),
+                message: format!(
+                    "tenant '{}' allows {} in-flight cores but the cluster has only {}",
+                    t.name,
+                    t.max_inflight_cores,
+                    facts.total_cores()
+                ),
+                suggestion: Some("cap the quota at the cluster's core count".into()),
+            });
+        }
+        if !(t.weight.is_finite() && t.weight > 0.0) {
+            report.push(Diagnostic {
+                code: Code::F002,
+                severity: Severity::Error,
+                locus: Locus::Tenant(i),
+                message: format!(
+                    "tenant '{}' has fair-share weight {}; it will never be admitted",
+                    t.name, t.weight
+                ),
+                suggestion: Some("give every tenant a positive finite weight".into()),
+            });
+        }
+        if t.max_resident_bytes > facts.aggregate_disk() {
+            report.push(Diagnostic {
+                code: Code::F005,
+                severity: Severity::Warn,
+                locus: Locus::Tenant(i),
+                message: format!(
+                    "tenant '{}' may pin {} of cache but the cluster's disks total {}",
+                    t.name,
+                    fmt_bytes(t.max_resident_bytes),
+                    fmt_bytes(facts.aggregate_disk())
+                ),
+                suggestion: Some("the quota is unreachable; lower it or add disk".into()),
+            });
+        }
+    }
+
+    if facts.memoization && facts.scheduler != SchedulerFamily::TaskVine {
+        report.push(Diagnostic {
+            code: Code::F003,
+            severity: Severity::Warn,
+            locus: Locus::Config,
+            message: format!(
+                "memoization requested under {:?}, which retains nothing between runs",
+                facts.scheduler
+            ),
+            suggestion: Some("run the facility on TaskVine (stack 3 or 4)".into()),
+        });
+    }
+
+    if facts.workers_per_run == 0 || facts.workers_per_run > facts.workers {
+        report.push(Diagnostic {
+            code: Code::F004,
+            severity: Severity::Error,
+            locus: Locus::Cluster,
+            message: format!(
+                "each run wants {} workers but the cluster has {}",
+                facts.workers_per_run, facts.workers
+            ),
+            suggestion: Some("shrink workers_per_run or grow the cluster".into()),
+        });
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> FacilityFacts {
+        FacilityFacts {
+            scheduler: SchedulerFamily::TaskVine,
+            memoization: true,
+            workers: 8,
+            cores_per_worker: 12,
+            disk_per_worker: 100_000_000_000,
+            workers_per_run: 4,
+            tenants: vec![
+                TenantFacts {
+                    name: "atlas".into(),
+                    weight: 2.0,
+                    max_inflight_cores: 48,
+                    max_resident_bytes: 200_000_000_000,
+                },
+                TenantFacts {
+                    name: "cms".into(),
+                    weight: 1.0,
+                    max_inflight_cores: 48,
+                    max_resident_bytes: 200_000_000_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn healthy_facility_is_clean() {
+        assert!(lint_facility(&healthy()).is_clean());
+    }
+
+    #[test]
+    fn over_quota_cores_fire_f001() {
+        let mut f = healthy();
+        f.tenants[0].max_inflight_cores = 1000;
+        let r = lint_facility(&f);
+        assert!(r.has_code(Code::F001) && r.has_errors());
+    }
+
+    #[test]
+    fn zero_weight_fires_f002() {
+        let mut f = healthy();
+        f.tenants[1].weight = 0.0;
+        assert!(lint_facility(&f).has_code(Code::F002));
+        f.tenants[1].weight = f64::NAN;
+        assert!(lint_facility(&f).has_code(Code::F002));
+    }
+
+    #[test]
+    fn no_tenants_fires_f002() {
+        let mut f = healthy();
+        f.tenants.clear();
+        let r = lint_facility(&f);
+        assert!(r.has_code(Code::F002) && r.has_errors());
+    }
+
+    #[test]
+    fn memoization_off_taskvine_fires_f003() {
+        let mut f = healthy();
+        f.scheduler = SchedulerFamily::WorkQueue;
+        let r = lint_facility(&f);
+        assert!(r.has_code(Code::F003));
+        assert!(!r.has_errors(), "F003 is advisory");
+    }
+
+    #[test]
+    fn infeasible_slice_fires_f004() {
+        let mut f = healthy();
+        f.workers_per_run = 9;
+        assert!(lint_facility(&f).has_code(Code::F004));
+        f.workers_per_run = 0;
+        assert!(lint_facility(&f).has_code(Code::F004));
+    }
+
+    #[test]
+    fn oversized_byte_quota_fires_f005() {
+        let mut f = healthy();
+        f.tenants[0].max_resident_bytes = 10_000_000_000_000;
+        let r = lint_facility(&f);
+        assert!(r.has_code(Code::F005));
+        assert!(!r.has_errors(), "F005 is advisory");
+    }
+}

@@ -23,7 +23,11 @@
 //!   (replication without peer transfers), or are policy-infeasible
 //!   (Dask.Distributed beyond its stable input scale);
 //! * [`determinism`] — reproducibility lints (D codes): trace and
-//!   recovery settings that make repeated runs hard to compare.
+//!   recovery settings that make repeated runs hard to compare;
+//! * [`facility`] — multi-tenant serving lints (F codes): tenant quotas
+//!   or fair-share weights that can never be satisfied, and per-run
+//!   worker slices the cluster cannot provide (checked by `vine-serve`
+//!   before a facility accepts submissions).
 //!
 //! The scheduler side of the world arrives as [`EngineFacts`], a plain
 //! snapshot of the engine knobs this crate needs. `vine-core` provides
@@ -37,8 +41,11 @@
 
 pub mod config;
 pub mod determinism;
+pub mod facility;
 pub mod graph;
 pub mod resources;
+
+pub use facility::{lint_facility, FacilityFacts, TenantFacts};
 
 use std::fmt;
 
@@ -115,11 +122,24 @@ pub enum Code {
     D002,
     /// Figure timeline tracing disabled: runs cannot be compared.
     D003,
+    /// A tenant's in-flight core quota exceeds the whole cluster.
+    F001,
+    /// A tenant has zero (or invalid) fair-share weight, or the facility
+    /// has no tenants at all: nothing can ever be admitted for it.
+    F002,
+    /// Warm-cache memoization requested under a non-TaskVine scheduler.
+    F003,
+    /// Per-run worker slice is infeasible (zero, or larger than the
+    /// cluster).
+    F004,
+    /// A tenant's resident-byte quota exceeds the cluster's aggregate
+    /// disk.
+    F005,
 }
 
 impl Code {
     /// Every code, in report order — drives the README reference table.
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 27] = [
         Code::G001,
         Code::G002,
         Code::G003,
@@ -142,6 +162,11 @@ impl Code {
         Code::D001,
         Code::D002,
         Code::D003,
+        Code::F001,
+        Code::F002,
+        Code::F003,
+        Code::F004,
+        Code::F005,
     ];
 
     /// One-line description (the README reference text).
@@ -169,6 +194,11 @@ impl Code {
             Code::D001 => "sole-copy intermediates under preemption (rerun cascades)",
             Code::D002 => "gantt tracing at a scale where the trace dwarfs the run",
             Code::D003 => "timeline tracing disabled; runs cannot be compared",
+            Code::F001 => "tenant in-flight core quota exceeds the whole cluster",
+            Code::F002 => "tenant with zero fair-share weight (or no tenants): starved forever",
+            Code::F003 => "warm-cache memoization under a non-TaskVine scheduler does nothing",
+            Code::F004 => "per-run worker slice is zero or larger than the cluster",
+            Code::F005 => "tenant resident-byte quota exceeds the cluster's aggregate disk",
         }
     }
 }
@@ -192,6 +222,8 @@ pub enum Locus {
     Config,
     /// The cluster allocation.
     Cluster,
+    /// One facility tenant (by index in the facility config).
+    Tenant(usize),
 }
 
 impl fmt::Display for Locus {
@@ -202,6 +234,7 @@ impl fmt::Display for Locus {
             Locus::File(fid) => write!(f, "file:{}", fid.0),
             Locus::Config => write!(f, "config"),
             Locus::Cluster => write!(f, "cluster"),
+            Locus::Tenant(i) => write!(f, "tenant:{i}"),
         }
     }
 }

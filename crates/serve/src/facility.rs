@@ -1,0 +1,702 @@
+//! The facility: persistent worker caches, admission control, and the
+//! two-level event loop.
+//!
+//! A [`Facility`] is a discrete-event simulation *above* the engine's: it
+//! owns the facility clock, the per-tenant submission queues, and one
+//! [`LocalCache`] per cluster worker that survives between runs. Each
+//! admitted submission gets an exclusive slice of `workers_per_run`
+//! workers; the slice's caches are checked out into a
+//! [`SessionState`], the inner engine run executes (its own full DES),
+//! and the post-run caches are written back **only when the facility
+//! clock reaches the run's completion** — an earlier-finishing or
+//! later-admitted run can never observe outputs of a run that is still
+//! logically in flight.
+//!
+//! Admission (on every state change) is weighted fair-share with quotas:
+//! among tenants with queued work whose in-flight core quota has room,
+//! the stride scheduler's minimum-virtual-time tenant is admitted onto
+//! the free workers whose resident caches overlap the submission's
+//! cachenames the most. Resident-byte quotas are enforced after each
+//! writeback by evicting the owning tenant's entries in deterministic
+//! (sorted cachename) order.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use vine_cluster::ClusterSpec;
+use vine_core::{graph_file_cachename, Engine, EngineConfig, RunStats, SessionState};
+use vine_dag::TaskGraph;
+use vine_lint::{lint_facility, FacilityFacts, Report, SchedulerFamily};
+use vine_simcore::{RngHub, SimDur, SimTime};
+use vine_storage::{CacheName, LocalCache};
+
+use crate::report::FacilityReport;
+use crate::tenant::{FairShare, TenantSpec};
+
+/// Everything a facility needs to start serving.
+#[derive(Clone, Debug)]
+pub struct FacilityConfig {
+    /// The shared cluster.
+    pub cluster: ClusterSpec,
+    /// The analysis groups, in fixed order (tenant indices refer here).
+    pub tenants: Vec<TenantSpec>,
+    /// Workers each admitted run receives, exclusively, for its duration.
+    pub workers_per_run: usize,
+    /// Table I stack for the inner engine runs (3 or 4 for warm caches;
+    /// 1–2 retain nothing and every run is cold).
+    pub stack: usize,
+    /// Disable the inner runs' stochastic elements (instant worker
+    /// start, no preemption). The facility is deterministic either way;
+    /// this just makes the inner runs faster and their makespans purer.
+    pub deterministic_runs: bool,
+    /// Master seed: inner run seeds and load-generator draws derive from
+    /// it. Identical seeds ⇒ identical admission sequences and reports.
+    pub seed: u64,
+    /// Refuse to start when the facility lints find errors.
+    pub enforce_preflight: bool,
+}
+
+impl FacilityConfig {
+    /// A small demonstration facility: 8 standard workers, two tenants
+    /// ("atlas" at weight 2, "cms" at weight 1), 4 workers per run,
+    /// stack 3.
+    pub fn demo(seed: u64) -> Self {
+        let cluster = ClusterSpec::standard(8);
+        let half_cores = cluster.total_cores() / 2;
+        let disk = cluster.worker.disk_bytes * cluster.workers as u64;
+        FacilityConfig {
+            cluster,
+            tenants: vec![
+                TenantSpec::new("atlas", 2.0)
+                    .with_core_quota(half_cores)
+                    .with_byte_quota(disk / 2),
+                TenantSpec::new("cms", 1.0)
+                    .with_core_quota(half_cores)
+                    .with_byte_quota(disk / 2),
+            ],
+            workers_per_run: 4,
+            stack: 3,
+            deterministic_runs: true,
+            seed,
+            enforce_preflight: true,
+        }
+    }
+
+    /// Cores an admitted run occupies.
+    pub fn run_cores(&self) -> u64 {
+        self.workers_per_run as u64 * u64::from(self.cluster.worker.cores)
+    }
+
+    /// The snapshot [`vine_lint::lint_facility`] reads.
+    pub fn lint_facts(&self) -> FacilityFacts {
+        FacilityFacts {
+            scheduler: if self.stack >= 3 {
+                SchedulerFamily::TaskVine
+            } else {
+                SchedulerFamily::WorkQueue
+            },
+            memoization: self.stack >= 3,
+            workers: self.cluster.workers,
+            cores_per_worker: self.cluster.worker.cores,
+            disk_per_worker: self.cluster.worker.disk_bytes,
+            workers_per_run: self.workers_per_run,
+            tenants: self.tenants.iter().map(TenantSpec::lint_facts).collect(),
+        }
+    }
+}
+
+/// One graph submitted by one tenant.
+#[derive(Clone, Debug)]
+pub struct Submission {
+    /// Index into [`FacilityConfig::tenants`].
+    pub tenant: usize,
+    /// The work.
+    pub graph: TaskGraph,
+    /// Within-tenant ordering: higher runs first (arrival breaks ties).
+    pub priority: i32,
+    /// Facility-clock arrival time.
+    pub arrival: SimTime,
+    /// Display label for records and metrics.
+    pub label: String,
+}
+
+/// What happened to one submission, start to finish.
+#[derive(Clone, Debug)]
+pub struct SubmissionRecord {
+    /// Global submission sequence number (ingest order).
+    pub seq: usize,
+    /// Tenant index.
+    pub tenant: usize,
+    /// Submission label.
+    pub label: String,
+    /// When it arrived.
+    pub arrival: SimTime,
+    /// When it was admitted.
+    pub admitted: SimTime,
+    /// When its run completed (facility clock).
+    pub finished: SimTime,
+    /// Workers it ran on, in selection order (best cache overlap first).
+    pub workers: Vec<usize>,
+    /// Bytes of already-resident intermediates its worker slice offered.
+    pub overlap_bytes: u64,
+    /// Inner run statistics.
+    pub stats: RunStats,
+    /// Inner run makespan.
+    pub makespan: SimDur,
+    /// Whether the inner run completed.
+    pub completed: bool,
+}
+
+impl SubmissionRecord {
+    /// Time spent queued before admission.
+    pub fn queue_wait(&self) -> SimDur {
+        self.admitted.saturating_since(self.arrival)
+    }
+
+    /// Fraction of the graph's tasks satisfied from warm caches.
+    pub fn warm_hit_ratio(&self) -> f64 {
+        if self.stats.tasks_total == 0 {
+            0.0
+        } else {
+            self.stats.memoized_tasks as f64 / self.stats.tasks_total as f64
+        }
+    }
+}
+
+struct Queued {
+    seq: usize,
+    priority: i32,
+    arrival: SimTime,
+    graph: TaskGraph,
+    label: String,
+}
+
+struct ActiveRun {
+    record: SubmissionRecord,
+    /// Post-run caches, held back until `record.finished`.
+    caches: Vec<LocalCache>,
+}
+
+/// The multi-tenant facility. See the module docs for the model.
+pub struct Facility {
+    cfg: FacilityConfig,
+    /// Per-worker persistent caches; a zero-capacity placeholder while a
+    /// worker's cache is checked out into a running session.
+    caches: Vec<LocalCache>,
+    busy: Vec<bool>,
+    share: FairShare,
+    queues: Vec<VecDeque<Queued>>,
+    inflight_cores: Vec<u64>,
+    /// Which tenant first materialized each resident cachename.
+    owner: BTreeMap<CacheName, usize>,
+    pending: Vec<Submission>, // sorted by (arrival, seq) descending; pop from back
+    pending_seq: Vec<usize>,
+    active: Vec<ActiveRun>,
+    records: Vec<SubmissionRecord>,
+    now: SimTime,
+    next_seq: usize,
+    runs_admitted: u64,
+    peak_inflight_cores: u64,
+    preflight: Report,
+}
+
+impl Facility {
+    /// Build a facility, running the pre-flight facility lints. With
+    /// [`FacilityConfig::enforce_preflight`], a config with lint errors
+    /// (no tenants, zero weights, impossible quotas or slices) is
+    /// refused and the report returned as `Err`.
+    pub fn new(cfg: FacilityConfig) -> Result<Self, Report> {
+        let preflight = lint_facility(&cfg.lint_facts());
+        if cfg.enforce_preflight && preflight.has_errors() {
+            return Err(preflight);
+        }
+        let n = cfg.tenants.len();
+        let weights = cfg.tenants.iter().map(|t| t.weight).collect();
+        Ok(Facility {
+            caches: (0..cfg.cluster.workers)
+                .map(|_| LocalCache::new(cfg.cluster.worker.disk_bytes))
+                .collect(),
+            busy: vec![false; cfg.cluster.workers],
+            share: FairShare::new(weights),
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            inflight_cores: vec![0; n],
+            owner: BTreeMap::new(),
+            pending: Vec::new(),
+            pending_seq: Vec::new(),
+            active: Vec::new(),
+            records: Vec::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            runs_admitted: 0,
+            peak_inflight_cores: 0,
+            cfg,
+            preflight,
+        })
+    }
+
+    /// The pre-flight lint report (warnings survive even when clean
+    /// enough to start).
+    pub fn preflight(&self) -> &Report {
+        &self.preflight
+    }
+
+    /// The facility clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The persistent per-worker caches (placeholders while checked out).
+    pub fn caches(&self) -> &[LocalCache] {
+        &self.caches
+    }
+
+    /// Unique resident bytes currently attributed to `tenant`.
+    pub fn tenant_resident_bytes(&self, tenant: usize) -> u64 {
+        self.owner
+            .iter()
+            .filter(|&(_, &o)| o == tenant)
+            .filter_map(|(name, _)| self.resident_size(*name))
+            .sum()
+    }
+
+    /// A preemption landing between runs: worker `w` loses its disk.
+    /// (Preemptions *during* a run are the inner engine's business.)
+    pub fn preempt_worker(&mut self, w: usize) {
+        assert!(!self.busy[w], "cannot preempt a checked-out worker slot");
+        self.caches[w].clear_pins();
+        self.caches[w].clear();
+    }
+
+    /// Stage submissions for the event loop. Seqs are assigned in the
+    /// order given; arrivals may be in any time order.
+    pub fn ingest(&mut self, subs: Vec<Submission>) {
+        for s in subs {
+            assert!(s.tenant < self.cfg.tenants.len(), "unknown tenant");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending_seq.push(seq);
+            self.pending.push(s);
+        }
+        // Pop-from-back order: latest arrival first in the vector.
+        let mut paired: Vec<(Submission, usize)> = self
+            .pending
+            .drain(..)
+            .zip(self.pending_seq.drain(..))
+            .collect();
+        paired.sort_by_key(|p| std::cmp::Reverse((p.0.arrival, p.1)));
+        for (s, q) in paired {
+            self.pending.push(s);
+            self.pending_seq.push(q);
+        }
+    }
+
+    /// Run the event loop until every staged submission has completed,
+    /// then return the report. Completions are processed before arrivals
+    /// at equal times; admission is retried after every state change.
+    pub fn drain(&mut self) -> FacilityReport {
+        loop {
+            self.complete_due();
+            self.arrive_due();
+            if self.admit_all() > 0 {
+                // A warm run can finish in ~zero time: re-check
+                // completions at the current clock before advancing.
+                continue;
+            }
+            let next_completion = self.active.iter().map(|r| r.record.finished).min();
+            let next_arrival = self.pending.last().map(|s| s.arrival);
+            let next = match (next_completion, next_arrival) {
+                (None, None) => break,
+                (Some(c), None) => c,
+                (None, Some(a)) => a,
+                (Some(c), Some(a)) => c.min(a),
+            };
+            self.now = self.now.max(next);
+        }
+        self.report()
+    }
+
+    /// Submit one graph at the current facility time and run it to
+    /// completion (the interactive, single-analyst path). Returns the
+    /// submission's record.
+    pub fn run_now(&mut self, tenant: usize, graph: TaskGraph, label: &str) -> SubmissionRecord {
+        let seq = self.next_seq;
+        self.ingest(vec![Submission {
+            tenant,
+            graph,
+            priority: 0,
+            arrival: self.now,
+            label: label.to_string(),
+        }]);
+        self.drain();
+        self.records
+            .iter()
+            .find(|r| r.seq == seq)
+            .expect("drained facility must have recorded the submission")
+            .clone()
+    }
+
+    /// The report so far (records in seq order).
+    pub fn report(&self) -> FacilityReport {
+        let mut records = self.records.clone();
+        records.sort_by_key(|r| r.seq);
+        FacilityReport {
+            tenants: self.cfg.tenants.iter().map(|t| t.name.clone()).collect(),
+            records,
+            total_cores: u64::from(self.cfg.cluster.total_cores()),
+            peak_inflight_cores: self.peak_inflight_cores,
+            resident_bytes: self.caches.iter().map(|c| c.used()).sum(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event processing
+    // ------------------------------------------------------------------
+
+    fn complete_due(&mut self) {
+        loop {
+            // Earliest (finished, seq) due run, one at a time.
+            let idx = self
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.record.finished <= self.now)
+                .min_by_key(|(_, r)| (r.record.finished, r.record.seq))
+                .map(|(i, _)| i);
+            let Some(i) = idx else { break };
+            let run = self.active.swap_remove(i);
+            self.writeback(run);
+        }
+    }
+
+    fn writeback(&mut self, run: ActiveRun) {
+        let tenant = run.record.tenant;
+        for (&w, cache) in run.record.workers.iter().zip(run.caches) {
+            self.caches[w] = cache;
+            self.busy[w] = false;
+        }
+        self.inflight_cores[tenant] -= self.cfg.run_cores();
+        // Newly resident entries belong to the first tenant that
+        // materialized them; entries that vanished everywhere (evicted
+        // inside runs) drop off the ownership map.
+        for &w in &run.record.workers {
+            for (name, _, _) in self.caches[w].iter() {
+                self.owner.entry(name).or_insert(tenant);
+            }
+        }
+        let gone: Vec<CacheName> = self
+            .owner
+            .keys()
+            .filter(|&&n| self.resident_size(n).is_none())
+            .copied()
+            .collect();
+        for n in gone {
+            self.owner.remove(&n);
+        }
+        self.enforce_byte_quota(tenant);
+        self.records.push(run.record);
+    }
+
+    /// Largest resident copy of `name` across checked-in caches.
+    fn resident_size(&self, name: CacheName) -> Option<u64> {
+        self.caches.iter().filter_map(|c| c.size_of(name)).max()
+    }
+
+    /// Evict `tenant`-owned entries (sorted cachename order — oldest
+    /// names are not privileged, but the order is reproducible) until
+    /// the tenant is back under its resident-byte quota.
+    fn enforce_byte_quota(&mut self, tenant: usize) {
+        let quota = self.cfg.tenants[tenant].max_resident_bytes;
+        let mut usage = self.tenant_resident_bytes(tenant);
+        if usage <= quota {
+            return;
+        }
+        let owned: Vec<CacheName> = self
+            .owner
+            .iter()
+            .filter(|&(_, &o)| o == tenant)
+            .map(|(n, _)| *n)
+            .collect();
+        for name in owned {
+            if usage <= quota {
+                break;
+            }
+            let Some(size) = self.resident_size(name) else {
+                continue;
+            };
+            for c in &mut self.caches {
+                c.clear_pins();
+                let _ = c.remove(name);
+            }
+            self.owner.remove(&name);
+            usage -= size.min(usage);
+        }
+    }
+
+    fn arrive_due(&mut self) {
+        while self.pending.last().is_some_and(|s| s.arrival <= self.now) {
+            let s = self.pending.pop().expect("checked non-empty");
+            let seq = self.pending_seq.pop().expect("parallel to pending");
+            let q = Queued {
+                seq,
+                priority: s.priority,
+                arrival: s.arrival,
+                graph: s.graph,
+                label: s.label,
+            };
+            let queue = &mut self.queues[s.tenant];
+            if queue.is_empty() {
+                self.share.activate(s.tenant);
+            }
+            // Insert keeping (-priority, arrival, seq) order.
+            let pos = queue
+                .iter()
+                .position(|e| (-e.priority, e.arrival, e.seq) > (-q.priority, q.arrival, q.seq))
+                .unwrap_or(queue.len());
+            queue.insert(pos, q);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Admission
+    // ------------------------------------------------------------------
+
+    fn admit_all(&mut self) -> usize {
+        let mut admitted = 0;
+        loop {
+            let free: Vec<usize> = (0..self.busy.len()).filter(|&w| !self.busy[w]).collect();
+            if free.len() < self.cfg.workers_per_run {
+                break;
+            }
+            let run_cores = self.cfg.run_cores();
+            let eligible = (0..self.queues.len()).filter(|&t| {
+                !self.queues[t].is_empty()
+                    && self.inflight_cores[t] + run_cores
+                        <= u64::from(self.cfg.tenants[t].max_inflight_cores)
+            });
+            let Some(t) = self.share.pick(eligible) else {
+                break;
+            };
+            let q = self.queues[t].pop_front().expect("eligible ⇒ non-empty");
+            self.share.charge(t, run_cores);
+            self.admit(t, q, &free);
+            admitted += 1;
+        }
+        admitted
+    }
+
+    fn admit(&mut self, tenant: usize, q: Queued, free: &[usize]) {
+        // Cache-aware slice selection: prefer free workers already
+        // holding this graph's intermediates (exact name *and* size).
+        let wanted: Vec<(CacheName, u64)> = q
+            .graph
+            .files()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.producer.is_some())
+            .map(|(i, f)| {
+                (
+                    graph_file_cachename(&q.graph, vine_dag::FileId(i as u32)),
+                    f.size_hint,
+                )
+            })
+            .collect();
+        let mut scored: Vec<(u64, usize)> = free
+            .iter()
+            .map(|&w| {
+                let overlap: u64 = wanted
+                    .iter()
+                    .filter(|&&(n, s)| self.caches[w].size_of(n) == Some(s))
+                    .map(|&(_, s)| s)
+                    .sum();
+                (overlap, w)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(self.cfg.workers_per_run);
+        let overlap_bytes: u64 = scored.iter().map(|&(s, _)| s).sum();
+        let slice: Vec<usize> = scored.iter().map(|&(_, w)| w).collect();
+
+        let run_caches: Vec<LocalCache> = slice
+            .iter()
+            .map(|&w| {
+                self.busy[w] = true;
+                std::mem::replace(&mut self.caches[w], LocalCache::new(0))
+            })
+            .collect();
+        let mut session = SessionState::from_caches(run_caches);
+
+        let inner_cluster = ClusterSpec {
+            workers: self.cfg.workers_per_run,
+            worker: self.cfg.cluster.worker,
+            manager_link_bw: self.cfg.cluster.manager_link_bw,
+        };
+        let seed = RngHub::new(self.cfg.seed).stream_seed(&format!("run.{}", q.seq));
+        let mut ecfg = EngineConfig::stack(self.cfg.stack, inner_cluster, seed);
+        if self.cfg.deterministic_runs {
+            ecfg = ecfg.deterministic();
+        }
+        let result = Engine::new(ecfg, q.graph).run_in_session(&mut session);
+
+        self.inflight_cores[tenant] += self.cfg.run_cores();
+        let inflight: u64 = self.inflight_cores.iter().sum();
+        self.peak_inflight_cores = self.peak_inflight_cores.max(inflight);
+        self.runs_admitted += 1;
+
+        self.active.push(ActiveRun {
+            record: SubmissionRecord {
+                seq: q.seq,
+                tenant,
+                label: q.label,
+                arrival: q.arrival,
+                admitted: self.now,
+                finished: self.now + result.makespan,
+                workers: slice,
+                overlap_bytes,
+                stats: result.stats,
+                makespan: result.makespan,
+                completed: matches!(result.outcome, vine_core::RunOutcome::Completed),
+            },
+            caches: session.into_caches(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_analysis::WorkloadSpec;
+    use vine_simcore::units::GB;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::dv3_small().scaled_down(20)
+    }
+
+    fn sub(tenant: usize, at: u64, label: &str) -> Submission {
+        Submission {
+            tenant,
+            graph: spec().to_graph(),
+            priority: 0,
+            arrival: SimTime::from_secs(at),
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn warm_resubmission_is_much_faster_and_fully_memoized() {
+        let mut f = Facility::new(FacilityConfig::demo(7)).unwrap();
+        let cold = f.run_now(0, spec().to_graph(), "cold");
+        let warm = f.run_now(0, spec().to_graph(), "warm");
+        assert!(cold.completed && warm.completed);
+        assert_eq!(warm.stats.task_executions, 0, "everything memoized");
+        assert_eq!(warm.stats.memoized_tasks as usize, warm.stats.tasks_total);
+        assert!(warm.makespan.as_secs_f64() * 3.0 < cold.makespan.as_secs_f64());
+        assert!(warm.overlap_bytes > 0);
+    }
+
+    #[test]
+    fn edited_resubmission_reruns_only_reductions() {
+        let mut f = Facility::new(FacilityConfig::demo(7)).unwrap();
+        let cold = f.run_now(0, spec().to_graph(), "cold");
+        let edited = f.run_now(0, spec().with_edit_generation(1).to_graph(), "edit");
+        assert!(edited.completed);
+        // Process stage (the bulk) memoized; reductions re-ran.
+        assert!(edited.stats.memoized_tasks > 0);
+        assert!(edited.stats.task_executions > 0);
+        assert!(edited.stats.task_executions < cold.stats.task_executions);
+    }
+
+    #[test]
+    fn quota_blocked_tenant_waits_without_blocking_others() {
+        let mut cfg = FacilityConfig::demo(11);
+        // Tenant 0 may hold only one run's cores in flight.
+        cfg.tenants[0].max_inflight_cores = cfg.run_cores() as u32;
+        let mut f = Facility::new(cfg).unwrap();
+        f.ingest(vec![sub(0, 0, "a0"), sub(0, 0, "a1"), sub(1, 0, "b0")]);
+        let report = f.drain();
+        assert_eq!(report.records.len(), 3);
+        let a1 = report.records.iter().find(|r| r.label == "a1").unwrap();
+        let b0 = report.records.iter().find(|r| r.label == "b0").unwrap();
+        // b0 was admitted immediately; a1 had to wait for a0's cores.
+        assert_eq!(b0.queue_wait(), SimDur::ZERO);
+        assert!(a1.queue_wait() > SimDur::ZERO);
+    }
+
+    #[test]
+    fn byte_quota_evicts_deterministically() {
+        let mut cfg = FacilityConfig::demo(13);
+        cfg.tenants[0].max_resident_bytes = GB / 2;
+        let mut f = Facility::new(cfg).unwrap();
+        f.run_now(0, spec().to_graph(), "big");
+        assert!(
+            f.tenant_resident_bytes(0) <= GB / 2,
+            "quota enforced after writeback: {} bytes",
+            f.tenant_resident_bytes(0)
+        );
+    }
+
+    #[test]
+    fn preflight_errors_refuse_service() {
+        let mut cfg = FacilityConfig::demo(1);
+        cfg.tenants[0].weight = 0.0;
+        let err = Facility::new(cfg).err().expect("zero weight must refuse");
+        assert!(err.has_code(vine_lint::Code::F002));
+    }
+
+    #[test]
+    fn higher_priority_jumps_the_tenant_queue() {
+        let mut f = Facility::new(FacilityConfig::demo(3)).unwrap();
+        // Fill the cluster so later arrivals queue.
+        f.ingest(vec![sub(0, 0, "w0"), sub(1, 0, "w1")]);
+        let mut low = sub(0, 1, "low");
+        low.priority = 0;
+        let mut high = sub(0, 1, "high");
+        high.priority = 5;
+        f.ingest(vec![low, high]);
+        let report = f.drain();
+        let admitted = |label: &str| {
+            report
+                .records
+                .iter()
+                .find(|r| r.label == label)
+                .unwrap()
+                .admitted
+        };
+        assert!(admitted("high") <= admitted("low"));
+    }
+
+    #[test]
+    fn between_run_preemption_forces_partial_rerun() {
+        let mut f = Facility::new(FacilityConfig::demo(17)).unwrap();
+        let cold = f.run_now(0, spec().to_graph(), "cold");
+        // Preempt all but one warm worker: entries replicated only among
+        // the victims are lost for good, the survivor's copies still hit.
+        let warm_workers: Vec<usize> = (0..f.caches().len())
+            .filter(|&w| !f.caches()[w].is_empty())
+            .collect();
+        assert!(warm_workers.len() > 1, "need survivors and victims");
+        for &w in &warm_workers[1..] {
+            f.preempt_worker(w);
+        }
+        let warm = f.run_now(0, spec().to_graph(), "after-preempt");
+        assert!(warm.completed);
+        assert!(warm.stats.task_executions > 0, "lost entries must re-run");
+        assert!(
+            warm.stats.task_executions < cold.stats.task_executions,
+            "surviving workers' entries must still hit"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_report_bytes() {
+        let run = |seed| {
+            let mut f = Facility::new(FacilityConfig::demo(seed)).unwrap();
+            f.ingest(vec![sub(0, 0, "x"), sub(1, 3, "y"), sub(0, 5, "z")]);
+            let r = f.drain();
+            (r.to_csv(), r.to_metrics().to_text())
+        };
+        let (csv_a, metrics_a) = run(99);
+        let (csv_b, metrics_b) = run(99);
+        assert_eq!(csv_a, csv_b);
+        assert_eq!(metrics_a, metrics_b);
+    }
+}

@@ -1,0 +1,148 @@
+//! Content-addressed memoization of *physics* results.
+//!
+//! The simulation's warm caches skip a producer's compute and transfer;
+//! the facility still has to hand the analyst the same histograms a cold
+//! run would have produced. [`ResultStore`] closes that loop: encoded
+//! result blobs (e.g. [`vine_data::encode_histogram_set`] output) keyed
+//! by the cachename of the graph file they correspond to. Because the
+//! real executor is deterministic (accumulation order is fixed by the
+//! plan, not completion timing), a stored blob is bit-identical to what
+//! recomputation would yield — which the warm-start tests assert.
+
+use std::collections::BTreeMap;
+
+use vine_storage::CacheName;
+
+/// A facility-lifetime store of encoded results keyed by cachename.
+#[derive(Clone, Debug, Default)]
+pub struct ResultStore {
+    entries: BTreeMap<CacheName, Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stored blob for `name`, if any. Counts a hit or miss.
+    pub fn get(&mut self, name: CacheName) -> Option<&[u8]> {
+        match self.entries.get(&name) {
+            Some(b) => {
+                self.hits += 1;
+                Some(b.as_slice())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store (or overwrite) a blob.
+    pub fn put(&mut self, name: CacheName, bytes: Vec<u8>) {
+        self.entries.insert(name, bytes);
+    }
+
+    /// Return the stored blob for `name`, computing and storing it via
+    /// `compute` on a miss. The flag is `true` on a hit.
+    pub fn fetch_or_insert<F: FnOnce() -> Vec<u8>>(
+        &mut self,
+        name: CacheName,
+        compute: F,
+    ) -> (&[u8], bool) {
+        let hit = self.entries.contains_key(&name);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.entries.insert(name, compute());
+        }
+        (self.entries.get(&name).expect("just ensured present"), hit)
+    }
+
+    /// Drop the blob for `name` (when the backing cache entry was
+    /// evicted or invalidated).
+    pub fn invalidate(&mut self, name: CacheName) -> bool {
+        self.entries.remove(&name).is_some()
+    }
+
+    /// Stored blob count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn bytes(&self) -> u64 {
+        self.entries.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(i: u32) -> CacheName {
+        CacheName::for_dataset_file("results", i)
+    }
+
+    #[test]
+    fn fetch_or_insert_computes_once() {
+        let mut store = ResultStore::new();
+        let mut computes = 0;
+        let (a, hit_a) = store.fetch_or_insert(name(1), || {
+            computes += 1;
+            vec![1, 2, 3]
+        });
+        assert!(!hit_a);
+        assert_eq!(a, &[1, 2, 3]);
+        let (b, hit_b) = store.fetch_or_insert(name(1), || {
+            computes += 1;
+            vec![9, 9, 9]
+        });
+        assert!(hit_b);
+        assert_eq!(b, &[1, 2, 3], "hit returns the stored blob");
+        assert_eq!(computes, 1);
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+    }
+
+    #[test]
+    fn invalidate_forces_recompute() {
+        let mut store = ResultStore::new();
+        store.put(name(2), vec![5]);
+        assert!(store.invalidate(name(2)));
+        assert!(!store.invalidate(name(2)));
+        let (_, hit) = store.fetch_or_insert(name(2), || vec![6]);
+        assert!(!hit);
+        assert_eq!(store.get(name(2)), Some(&[6u8][..]));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut store = ResultStore::new();
+        assert!(store.is_empty());
+        store.put(name(1), vec![0; 10]);
+        store.put(name(2), vec![0; 5]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.bytes(), 15);
+        assert!(store.get(name(3)).is_none());
+        assert_eq!(store.misses(), 1);
+    }
+}

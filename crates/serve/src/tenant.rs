@@ -1,0 +1,205 @@
+//! Tenants and weighted fair-share admission.
+//!
+//! The facility arbitrates one shared cluster between analysis groups
+//! with *stride scheduling*: each tenant carries a virtual time that
+//! advances, on every admission, by an amount inversely proportional to
+//! its weight. The tenant with the smallest virtual time goes next, so
+//! over any long window tenant throughput converges to the weight ratio,
+//! while short-term ordering stays strictly deterministic (ties break on
+//! tenant index).
+
+use vine_lint::TenantFacts;
+
+/// One analysis group's admission knobs.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name (records, metrics, diagnostics).
+    pub name: String,
+    /// Fair-share weight; throughput is proportional to it. Must be
+    /// positive and finite (checked by `vine_lint::lint_facility`).
+    pub weight: f64,
+    /// Cap on cores this tenant may hold in flight at once; a submission
+    /// that would exceed it waits, without blocking other tenants.
+    pub max_inflight_cores: u32,
+    /// Cap on session-resident cache bytes attributed to this tenant.
+    /// Exceeding it evicts the tenant's coldest entries between runs.
+    pub max_resident_bytes: u64,
+}
+
+impl TenantSpec {
+    /// A tenant with the given name and weight and effectively-unbounded
+    /// quotas (clamped to the cluster by the facility lints' advice).
+    pub fn new(name: impl Into<String>, weight: f64) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight,
+            max_inflight_cores: u32::MAX,
+            max_resident_bytes: u64::MAX,
+        }
+    }
+
+    /// Set the in-flight core quota.
+    pub fn with_core_quota(mut self, cores: u32) -> Self {
+        self.max_inflight_cores = cores;
+        self
+    }
+
+    /// Set the resident-byte quota.
+    pub fn with_byte_quota(mut self, bytes: u64) -> Self {
+        self.max_resident_bytes = bytes;
+        self
+    }
+
+    /// The snapshot `vine_lint::lint_facility` reads.
+    pub fn lint_facts(&self) -> TenantFacts {
+        TenantFacts {
+            name: self.name.clone(),
+            weight: self.weight,
+            max_inflight_cores: self.max_inflight_cores,
+            max_resident_bytes: self.max_resident_bytes,
+        }
+    }
+}
+
+/// Virtual-time scale: one admission of `cores` cores advances the
+/// tenant's clock by `STRIDE_SCALE * cores / weight` ticks.
+pub const STRIDE_SCALE: u64 = 1_000_000;
+
+/// Deterministic weighted stride scheduler.
+///
+/// `pick` never mutates, so callers may probe eligibility freely;
+/// `charge` advances the chosen tenant's virtual time; `activate` lifts a
+/// tenant that was idle up to the current virtual floor, so sleeping does
+/// not bank unbounded credit.
+#[derive(Clone, Debug)]
+pub struct FairShare {
+    weights: Vec<f64>,
+    vtime: Vec<u64>,
+    floor: u64,
+}
+
+impl FairShare {
+    /// A scheduler over tenants with the given weights.
+    ///
+    /// # Panics
+    /// If any weight is non-positive or non-finite (the facility lints
+    /// reject such configurations before a `FairShare` is built).
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "fair-share weights must be positive and finite"
+        );
+        let n = weights.len();
+        FairShare {
+            weights,
+            vtime: vec![0; n],
+            floor: 0,
+        }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when there are no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// A tenant's current virtual time.
+    pub fn vtime(&self, tenant: usize) -> u64 {
+        self.vtime[tenant]
+    }
+
+    /// The tenant with the smallest `(vtime, index)` among `eligible`.
+    pub fn pick(&self, eligible: impl IntoIterator<Item = usize>) -> Option<usize> {
+        eligible.into_iter().min_by_key(|&t| (self.vtime[t], t))
+    }
+
+    /// Charge `tenant` for an admission of `cores` cores and advance the
+    /// global virtual floor to its pre-charge clock.
+    pub fn charge(&mut self, tenant: usize, cores: u64) {
+        self.floor = self.floor.max(self.vtime[tenant]);
+        let pass = (STRIDE_SCALE as f64 * cores as f64 / self.weights[tenant]).round();
+        self.vtime[tenant] = self.vtime[tenant].saturating_add((pass as u64).max(1));
+    }
+
+    /// A tenant whose queue just became non-empty re-enters at the
+    /// current floor: fair from now on, no credit for having been idle.
+    pub fn activate(&mut self, tenant: usize) {
+        self.vtime[tenant] = self.vtime[tenant].max(self.floor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_tracks_weights() {
+        // Weights 3:1 over many admissions of equal size → ~3:1 picks.
+        let mut fs = FairShare::new(vec![3.0, 1.0]);
+        let mut picks = [0u32; 2];
+        for _ in 0..400 {
+            let t = fs.pick(0..2).unwrap();
+            picks[t] += 1;
+            fs.charge(t, 48);
+        }
+        assert_eq!(picks[0] + picks[1], 400);
+        assert!(
+            (picks[0] as f64 / picks[1] as f64 - 3.0).abs() < 0.1,
+            "{picks:?}"
+        );
+    }
+
+    #[test]
+    fn ties_break_on_index() {
+        let fs = FairShare::new(vec![1.0, 1.0, 1.0]);
+        assert_eq!(fs.pick([2, 1]), Some(1));
+        assert_eq!(fs.pick([2]), Some(2));
+        assert_eq!(fs.pick([]), None);
+    }
+
+    #[test]
+    fn bigger_admissions_cost_more() {
+        let mut fs = FairShare::new(vec![1.0, 1.0]);
+        fs.charge(0, 96); // tenant 0 took a big slice
+        fs.charge(1, 12); // tenant 1 a small one
+                          // Tenant 1 has consumed less virtual time: it goes next.
+        assert_eq!(fs.pick(0..2), Some(1));
+    }
+
+    #[test]
+    fn waking_tenant_does_not_bank_credit() {
+        let mut fs = FairShare::new(vec![1.0, 1.0]);
+        // Tenant 0 runs alone for a while (tenant 1 idle).
+        for _ in 0..10 {
+            fs.charge(0, 48);
+        }
+        // Tenant 1 wakes: without activation it would monopolize for 10
+        // rounds; with it, service alternates immediately.
+        fs.activate(1);
+        let first = fs.pick(0..2).unwrap();
+        fs.charge(first, 48);
+        let second = fs.pick(0..2).unwrap();
+        assert_ne!(first, second, "service must alternate after wake-up");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_weight_is_rejected() {
+        FairShare::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn tenant_spec_builders() {
+        let t = TenantSpec::new("atlas", 2.0)
+            .with_core_quota(48)
+            .with_byte_quota(1 << 40);
+        assert_eq!(t.max_inflight_cores, 48);
+        let facts = t.lint_facts();
+        assert_eq!(facts.name, "atlas");
+        assert_eq!(facts.weight, 2.0);
+    }
+}

@@ -70,6 +70,10 @@ pub struct LocalCache {
     entries: HashMap<CacheName, Entry>,
     /// High-water mark of `used`, for Fig 11 reporting.
     peak_used: u64,
+    /// Lifetime insertions (survives `clear`), for cross-session accounting.
+    insertions: u64,
+    /// Lifetime evictions + clears of resident entries (survives `clear`).
+    evictions: u64,
 }
 
 impl LocalCache {
@@ -81,6 +85,8 @@ impl LocalCache {
             tick: 0,
             entries: HashMap::new(),
             peak_used: 0,
+            insertions: 0,
+            evictions: 0,
         }
     }
 
@@ -178,6 +184,7 @@ impl LocalCache {
                 }
                 self.entries.remove(&victim);
                 self.used -= vsize;
+                self.evictions += 1;
                 need = need.saturating_sub(vsize);
                 evicted.push(victim);
             }
@@ -201,6 +208,7 @@ impl LocalCache {
                     },
                 );
                 self.used += size;
+                self.insertions += 1;
             }
         }
         self.peak_used = self.peak_used.max(self.used);
@@ -239,15 +247,70 @@ impl LocalCache {
             Some(_) => {
                 let e = self.entries.remove(&name).expect("checked above");
                 self.used -= e.size;
+                self.evictions += 1;
                 Ok(e.size)
             }
         }
     }
 
+    /// Evict unpinned entries in LRU order until `used <= target` bytes.
+    /// Returns the names evicted (possibly empty). Pinned entries are
+    /// untouched, so `used` may remain above `target`; the caller decides
+    /// whether that is an error (a facility quota breach, say).
+    pub fn evict_to(&mut self, target: u64) -> Vec<CacheName> {
+        let mut evicted = Vec::new();
+        if self.used <= target {
+            return evicted;
+        }
+        let mut candidates: Vec<(u64, CacheName, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pins == 0)
+            .map(|(n, e)| (e.last_use, *n, e.size))
+            .collect();
+        candidates.sort_unstable();
+        for (_, victim, vsize) in candidates {
+            if self.used <= target {
+                break;
+            }
+            self.entries.remove(&victim);
+            self.used -= vsize;
+            self.evictions += 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Release every pin on every entry. A facility uses this at session
+    /// hand-off: run-lifetime pins (retention, transfers) are meaningless
+    /// once the run that took them is over, but the bytes stay resident.
+    pub fn clear_pins(&mut self) {
+        for e in self.entries.values_mut() {
+            e.pins = 0;
+        }
+    }
+
     /// Drop everything (worker preempted / restarted).
     pub fn clear(&mut self) {
+        self.evictions += self.entries.len() as u64;
         self.entries.clear();
         self.used = 0;
+    }
+
+    /// Lifetime count of distinct-entry insertions; survives [`clear`].
+    ///
+    /// [`clear`]: LocalCache::clear
+    pub fn lifetime_insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Lifetime count of entries removed by eviction, [`remove`], or
+    /// [`clear`]; survives [`clear`].
+    ///
+    /// [`remove`]: LocalCache::remove
+    /// [`clear`]: LocalCache::clear
+    pub fn lifetime_evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Iterate resident `(name, size, kind)` triples in arbitrary order.
@@ -439,5 +502,61 @@ mod tests {
     fn touch_missing_returns_false() {
         let mut c = LocalCache::new(10);
         assert!(!c.touch(name(1)));
+    }
+
+    #[test]
+    fn evict_to_sheds_coldest_until_under_target() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 300, CacheEntryKind::Intermediate)
+            .unwrap();
+        c.insert(name(2), 300, CacheEntryKind::Intermediate)
+            .unwrap();
+        c.insert(name(3), 300, CacheEntryKind::Intermediate)
+            .unwrap();
+        c.touch(name(1)); // 2 is coldest
+        let evicted = c.evict_to(600);
+        assert_eq!(evicted, vec![name(2)]);
+        assert_eq!(c.used(), 600);
+        assert!(c.evict_to(600).is_empty(), "already at target");
+    }
+
+    #[test]
+    fn evict_to_skips_pinned_and_may_miss_target() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 600, CacheEntryKind::Intermediate)
+            .unwrap();
+        c.insert(name(2), 200, CacheEntryKind::Intermediate)
+            .unwrap();
+        c.pin(name(1)).unwrap();
+        let evicted = c.evict_to(100);
+        assert_eq!(evicted, vec![name(2)]);
+        assert_eq!(c.used(), 600, "pinned bytes stay above target");
+    }
+
+    #[test]
+    fn clear_pins_makes_everything_evictable() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 500, CacheEntryKind::Intermediate)
+            .unwrap();
+        c.pin(name(1)).unwrap();
+        c.pin(name(1)).unwrap();
+        c.clear_pins();
+        assert!(!c.is_pinned(name(1)));
+        assert_eq!(c.evict_to(0), vec![name(1)]);
+    }
+
+    #[test]
+    fn lifetime_counters_survive_clear() {
+        let mut c = LocalCache::new(1000);
+        c.insert(name(1), 400, CacheEntryKind::Input).unwrap();
+        c.insert(name(2), 400, CacheEntryKind::Input).unwrap();
+        c.insert(name(1), 500, CacheEntryKind::Input).unwrap(); // resize, not an insertion
+        assert_eq!(c.lifetime_insertions(), 2);
+        c.insert(name(3), 900, CacheEntryKind::Input).unwrap(); // evicts both
+        assert_eq!(c.lifetime_evictions(), 2);
+        c.clear(); // one resident entry dropped
+        assert_eq!(c.lifetime_evictions(), 3);
+        assert_eq!(c.lifetime_insertions(), 3);
+        assert_eq!(c.used(), 0);
     }
 }

@@ -1,13 +1,28 @@
 #!/bin/bash
 # Regenerate every table/figure at paper scale. Writes console output to
 # results/logs/ and CSVs to results/.
+#
+# Optional: OBS_OUT=dir ./run_all_experiments.sh
+#   passes `--trace-out dir --metrics` to every binary, so each one also
+#   exports Chrome traces, span/counter CSVs, attribution rows, digests,
+#   and a metrics dump for one representative run.
 set -u
 cd "$(dirname "$0")"
 mkdir -p results/logs
 run() {
   name=$1; shift
+  bin=./target/release/"$name"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable." >&2
+    echo "       Build the experiment binaries first:  cargo build --release" >&2
+    exit 1
+  fi
   echo "=== $name ($(date +%H:%M:%S)) ==="
-  ./target/release/"$name" "$@" > results/logs/"$name".log 2>&1
+  if [ -n "${OBS_OUT:-}" ]; then
+    "$bin" "$@" --trace-out "$OBS_OUT" --metrics > results/logs/"$name".log 2>&1
+  else
+    "$bin" "$@" > results/logs/"$name".log 2>&1
+  fi
   echo "    exit=$? ($(date +%H:%M:%S))"
 }
 run table1
@@ -22,4 +37,5 @@ run fig14a
 run fig14b
 run fig15
 run ablations
+run facility
 echo "ALL EXPERIMENTS DONE"

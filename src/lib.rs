@@ -21,6 +21,7 @@
 //! | Cluster (HTCondor workers, preemption) | [`cluster`] |
 //! | Synthetic HEP data (ROOT-like columns) | [`data`] |
 //! | Discrete-event kernel | [`simcore`] |
+//! | Multi-tenant serving facility | [`serve`] |
 
 pub use vine_analysis as analysis;
 pub use vine_cluster as cluster;
@@ -30,5 +31,6 @@ pub use vine_data as data;
 pub use vine_exec as exec;
 pub use vine_lint as lint;
 pub use vine_net as net;
+pub use vine_serve as serve;
 pub use vine_simcore as simcore;
 pub use vine_storage as storage;

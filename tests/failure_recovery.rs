@@ -3,8 +3,9 @@
 
 use reshaping_hep::analysis::{ReductionShape, WorkloadSpec};
 use reshaping_hep::cluster::{ClusterSpec, PreemptionModel};
-use reshaping_hep::core::{Engine, EngineConfig, Preflight, RunOutcome};
-use reshaping_hep::dag::{TaskGraph, TaskKind};
+use reshaping_hep::core::SessionState;
+use reshaping_hep::core::{graph_file_cachename, Engine, EngineConfig, Preflight, RunOutcome};
+use reshaping_hep::dag::{MemoPlan, TaskGraph, TaskKind};
 use reshaping_hep::simcore::units::{GB, MB};
 
 #[test]
@@ -20,12 +21,12 @@ fn survives_paper_grade_preemption() {
 
 #[test]
 fn survives_preemption_storm() {
-    // Two orders of magnitude more preemption than the paper's pool:
-    // every worker dies every ~2 minutes on average.
+    // Far more preemption than the paper's pool: every worker dies
+    // every ~20 seconds on average, many times per run.
     let spec = WorkloadSpec::dv3_large().scaled_down(40);
     let mut cfg = EngineConfig::stack4(ClusterSpec::standard(5), 21);
     cfg.preemption = PreemptionModel {
-        rate_per_sec: 1.0 / 100.0,
+        rate_per_sec: 1.0 / 20.0,
     };
     let r = Engine::new(cfg, spec.to_graph()).run();
     assert!(r.completed(), "{:?}", r.outcome);
@@ -145,6 +146,80 @@ fn rewriting_the_same_workflow_makes_it_feasible() {
     let r = Engine::new(cfg, spec_tree.to_graph()).run();
     assert!(r.completed(), "{:?}", r.outcome);
     assert_eq!(r.stats.cache_overflow_failures, 0);
+}
+
+#[test]
+fn preemption_between_submissions_reruns_exactly_the_lost_producers() {
+    // Warm-cache recovery: run once into a session, lose one worker's
+    // disk between submissions, resubmit. With replication off, every
+    // intermediate is a sole copy, so the static memoization plan over
+    // the surviving caches names *exactly* the tasks that must re-run —
+    // and the engine must execute exactly those: no serving evicted
+    // entries, no gratuitous extra re-runs.
+    let spec = WorkloadSpec::dv3_small().scaled_down(20);
+    let mut cfg = EngineConfig::stack3(ClusterSpec::standard(4), 11).deterministic();
+    cfg.replica_target = 1;
+    let mut session = SessionState::new(&cfg.cluster);
+    let cold = Engine::new(cfg.clone(), spec.to_graph()).run_in_session(&mut session);
+    assert!(cold.completed(), "{:?}", cold.outcome);
+    assert_eq!(cold.stats.memoized_tasks, 0);
+
+    session.preempt_worker(0);
+
+    let graph = spec.to_graph();
+    let expected = MemoPlan::compute(&graph, |f| {
+        let name = graph_file_cachename(&graph, f);
+        let size = graph.file(f).size_hint;
+        session
+            .caches()
+            .iter()
+            .any(|c| c.size_of(name) == Some(size))
+    });
+    let total = graph.task_count();
+    assert!(
+        expected.skipped_tasks > 0,
+        "survivors' entries must still produce warm hits"
+    );
+    assert!(
+        expected.skipped_tasks < total,
+        "losing a whole worker must force some re-runs"
+    );
+
+    let warm = Engine::new(cfg, graph).run_in_session(&mut session);
+    assert!(warm.completed(), "{:?}", warm.outcome);
+    assert_eq!(
+        warm.stats.task_executions,
+        (total - expected.skipped_tasks) as u64,
+        "re-executions must be exactly the non-memoizable set"
+    );
+    assert_eq!(warm.stats.memoized_tasks, expected.skipped_tasks as u64);
+}
+
+#[test]
+fn replicated_entries_still_hit_after_losing_one_worker() {
+    // Same scenario with replication on (stack 3 default, target 2):
+    // entries whose second copy survives stay warm, so the resubmission
+    // executes strictly less than a cold run — and with a small graph
+    // whose partials all replicate, usually nothing at all.
+    let spec = WorkloadSpec::dv3_small().scaled_down(20);
+    let cfg = EngineConfig::stack3(ClusterSpec::standard(4), 11).deterministic();
+    let mut session = SessionState::new(&cfg.cluster);
+    let cold = Engine::new(cfg.clone(), spec.to_graph()).run_in_session(&mut session);
+    assert!(cold.completed(), "{:?}", cold.outcome);
+
+    session.preempt_worker(0);
+    let warm = Engine::new(cfg, spec.to_graph()).run_in_session(&mut session);
+    assert!(warm.completed(), "{:?}", warm.outcome);
+    assert!(
+        warm.stats.memoized_tasks > 0,
+        "replicas must keep hits warm"
+    );
+    assert!(
+        warm.stats.task_executions < cold.stats.task_executions,
+        "warm {} not fewer than cold {}",
+        warm.stats.task_executions,
+        cold.stats.task_executions
+    );
 }
 
 #[test]
