@@ -1,0 +1,130 @@
+//! Offline stand-in for `rand_distr 0.4`: Exp, Normal, LogNormal over f64.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpError {
+    LambdaTooSmall,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda <= 0.0 || lambda.is_nan() {
+            return Err(ExpError::LambdaTooSmall);
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = unit(rng);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    BadVariance,
+    MeanTooSmall,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if std_dev < 0.0 || std_dev.is_nan() {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoissonError {
+    ShapeTooSmall,
+}
+
+impl Poisson {
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if lambda <= 0.0 || lambda.is_nan() {
+            return Err(PoissonError::ShapeTooSmall);
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Knuth's algorithm for small lambda; normal approximation above.
+        if self.lambda < 30.0 {
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= unit(rng);
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            let v = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            v.round().max(0.0)
+        }
+    }
+}
+
+fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Box–Muller transform; one draw per call keeps things stateless.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let mut u1: f64 = unit(rng);
+    if u1 <= f64::MIN_POSITIVE {
+        u1 = f64::MIN_POSITIVE;
+    }
+    let u2: f64 = unit(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
