@@ -26,6 +26,7 @@ fn bench_modes(c: &mut Criterion) {
                 import_work: 200_000,
                 arity: 4,
                 obs: false,
+                chaos: None,
             };
             b.iter(|| black_box(exec.run(&proc, &dss).tasks_executed))
         });

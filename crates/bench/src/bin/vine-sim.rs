@@ -6,12 +6,22 @@
 //!          [--scale N] [--seed N] [--single-node-reduction]
 //!          [--no-peer-transfers] [--placement round-robin]
 //!          [--replicas N] [--remote-inputs] [--dot FILE]
+//!          [--chaos PRESET|SPEC] [--recovery default|hardened|fragile]
 //!          [--lint] [--lint-deny=warn] [--no-preflight]
-//!          [--trace-out DIR] [--metrics]
+//!          [--trace-out DIR] [--metrics] [--bench-json FILE]
 //! ```
 //!
 //! Workloads: dv3-small, dv3-medium, dv3-large (default), dv3-huge,
 //! rs-triphoton.
+//!
+//! `--chaos` injects deterministic faults: a preset name (`campus`,
+//! `storm`, `stragglers`, `flaky-net`, `bitrot`) or a spec string such as
+//! `taskfail:prob=0.05;seed=7` (see `vine_chaos::FaultPlan::parse`).
+//! `--recovery` picks the engine recovery policy. A chaos run exits 0
+//! when it *finishes* — completed or gracefully degraded.
+//!
+//! `--bench-json FILE` writes a small machine-readable summary (makespan,
+//! events processed, events/sec, peak cache bytes) for CI perf gates.
 //!
 //! `--trace-out DIR` records the run and writes a Chrome `trace_event`
 //! JSON (open in Perfetto), span/counter CSVs, a per-task phase
@@ -44,6 +54,9 @@ struct Args {
     replicas: Option<u32>,
     remote_inputs: bool,
     dot: Option<String>,
+    chaos: Option<String>,
+    recovery: String,
+    bench_json: Option<String>,
     lint_only: bool,
     lint_deny_warn: bool,
     no_preflight: bool,
@@ -63,6 +76,9 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         replicas: None,
         remote_inputs: false,
         dot: None,
+        chaos: None,
+        recovery: "default".into(),
+        bench_json: None,
         lint_only: false,
         lint_deny_warn: false,
         no_preflight: false,
@@ -120,6 +136,9 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             }
             "--remote-inputs" => args.remote_inputs = true,
             "--dot" => args.dot = Some(value("--dot")?),
+            "--chaos" => args.chaos = Some(value("--chaos")?),
+            "--recovery" => args.recovery = value("--recovery")?,
+            "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--lint" => args.lint_only = true,
             "--lint-deny=warn" => args.lint_deny_warn = true,
             "--lint-deny" => match value("--lint-deny")?.as_str() {
@@ -203,6 +222,25 @@ fn main() {
     if args.remote_inputs {
         cfg.data_source = DataSource::remote_xrootd_default();
     }
+    if let Some(spec) = &args.chaos {
+        match vine_core::FaultPlan::parse(spec) {
+            Ok(plan) => cfg = cfg.with_chaos(plan),
+            Err(e) => {
+                eprintln!("--chaos: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let policy = match args.recovery.as_str() {
+        "default" => vine_core::RecoveryPolicy::default(),
+        "hardened" => vine_core::RecoveryPolicy::hardened(),
+        "fragile" => vine_core::RecoveryPolicy::fragile(),
+        other => {
+            eprintln!("unknown recovery policy {other} (default|hardened|fragile)");
+            std::process::exit(2);
+        }
+    };
+    cfg = cfg.with_recovery(policy);
     cfg.trace.cache = true;
     if obs.enabled() {
         cfg.trace.obs = true;
@@ -248,22 +286,35 @@ fn main() {
     );
 
     let mut rec = vine_obs::MemoryRecorder::new();
+    let wall_start = std::time::Instant::now();
     let r = if obs.enabled() {
         Engine::new(cfg, graph).run_recorded(&mut rec)
     } else {
         Engine::new(cfg, graph).run()
     };
+    let wall = wall_start.elapsed();
     println!();
-    if !r.completed() {
+    if !r.finished() {
         println!("RUN FAILED: {:?}", r.outcome);
         for d in &r.lint_findings {
             println!("  {d}");
         }
+    } else if !r.completed() {
+        println!("RUN DEGRADED: {:?}", r.outcome);
     }
     println!("makespan            {:>12.0} s", r.makespan_secs());
     println!("task executions     {:>12}", r.stats.task_executions);
     println!("mean task time      {:>12.2} s", r.mean_task_secs());
     println!("preemptions         {:>12}", r.stats.preemptions);
+    if args.chaos.is_some() {
+        println!("transient failures  {:>12}", r.stats.transient_failures);
+        println!("task timeouts       {:>12}", r.stats.task_timeouts);
+        println!("retries             {:>12}", r.stats.retries);
+        println!("speculative wins    {:>12}", r.stats.speculative_wins);
+        println!("corruptions found   {:>12}", r.stats.corruptions_detected);
+        println!("quarantined tasks   {:>12}", r.stats.quarantined_tasks);
+        println!("blocklisted workers {:>12}", r.stats.blocklisted_workers);
+    }
     println!(
         "cache overflows     {:>12}",
         r.stats.cache_overflow_failures
@@ -295,5 +346,32 @@ fn main() {
             print!("{}", o.digest.to_text());
         }
     }
-    std::process::exit(if r.completed() { 0 } else { 1 });
+    if let Some(path) = &args.bench_json {
+        // makespan_s is *simulated* time — deterministic for a fixed
+        // (workload, seed), which is what a CI regression gate needs.
+        // events_per_sec is engine throughput on this machine's wall
+        // clock, informational only.
+        let makespan_s = r.makespan_secs();
+        let events = r.stats.events_processed;
+        let wall_s = wall.as_secs_f64();
+        let events_per_sec = if wall_s > 0.0 {
+            events as f64 / wall_s
+        } else {
+            0.0
+        };
+        let json = format!(
+            "{{\n  \"workload\": \"{}\",\n  \"seed\": {},\n  \"makespan_s\": {makespan_s:.6},\n  \
+             \"events\": {events},\n  \"events_per_sec\": {events_per_sec:.3},\n  \
+             \"peak_cache_bytes\": {}\n}}\n",
+            args.workload, args.seed, r.stats.peak_cache_bytes
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(if r.finished() { 0 } else { 1 });
 }

@@ -104,22 +104,30 @@ mod tests {
             cluster.worker.disk_bytes /= scale as u64;
             let mut cfg = EngineConfig::stack4(cluster, seed);
             cfg.trace.cache = true;
-            cfg.preflight = Preflight::Off; // measuring the runtime failure
+            // Measuring the runtime failure the pre-flight lint predicts.
+            cfg.preflight = Preflight::Off;
+            // Same isolation as `run()`: spare replica copies and
+            // background preemptions both pad caches toward the disk
+            // cap, masking the reduction-shape signal.
+            cfg.replica_target = 1;
+            cfg.preemption = vine_cluster::PreemptionModel::none();
             summarize(label, Engine::new(cfg, spec.to_graph()).run())
         };
         let single = mk(ReductionShape::SingleNode, "single-node");
         let tree = mk(ReductionShape::Tree { arity: 8 }, "tree");
 
-        // The tree run completes cleanly.
+        // The tree run completes cleanly, never overflowing a disk.
         assert!(tree.completed, "tree run failed");
-        // Single-node reductions concentrate far more data on one worker.
-        assert!(
-            single.peak_cache > tree.peak_cache,
-            "single peak {} vs tree peak {}",
-            single.peak_cache,
-            tree.peak_cache
-        );
-        // And overflow failures happen only under the single-node shape.
         assert_eq!(tree.cache_failures, 0);
+        // The single-node shape concentrates enough pinned reduction
+        // input on one worker to overflow its disk and kill it (the Xs
+        // in Fig 11). Peak *occupancy* is not compared strictly: an LRU
+        // cache evicts only on demand, so both shapes ride near the disk
+        // cap at this scale and the ordering is granularity luck.
+        assert!(
+            single.cache_failures > 0,
+            "single-node reduction never overflowed a disk"
+        );
+        assert!(single.peak_cache >= tree.peak_cache);
     }
 }

@@ -1,0 +1,160 @@
+//! Property tests of the chaos/recovery contract.
+//!
+//! 1. **Completes or quarantines, never panics.** For arbitrary finite
+//!    fault plans under the default (graceful) recovery policy, an
+//!    engine run always *finishes* — `Completed` or `Degraded` — and the
+//!    accounting invariants hold. No fault combination may wedge or
+//!    crash the event loop.
+//! 2. **Thread-count independence in vine-exec.** The threaded runtime's
+//!    deterministic chaos injects exactly the same fault schedule (and
+//!    produces bit-identical physics) regardless of worker thread count.
+
+use proptest::prelude::*;
+use vine_chaos::{ExitClass, Fault, FaultPlan};
+use vine_cluster::ClusterSpec;
+use vine_core::{Engine, EngineConfig, RecoveryPolicy};
+use vine_dag::{TaskGraph, TaskKind};
+use vine_simcore::{SimDur, SimTime};
+
+const MB: u64 = 1_000_000;
+
+/// A small map+reduce graph: `n` process tasks into one accumulate.
+fn small_graph(n: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let mut partials = Vec::new();
+    for i in 0..n {
+        let f = g.add_external_file(format!("chunk{i}"), 10 * MB);
+        let (_, outs) = g.add_task(format!("p{i}"), TaskKind::Process, vec![f], &[MB], 1.0);
+        partials.push(outs[0]);
+    }
+    g.add_task("acc", TaskKind::Accumulate, partials, &[MB], 0.5);
+    g
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0.0f64..0.6,   // task-failure probability
+        0.0f64..0.002, // preemption rate (events / worker / sec)
+        0.0f64..0.5,   // corruption rate
+        1.0f64..8.0,   // straggler slow factor
+        0.0f64..1.0,   // straggler fraction
+        0.0f64..1.0,   // link factor (0 = partition)
+        0.0f64..1.0,   // link fraction
+    )
+        .prop_map(
+            |(seed, prob, preempt, bitrot, slow, sfrac, lfactor, lfrac)| {
+                FaultPlan::none()
+                    .with_seed(seed)
+                    .with(Fault::TaskFailure {
+                        prob,
+                        exit: ExitClass::Crash,
+                    })
+                    .with(Fault::Preemption {
+                        rate_per_sec: preempt,
+                    })
+                    .with(Fault::CacheCorruption {
+                        rate_per_sec: bitrot,
+                    })
+                    .with(Fault::Straggler {
+                        start: SimTime::from_secs(0),
+                        duration: SimDur::from_secs(10_000),
+                        slow_factor: slow,
+                        fraction: sfrac,
+                    })
+                    .with(Fault::LinkDegrade {
+                        start: SimTime::from_secs(5),
+                        duration: SimDur::from_secs(30),
+                        factor: lfactor,
+                        fraction: lfrac,
+                    })
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn finite_plans_complete_or_quarantine_never_panic(plan in arb_plan()) {
+        prop_assert!(plan.validate().is_ok());
+        let cfg = EngineConfig::stack3(ClusterSpec::standard(4), 42)
+            .deterministic()
+            .with_chaos(plan)
+            .with_recovery(RecoveryPolicy::default());
+        let r = Engine::new(cfg, small_graph(16)).run();
+        // Graceful degradation: the run always finishes, one way or the
+        // other. Quarantined tasks are the only permitted casualty.
+        prop_assert!(r.finished(), "outcome: {:?}", r.outcome);
+        if r.completed() {
+            prop_assert_eq!(r.stats.quarantined_tasks, 0);
+        } else {
+            prop_assert!(r.stats.quarantined_tasks > 0);
+        }
+        // Every retry corresponds to a budget-consuming task-level
+        // failure (budget-exhausting failures quarantine instead of
+        // retrying), and backoff time only accrues with retries.
+        prop_assert!(r.stats.retries <= r.stats.transient_failures + r.stats.task_timeouts);
+        if r.stats.retries == 0 {
+            prop_assert_eq!(r.stats.backoff_time_us, 0);
+        }
+    }
+
+    #[test]
+    fn same_plan_same_seed_replays_bit_identically(plan in arb_plan()) {
+        let run = || {
+            let cfg = EngineConfig::stack3(ClusterSpec::standard(4), 42)
+                .deterministic()
+                .with_chaos(plan.clone())
+                .with_recovery(RecoveryPolicy::hardened());
+            Engine::new(cfg, small_graph(12)).run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.stats.preemptions, b.stats.preemptions);
+        prop_assert_eq!(a.stats.transient_failures, b.stats.transient_failures);
+        prop_assert_eq!(a.stats.retries, b.stats.retries);
+        prop_assert_eq!(a.stats.quarantined_tasks, b.stats.quarantined_tasks);
+        prop_assert_eq!(a.stats.corruptions_detected, b.stats.corruptions_detected);
+    }
+}
+
+mod exec_determinism {
+    use super::*;
+    use vine_analysis::Dv3Processor;
+    use vine_data::Dataset;
+    use vine_exec::{ExecChaos, ExecMode, Executor};
+
+    fn executor(threads: usize, chaos: ExecChaos) -> Executor {
+        Executor {
+            threads,
+            mode: ExecMode::Serverless,
+            import_work: 10_000,
+            arity: 3,
+            obs: false,
+            chaos: Some(chaos),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn exec_chaos_is_thread_count_independent(
+            seed in any::<u64>(),
+            prob in 0.0f64..0.8,
+            retries in 0u32..5,
+            threads in 2usize..6,
+        ) {
+            let datasets = vec![Dataset::synthesize("ds0", 200 * 1024, 1024, 200, 2)];
+            let chaos = ExecChaos { seed, failure_prob: prob, max_retries: retries };
+            let proc = Dv3Processor::default();
+            let one = executor(1, chaos).run(&proc, &datasets);
+            let many = executor(threads, chaos).run(&proc, &datasets);
+            prop_assert_eq!(one.transient_failures, many.transient_failures);
+            prop_assert_eq!(one.tasks_executed, many.tasks_executed);
+            prop_assert_eq!(one.final_result, many.final_result);
+        }
+    }
+}

@@ -1,10 +1,12 @@
 //! Engine configuration and the Table I stack presets.
 
+use vine_chaos::FaultPlan;
 use vine_cluster::{BatchSystem, ClusterSpec, PreemptionModel};
 use vine_simcore::units::TB;
 use vine_storage::SharedFs;
 
 use crate::cost::TaskTimeModel;
+use crate::recovery::RecoveryPolicy;
 
 /// Which scheduler generation runs the workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -184,6 +186,13 @@ pub struct EngineConfig {
     pub dask_unstable_above_bytes: Option<u64>,
     /// Pre-flight lint policy (see [`Preflight`]).
     pub preflight: Preflight,
+    /// Injected faults (empty by default). A plan with a
+    /// [`vine_chaos::Fault::Preemption`] entry supersedes the legacy
+    /// `preemption` field; otherwise the legacy field is folded in so
+    /// old call sites keep working.
+    pub chaos: FaultPlan,
+    /// What the engine does about failures (see [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl EngineConfig {
@@ -210,6 +219,8 @@ impl EngineConfig {
             trace: TraceConfig::default(),
             dask_unstable_above_bytes: Some(TB / 2),
             preflight: Preflight::Enforce,
+            chaos: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -275,10 +286,24 @@ impl EngineConfig {
     }
 
     /// Disable all stochastic elements (instant worker start, no
-    /// preemption) — for deterministic unit tests.
+    /// preemption, no injected faults) — for deterministic unit tests.
     pub fn deterministic(mut self) -> Self {
         self.batch = BatchSystem::instantaneous();
         self.preemption = PreemptionModel::none();
+        self.chaos = FaultPlan::none();
+        self
+    }
+
+    /// Builder: attach a fault plan (and, typically, a hardened recovery
+    /// policy — this helper leaves `recovery` untouched).
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
+    /// Builder: replace the recovery policy.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
         self
     }
 
@@ -343,7 +368,15 @@ impl EngineConfig {
             replica_target: self.replica_target,
             replicate_max_bytes: self.replicate_max_bytes,
             library_startup_s: self.time_model.library_startup.as_secs_f64(),
-            preemption_rate_per_sec: self.preemption.rate_per_sec,
+            preemption_rate_per_sec: self
+                .chaos
+                .preemption_rate()
+                .unwrap_or(self.preemption.rate_per_sec),
+            chaos_enabled: !self.chaos.is_empty(),
+            chaos_task_failure_prob: self.chaos.task_failure().map_or(0.0, |(p, _)| p),
+            retry_budget: self.recovery.retry_budget,
+            timeout_factor: self.recovery.timeout_factor,
+            speculation: self.recovery.speculation,
             trace_timeline: self.trace.timeline,
             trace_gantt: self.trace.gantt,
             dask_unstable_above_bytes: self.dask_unstable_above_bytes,

@@ -36,6 +36,7 @@ pub mod config;
 pub mod cost;
 pub mod engine;
 pub mod placement;
+pub mod recovery;
 pub mod result;
 pub mod session;
 
@@ -45,5 +46,7 @@ pub use config::{
 };
 pub use cost::TaskTimeModel;
 pub use engine::{graph_file_cachename, Engine};
+pub use recovery::RecoveryPolicy;
 pub use result::{RunOutcome, RunResult, RunStats};
 pub use session::SessionState;
+pub use vine_chaos::{ExitClass, Fault, FaultPlan};

@@ -8,6 +8,17 @@ use vine_simcore::{SimDur, SimTime};
 pub enum RunOutcome {
     /// Every task completed.
     Completed,
+    /// Graceful degradation: every task either completed or was
+    /// quarantined after exhausting its retry budget under injected
+    /// faults. The surviving results are valid; the quarantined
+    /// partitions are enumerated in [`RunStats::quarantined_tasks`].
+    ///
+    /// [`RunStats::quarantined_tasks`]: crate::RunStats::quarantined_tasks
+    Degraded {
+        /// Tasks withdrawn from the run (producers that exhausted their
+        /// budget plus their transitive consumers).
+        quarantined_tasks: u64,
+    },
     /// The run could not finish (e.g. Dask.Distributed at TB scale, or a
     /// single-node reduction that no worker's disk can hold).
     Failed {
@@ -46,6 +57,34 @@ pub struct RunStats {
     /// Bytes of already-resident outputs those memoized tasks would have
     /// produced (compute and transfer the warm start avoided).
     pub warm_hit_bytes: u64,
+    /// Task-level retries consumed (transient failures and timeouts;
+    /// preemption re-runs and corruption-triggered re-stages are not
+    /// counted here — see `task_executions`).
+    pub retries: u64,
+    /// Total sim time spent holding tasks in retry backoff, summed over
+    /// retries, in microseconds.
+    pub backoff_time_us: u64,
+    /// Attempts abandoned by the recovery policy's timeout.
+    pub task_timeouts: u64,
+    /// Attempts that failed from injected transient task failures.
+    pub transient_failures: u64,
+    /// Speculative duplicates that finished before the primary attempt.
+    pub speculative_wins: u64,
+    /// Speculative duplicates cancelled because the primary finished
+    /// first (or their worker died).
+    pub speculative_losses: u64,
+    /// Workers the recovery policy stopped scheduling onto.
+    pub blocklisted_workers: u64,
+    /// Tasks quarantined after exhausting their retry budget, including
+    /// the transitive consumers withdrawn with them.
+    pub quarantined_tasks: u64,
+    /// Cache reads that detected a chaos-corrupted entry (checksum
+    /// mismatch against the cachename).
+    pub corruptions_detected: u64,
+    /// Highest single-worker cache occupancy reached, bytes.
+    pub peak_cache_bytes: u64,
+    /// Simulator events processed by the engine's event loop.
+    pub events_processed: u64,
 }
 
 /// Everything one simulated run produces.
@@ -88,9 +127,19 @@ impl RunResult {
         self.makespan.as_secs_f64()
     }
 
-    /// True if the run completed.
+    /// True if the run completed every task.
     pub fn completed(&self) -> bool {
         self.outcome == RunOutcome::Completed
+    }
+
+    /// True if the run finished rather than aborting: every task either
+    /// completed or was gracefully quarantined. This is the liveness
+    /// criterion chaos runs assert.
+    pub fn finished(&self) -> bool {
+        matches!(
+            self.outcome,
+            RunOutcome::Completed | RunOutcome::Degraded { .. }
+        )
     }
 
     /// Speedup of this run relative to a baseline makespan.
@@ -141,10 +190,20 @@ mod tests {
     #[test]
     fn outcome_helpers() {
         assert!(dummy(1).completed());
+        assert!(dummy(1).finished());
         let failed = RunResult {
             outcome: RunOutcome::Failed { reason: "x".into() },
             ..dummy(1)
         };
         assert!(!failed.completed());
+        assert!(!failed.finished());
+        let degraded = RunResult {
+            outcome: RunOutcome::Degraded {
+                quarantined_tasks: 3,
+            },
+            ..dummy(1)
+        };
+        assert!(!degraded.completed(), "degraded is not full completion");
+        assert!(degraded.finished(), "but it did not abort");
     }
 }

@@ -44,6 +44,12 @@ pub struct ReadyTracker {
     /// Total completions ever recorded, counting re-runs (for accounting
     /// the cost of preemption recovery).
     completions: u64,
+    /// Side mask of tasks withdrawn from scheduling after exhausting
+    /// their retry budget (graceful degradation). A quarantined task
+    /// reads as `Blocked` and is never promoted to `Ready`; the run is
+    /// complete when every task is `Done` *or* quarantined.
+    quarantined: Vec<bool>,
+    quarantined_count: usize,
 }
 
 impl ReadyTracker {
@@ -64,6 +70,8 @@ impl ReadyTracker {
             done_count: 0,
             running_count: 0,
             completions: 0,
+            quarantined: vec![false; nt],
+            quarantined_count: 0,
         };
         for (i, p) in t.file_producer.iter().enumerate() {
             if p.is_none() {
@@ -114,6 +122,8 @@ impl ReadyTracker {
             done_count: 0,
             running_count: 0,
             completions: 0,
+            quarantined: vec![false; nt],
+            quarantined_count: 0,
         };
         for (i, &res) in resident.iter().enumerate() {
             if t.file_producer[i].is_none() || res {
@@ -169,9 +179,10 @@ impl ReadyTracker {
         )
     }
 
-    /// True when every task is `Done`.
+    /// True when every task is `Done` or quarantined: nothing further
+    /// can or will run.
     pub fn is_complete(&self) -> bool {
-        self.done_count == self.state.len()
+        self.done_count + self.quarantined_count == self.state.len()
     }
 
     /// Total completions recorded, counting re-runs of recovered tasks.
@@ -315,13 +326,93 @@ impl ReadyTracker {
             let cs = c.0 as usize;
             debug_assert!(self.missing_inputs[cs] > 0);
             self.missing_inputs[cs] -= 1;
-            if self.missing_inputs[cs] == 0 && self.state[cs] == TaskState::Blocked {
+            if self.missing_inputs[cs] == 0
+                && self.state[cs] == TaskState::Blocked
+                && !self.quarantined[cs]
+            {
                 self.state[cs] = TaskState::Ready;
                 self.ready.insert(c);
                 newly_ready.push(c);
             }
         }
         newly_ready
+    }
+
+    /// Withdraw a task from scheduling permanently (retry budget
+    /// exhausted). The caller handles any in-flight attempt first
+    /// ([`ReadyTracker::mark_task_failed`]); quarantining a `Running`
+    /// task here silently retires the attempt. `Done` tasks keep their
+    /// result and are left alone. Idempotent. Returns `true` if the task
+    /// was newly quarantined.
+    ///
+    /// Downstream consumers are *not* quarantined implicitly — the
+    /// policy decides how far the blast radius extends (typically the
+    /// transitive consumer closure, since those tasks can never become
+    /// ready once a producer is quarantined).
+    pub fn mark_quarantined(&mut self, t: TaskId) -> bool {
+        let ti = t.0 as usize;
+        if self.quarantined[ti] || self.state[ti] == TaskState::Done {
+            return false;
+        }
+        match self.state[ti] {
+            TaskState::Ready => {
+                self.ready.remove(&t);
+            }
+            TaskState::Running => {
+                self.running_count -= 1;
+            }
+            TaskState::Blocked => {}
+            TaskState::Done => unreachable!("handled above"),
+        }
+        self.state[ti] = TaskState::Blocked;
+        self.quarantined[ti] = true;
+        self.quarantined_count += 1;
+        true
+    }
+
+    /// True if the task has been withdrawn by [`mark_quarantined`].
+    ///
+    /// [`mark_quarantined`]: ReadyTracker::mark_quarantined
+    pub fn is_quarantined(&self, t: TaskId) -> bool {
+        self.quarantined[t.0 as usize]
+    }
+
+    /// Number of quarantined tasks.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined_count
+    }
+
+    /// Quarantined tasks in ascending id order.
+    pub fn quarantined_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, &q)| q)
+            .map(|(i, _)| TaskId(i as u32))
+    }
+
+    /// The transitive consumer closure of `t`: every task that directly
+    /// or indirectly needs one of `t`'s outputs (excluding `t` itself),
+    /// ascending id order. This is the blast radius a policy quarantines
+    /// along with a retired task.
+    pub fn consumer_closure(&self, t: TaskId) -> Vec<TaskId> {
+        let mut seen = vec![false; self.state.len()];
+        let mut stack = vec![t];
+        seen[t.0 as usize] = true;
+        let mut out = Vec::new();
+        while let Some(cur) = stack.pop() {
+            for &f in &self.task_outputs[cur.0 as usize] {
+                for &c in &self.file_consumers[f.0 as usize] {
+                    if !seen[c.0 as usize] {
+                        seen[c.0 as usize] = true;
+                        out.push(c);
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
     }
 }
 
@@ -493,6 +584,65 @@ mod tests {
         let (g, _, _, acc) = chain();
         let mut t = ReadyTracker::new(&g);
         t.mark_running(acc);
+    }
+
+    #[test]
+    fn quarantine_retires_a_task_and_its_closure_completes_the_run() {
+        let (g, p0, p1, acc) = chain();
+        let mut t = ReadyTracker::new(&g);
+        // p0 keeps failing: the policy gives up on it and everything
+        // downstream of it.
+        assert_eq!(t.consumer_closure(p0), vec![acc]);
+        assert!(t.mark_quarantined(p0));
+        assert!(!t.mark_quarantined(p0), "idempotent");
+        assert!(t.mark_quarantined(acc));
+        assert!(t.is_quarantined(p0));
+        assert_eq!(t.quarantined_count(), 2);
+        assert_eq!(t.quarantined_tasks().collect::<Vec<_>>(), vec![p0, acc]);
+        // p0 left the ready set; p1 still runs to completion.
+        assert_eq!(t.ready_tasks().collect::<Vec<_>>(), vec![p1]);
+        t.mark_running(p1);
+        // p1's output becoming available must NOT revive the quarantined
+        // consumer even once p0's side would have been its last miss.
+        t.mark_done(p1);
+        assert_eq!(t.state(acc), TaskState::Blocked);
+        assert_eq!(t.ready_count(), 0);
+        assert!(t.is_complete(), "done + quarantined covers every task");
+    }
+
+    #[test]
+    fn quarantining_a_running_task_retires_the_attempt() {
+        let (g, p0, _, _) = chain();
+        let mut t = ReadyTracker::new(&g);
+        t.mark_running(p0);
+        assert!(t.mark_quarantined(p0));
+        assert_eq!(t.state(p0), TaskState::Blocked);
+        let (_, _, running, _) = t.counts();
+        assert_eq!(running, 0);
+    }
+
+    #[test]
+    fn done_tasks_cannot_be_quarantined() {
+        let (g, p0, _, _) = chain();
+        let mut t = ReadyTracker::new(&g);
+        t.mark_running(p0);
+        t.mark_done(p0);
+        assert!(!t.mark_quarantined(p0));
+        assert_eq!(t.state(p0), TaskState::Done);
+        assert_eq!(t.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn consumer_closure_is_transitive() {
+        // e -> a -> fa -> b -> fb -> c
+        let mut g = TaskGraph::new();
+        let e = g.add_external_file("e", 10);
+        let (a, fa) = g.add_task("a", TaskKind::Process, vec![e], &[5], 1.0);
+        let (b, fb) = g.add_task("b", TaskKind::Process, vec![fa[0]], &[5], 1.0);
+        let (c, _) = g.add_task("c", TaskKind::Process, vec![fb[0]], &[1], 1.0);
+        let t = ReadyTracker::new(&g);
+        assert_eq!(t.consumer_closure(a), vec![b, c]);
+        assert_eq!(t.consumer_closure(c), Vec::<TaskId>::new());
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod runtime;
 
 pub use library::LibraryState;
 pub use plan::ExecPlan;
-pub use runtime::{ExecMode, ExecReport, Executor};
+pub use runtime::{ExecChaos, ExecMode, ExecReport, Executor};

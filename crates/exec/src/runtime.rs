@@ -26,6 +26,56 @@ pub enum ExecMode {
     Serverless,
 }
 
+/// Deterministic transient-failure injection for the threaded runtime.
+///
+/// Whether an attempt fails depends only on `(seed, task, attempt)` — a
+/// splitmix64 hash, no shared RNG state — so the fault schedule, the
+/// per-task retry counts, and the physics result are all **independent
+/// of thread count**: the same run on 1 thread and on 16 threads injects
+/// exactly the same failures. An attempt past `max_retries` always runs
+/// clean, so a finite chaos spec can never wedge the runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecChaos {
+    /// Seed for the doom hash.
+    pub seed: u64,
+    /// Per-attempt failure probability in `[0, 1)`.
+    pub failure_prob: f64,
+    /// Attempts beyond this index are never doomed (attempts are
+    /// numbered from 1).
+    pub max_retries: u32,
+}
+
+impl ExecChaos {
+    /// A light default: 10% per-attempt failures, three retries.
+    pub fn light(seed: u64) -> Self {
+        ExecChaos {
+            seed,
+            failure_prob: 0.1,
+            max_retries: 3,
+        }
+    }
+
+    /// Does this attempt of this task fail?
+    pub fn dooms(&self, task: TaskId, attempt: u32) -> bool {
+        if attempt > self.max_retries {
+            return false;
+        }
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((task.0 as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add((attempt as u64).wrapping_mul(0x94d0_49bb_1331_11eb));
+        // splitmix64 finalizer
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        u < self.failure_prob
+    }
+}
+
 /// The runtime's configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct Executor {
@@ -41,6 +91,9 @@ pub struct Executor {
     /// ([`ExecReport::obs`]). Off by default; workers then take no
     /// timestamps beyond the existing per-task stopwatch.
     pub obs: bool,
+    /// Deterministic transient-failure injection. `None` (the default)
+    /// injects nothing and leaves the hot path untouched.
+    pub chaos: Option<ExecChaos>,
 }
 
 impl Default for Executor {
@@ -51,6 +104,7 @@ impl Default for Executor {
             import_work: LibraryState::DEFAULT_WORK,
             arity: 8,
             obs: false,
+            chaos: None,
         }
     }
 }
@@ -70,6 +124,9 @@ pub struct ExecReport {
     pub library_builds: u64,
     /// Tasks executed.
     pub tasks_executed: u64,
+    /// Attempts failed by [`Executor::chaos`] and retried. Deterministic
+    /// for a given `(workload, chaos)` pair regardless of thread count.
+    pub transient_failures: u64,
     /// Events processed (from the physics, as a cross-check).
     pub events_processed: u64,
     /// Tasks executed by each worker thread.
@@ -98,6 +155,8 @@ struct TaskMsg {
     task: TaskId,
     action: TaskAction,
     inputs: Vec<Arc<HistogramSet>>,
+    /// Attempt number, from 1; incremented on each chaos retry.
+    attempt: u32,
     /// Dispatch timestamp (µs on the shared run clock) — the execution's
     /// attribution starts here.
     sent_us: u64,
@@ -106,7 +165,9 @@ struct TaskMsg {
 struct DoneMsg {
     task: TaskId,
     worker: usize,
-    output: Arc<HistogramSet>,
+    /// `None` when the attempt was doomed by chaos — the manager retries.
+    output: Option<Arc<HistogramSet>>,
+    attempt: u32,
     elapsed: Duration,
     built_library: bool,
     attribution: Option<TaskAttribution>,
@@ -124,6 +185,7 @@ impl Executor {
         let mut storage: HashMap<FileId, Arc<HistogramSet>> = HashMap::new();
         let mut task_times = Vec::with_capacity(plan.task_count());
         let mut library_builds = 0u64;
+        let mut transient_failures = 0u64;
         let mut attributions: Vec<TaskAttribution> = Vec::new();
 
         let started = Instant::now();
@@ -141,6 +203,7 @@ impl Executor {
                 let mode = self.mode;
                 let import_work = self.import_work;
                 let obs = self.obs;
+                let chaos = self.chaos;
                 let clock = &clock;
                 scope.spawn(move || {
                     worker_loop(
@@ -150,6 +213,7 @@ impl Executor {
                         mode,
                         import_work,
                         obs,
+                        chaos,
                         clock,
                         processor,
                         datasets,
@@ -159,33 +223,47 @@ impl Executor {
             drop(task_rx);
             drop(done_tx);
 
+            let send =
+                |task: TaskId, attempt: u32, storage: &HashMap<FileId, Arc<HistogramSet>>| {
+                    let inputs = plan
+                        .graph
+                        .task(task)
+                        .inputs
+                        .iter()
+                        .filter_map(|f| storage.get(f).cloned())
+                        .collect();
+                    task_tx
+                        .send(TaskMsg {
+                            task,
+                            action: plan.action(task).clone(),
+                            inputs,
+                            attempt,
+                            sent_us: clock.now_us(),
+                        })
+                        .expect("workers alive");
+                };
             // Prime the pipeline with every initially-ready task.
             let dispatch =
                 |tracker: &mut ReadyTracker, storage: &HashMap<FileId, Arc<HistogramSet>>| {
                     while let Some(task) = tracker.pop_ready() {
-                        let inputs = plan
-                            .graph
-                            .task(task)
-                            .inputs
-                            .iter()
-                            .filter_map(|f| storage.get(f).cloned())
-                            .collect();
-                        task_tx
-                            .send(TaskMsg {
-                                task,
-                                action: plan.action(task).clone(),
-                                inputs,
-                                sent_us: clock.now_us(),
-                            })
-                            .expect("workers alive");
+                        send(task, 1, storage);
                     }
                 };
             dispatch(&mut tracker, &storage);
 
             while !tracker.is_complete() {
                 let done = done_rx.recv().expect("workers alive while tasks pending");
+                let Some(output) = done.output else {
+                    // Chaos killed the attempt: the task is still Running
+                    // in the tracker; just resend it with the next
+                    // attempt number. `ExecChaos::dooms` guarantees an
+                    // attempt past `max_retries` runs clean.
+                    transient_failures += 1;
+                    send(done.task, done.attempt + 1, &storage);
+                    continue;
+                };
                 for &f in &plan.graph.task(done.task).outputs {
-                    storage.insert(f, done.output.clone());
+                    storage.insert(f, output.clone());
                 }
                 task_times.push(done.elapsed);
                 per_worker_tasks[done.worker] += 1;
@@ -253,6 +331,7 @@ impl Executor {
             dataset_results,
             makespan,
             tasks_executed: task_times.len() as u64,
+            transient_failures,
             task_times,
             library_builds,
             per_worker_tasks,
@@ -270,6 +349,7 @@ fn worker_loop<P: Processor + ?Sized>(
     mode: ExecMode,
     import_work: usize,
     obs: bool,
+    chaos: Option<ExecChaos>,
     clock: &WallClock,
     processor: &P,
     datasets: &[Dataset],
@@ -280,6 +360,24 @@ fn worker_loop<P: Processor + ?Sized>(
         ExecMode::Standard => None,
     };
     while let Ok(msg) = task_rx.recv() {
+        // The doom decision is a pure function of (seed, task, attempt),
+        // so which attempts fail does not depend on which worker thread
+        // happened to pick the message up.
+        if chaos.is_some_and(|c| c.dooms(msg.task, msg.attempt)) {
+            let failed = DoneMsg {
+                task: msg.task,
+                worker,
+                output: None,
+                attempt: msg.attempt,
+                elapsed: Duration::ZERO,
+                built_library: false,
+                attribution: None,
+            };
+            if done_tx.send(failed).is_err() {
+                return;
+            }
+            continue;
+        }
         let t_recv = clock.now_us();
         let t0 = Instant::now();
         let mut built = false;
@@ -345,7 +443,8 @@ fn worker_loop<P: Processor + ?Sized>(
         let msg = DoneMsg {
             task: msg.task,
             worker,
-            output,
+            output: Some(output),
+            attempt: msg.attempt,
             elapsed,
             built_library: built,
             attribution,
@@ -375,6 +474,7 @@ mod tests {
             import_work: 20_000,
             arity: 3,
             obs: false,
+            chaos: None,
         }
     }
 
@@ -434,6 +534,7 @@ mod tests {
             import_work: 2_000_000,
             arity: 4,
             obs: false,
+            chaos: None,
         };
         let std_report = mk(ExecMode::Standard).run(&proc, &dss);
         let srv_report = mk(ExecMode::Serverless).run(&proc, &dss);
@@ -491,6 +592,7 @@ mod tests {
             import_work: 500_000,
             arity: 3,
             obs: true,
+            chaos: None,
         };
         let std_report = mk(ExecMode::Standard).run(&proc, &dss);
         let srv_report = mk(ExecMode::Serverless).run(&proc, &dss);
@@ -530,5 +632,58 @@ mod tests {
         assert!(report.tasks_executed > 0);
         assert!(report.events_processed > 0);
         assert_eq!(report.task_times.len() as u64, report.tasks_executed);
+    }
+
+    #[test]
+    fn chaos_failures_retry_and_preserve_physics() {
+        let dss = datasets(2, 400);
+        let proc = Dv3Processor::default();
+        let clean = exec(ExecMode::Serverless, 4).run(&proc, &dss);
+        let mut chaotic = exec(ExecMode::Serverless, 4);
+        chaotic.chaos = Some(ExecChaos {
+            seed: 42,
+            failure_prob: 0.3,
+            max_retries: 5,
+        });
+        let report = chaotic.run(&proc, &dss);
+        assert!(report.transient_failures > 0, "chaos never fired");
+        assert_eq!(report.final_result, clean.final_result);
+        assert_eq!(clean.transient_failures, 0);
+    }
+
+    #[test]
+    fn chaos_schedule_is_independent_of_thread_count() {
+        let dss = datasets(2, 300);
+        let proc = TriPhotonProcessor::default();
+        let run = |threads| {
+            let mut e = exec(ExecMode::Serverless, threads);
+            e.chaos = Some(ExecChaos {
+                seed: 7,
+                failure_prob: 0.25,
+                max_retries: 4,
+            });
+            e.run(&proc, &dss)
+        };
+        let one = run(1);
+        let many = run(8);
+        assert!(one.transient_failures > 0);
+        assert_eq!(
+            one.transient_failures, many.transient_failures,
+            "fault schedule must not depend on thread count"
+        );
+        assert_eq!(one.final_result, many.final_result);
+        assert_eq!(one.tasks_executed, many.tasks_executed);
+    }
+
+    #[test]
+    fn chaos_attempts_past_the_budget_always_run_clean() {
+        let chaos = ExecChaos {
+            seed: 1,
+            failure_prob: 1.0,
+            max_retries: 3,
+        };
+        let t = TaskId(5);
+        assert!(chaos.dooms(t, 1) && chaos.dooms(t, 3));
+        assert!(!chaos.dooms(t, 4), "attempt past max_retries must pass");
     }
 }

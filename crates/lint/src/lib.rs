@@ -43,6 +43,7 @@ pub mod config;
 pub mod determinism;
 pub mod facility;
 pub mod graph;
+pub mod recovery;
 pub mod resources;
 
 pub use facility::{lint_facility, FacilityFacts, TenantFacts};
@@ -100,6 +101,15 @@ pub enum Code {
     R003,
     /// Degenerate cluster: no workers, cores, or disk.
     R004,
+    /// Faults injected with a zero retry budget: first failure
+    /// quarantines (or aborts).
+    R005,
+    /// Task timeout set below the category's p99 runtime estimate:
+    /// healthy tasks will be killed as stragglers.
+    R006,
+    /// Speculative re-execution enabled on a single-worker cluster:
+    /// there is never a second worker to speculate on.
+    R007,
     /// Serverless mode with a zero library instantiation cost.
     C001,
     /// Worker-local import distribution without serverless execution.
@@ -139,7 +149,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in report order — drives the README reference table.
-    pub const ALL: [Code; 27] = [
+    pub const ALL: [Code; 30] = [
         Code::G001,
         Code::G002,
         Code::G003,
@@ -151,6 +161,9 @@ impl Code {
         Code::R002,
         Code::R003,
         Code::R004,
+        Code::R005,
+        Code::R006,
+        Code::R007,
         Code::C001,
         Code::C002,
         Code::C003,
@@ -183,6 +196,9 @@ impl Code {
             Code::R002 => "one task's inputs+outputs exceed a worker's disk",
             Code::R003 => "dataset exceeds the cluster's aggregate cache capacity",
             Code::R004 => "degenerate cluster (no workers, cores, or disk)",
+            Code::R005 => "faults injected with a zero retry budget: first failure quarantines",
+            Code::R006 => "task timeout below the category p99 estimate kills healthy tasks",
+            Code::R007 => "speculation on a single-worker cluster can never launch a duplicate",
             Code::C001 => "serverless mode with zero library instantiation cost",
             Code::C002 => "worker-local imports without serverless execution",
             Code::C003 => "peer transfers enabled but throttled to zero",
@@ -410,6 +426,17 @@ pub struct EngineFacts {
     pub library_startup_s: f64,
     /// Worker preemption rate, events per second (0 = none).
     pub preemption_rate_per_sec: f64,
+    /// A chaos fault plan is attached (any fault family).
+    pub chaos_enabled: bool,
+    /// Combined per-attempt transient task-failure probability (0 = none).
+    pub chaos_task_failure_prob: f64,
+    /// Recovery policy: task-level failures tolerated before quarantine.
+    pub retry_budget: u32,
+    /// Recovery policy: attempts are abandoned past this multiple of the
+    /// category p99 runtime estimate (0 = timeouts off).
+    pub timeout_factor: f64,
+    /// Recovery policy: speculative re-execution of stragglers enabled.
+    pub speculation: bool,
     /// Running/waiting timeline tracing enabled.
     pub trace_timeline: bool,
     /// Per-worker gantt tracing enabled.
@@ -443,6 +470,11 @@ impl Default for EngineFacts {
             replicate_max_bytes: 512 * 1_000_000,
             library_startup_s: 2.0,
             preemption_rate_per_sec: 0.0,
+            chaos_enabled: false,
+            chaos_task_failure_prob: 0.0,
+            retry_budget: 3,
+            timeout_factor: 0.0,
+            speculation: false,
             trace_timeline: true,
             trace_gantt: false,
             dask_unstable_above_bytes: None,
@@ -479,6 +511,7 @@ pub fn lint_all(graph: &TaskGraph, facts: &EngineFacts) -> Report {
     report.merge(resources::lint(graph, facts));
     report.merge(config::lint(graph, facts));
     report.merge(determinism::lint(graph, facts));
+    report.merge(recovery::lint(facts));
     report
 }
 

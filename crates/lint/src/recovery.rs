@@ -1,0 +1,124 @@
+//! Recovery-policy lints (R005–R007).
+//!
+//! These check the *pairing* of a fault plan with a recovery policy:
+//! injected faults with no retry budget quarantine on the first hit,
+//! a timeout below the category p99 kills healthy tasks, and
+//! speculation needs a second worker to duplicate onto.
+
+use crate::{Code, Diagnostic, EngineFacts, Locus, Report, Severity};
+
+/// Run the recovery lints.
+pub fn lint(facts: &EngineFacts) -> Report {
+    let mut report = Report::new();
+
+    // R005 — with faults injected and a zero retry budget, the first
+    // transient failure (or timeout, or detected corruption) quarantines
+    // the task and its whole consumer closure. Legitimate for a fragile
+    // control arm, almost certainly not what a production config wants.
+    if facts.chaos_enabled && facts.retry_budget == 0 {
+        report.push(Diagnostic {
+            code: Code::R005,
+            severity: Severity::Warn,
+            locus: Locus::Config,
+            message: "faults injected with a zero retry budget: the first task-level \
+                      failure quarantines the task and its consumers"
+                .into(),
+            suggestion: Some("set recovery.retry_budget >= 1 (the default is 3)".into()),
+        });
+    }
+
+    // R006 — the timeout is `timeout_factor × category p99`; a factor
+    // below 1 abandons attempts that are *faster* than the category's
+    // own observed tail, i.e. it kills healthy tasks.
+    if facts.timeout_factor > 0.0 && facts.timeout_factor < 1.0 {
+        report.push(Diagnostic {
+            code: Code::R006,
+            severity: Severity::Warn,
+            locus: Locus::Config,
+            message: format!(
+                "timeout factor {} is below 1x the category p99: healthy tasks in the \
+                 tail will be killed and retried",
+                facts.timeout_factor
+            ),
+            suggestion: Some("use a timeout factor >= 1 (hardened() uses 4)".into()),
+        });
+    }
+
+    // R007 — a speculative duplicate must land on a *different* worker;
+    // with one worker it can never launch and the config is dead weight.
+    if facts.speculation && facts.workers <= 1 {
+        report.push(Diagnostic {
+            code: Code::R007,
+            severity: Severity::Warn,
+            locus: Locus::Config,
+            message: format!(
+                "speculation enabled with {} worker(s): a duplicate attempt needs a \
+                 second worker and will never launch",
+                facts.workers
+            ),
+            suggestion: Some("add workers or disable recovery.speculation".into()),
+        });
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_facts_lint_clean() {
+        assert!(lint(&EngineFacts::default()).is_clean());
+    }
+
+    #[test]
+    fn zero_budget_under_chaos_is_r005() {
+        let f = EngineFacts {
+            chaos_enabled: true,
+            retry_budget: 0,
+            ..EngineFacts::default()
+        };
+        let r = lint(&f);
+        assert!(r.has_code(Code::R005) && !r.has_errors());
+    }
+
+    #[test]
+    fn zero_budget_without_chaos_is_fine() {
+        let f = EngineFacts {
+            retry_budget: 0,
+            ..EngineFacts::default()
+        };
+        assert!(lint(&f).is_clean());
+    }
+
+    #[test]
+    fn sub_unity_timeout_factor_is_r006() {
+        let f = EngineFacts {
+            timeout_factor: 0.5,
+            ..EngineFacts::default()
+        };
+        assert!(lint(&f).has_code(Code::R006));
+        let ok = EngineFacts {
+            timeout_factor: 4.0,
+            ..EngineFacts::default()
+        };
+        assert!(lint(&ok).is_clean());
+    }
+
+    #[test]
+    fn speculation_on_single_worker_is_r007() {
+        let f = EngineFacts {
+            speculation: true,
+            workers: 1,
+            ..EngineFacts::default()
+        };
+        assert!(lint(&f).has_code(Code::R007));
+        let ok = EngineFacts {
+            speculation: true,
+            workers: 8,
+            ..EngineFacts::default()
+        };
+        assert!(lint(&ok).is_clean());
+    }
+}

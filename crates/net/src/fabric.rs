@@ -235,6 +235,30 @@ impl Fabric {
         records
     }
 
+    /// Replace a node's access-link capacities mid-run (chaos slowdown,
+    /// degradation, or partition when both are zero). In-flight flows
+    /// keep the bytes already delivered at the old allocation and are
+    /// re-shared under the new one; a flow squeezed to rate 0 stalls —
+    /// [`Fabric::next_completion`] ignores it until capacity returns —
+    /// rather than being lost. The caller must reschedule its completion
+    /// event afterwards.
+    pub fn set_node_bandwidth(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        egress_bw: f64,
+        ingress_bw: f64,
+    ) {
+        self.advance(now);
+        self.links[node.0] = (egress_bw.max(0.0), ingress_bw.max(0.0));
+        self.recompute_rates();
+    }
+
+    /// The node's current (egress, ingress) access-link capacities.
+    pub fn node_bandwidth(&self, node: NodeId) -> (f64, f64) {
+        self.links[node.0]
+    }
+
     /// Advance in-flight progress to `now` at current rates.
     fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.now, "fabric time moved backwards");
@@ -306,6 +330,40 @@ mod tests {
         let rec = fab.complete_flow(finish, id);
         assert_eq!(rec.bytes_moved, 1000);
         assert_eq!(fab.active_flows(), 0);
+    }
+
+    #[test]
+    fn partition_stalls_then_resumes_a_flow() {
+        let mut fab = Fabric::new();
+        let a = fab.add_symmetric_node(100.0);
+        let b = fab.add_symmetric_node(100.0);
+        let id = fab.start_flow(SimTime::ZERO, a, b, 1000, f64::INFINITY);
+        // 5 s at 100 B/s: 500 bytes delivered, then the link partitions.
+        fab.set_node_bandwidth(t(5.0), b, 0.0, 0.0);
+        assert_eq!(fab.flow_rate(id), Some(0.0));
+        assert_eq!(fab.next_completion(), None, "stalled flows never finish");
+        // 20 s of darkness preserve the delivered prefix.
+        fab.set_node_bandwidth(t(25.0), b, 100.0, 100.0);
+        let (finish, fid) = fab.next_completion().unwrap();
+        assert_eq!(fid, id);
+        assert!((finish.as_secs_f64() - 30.0).abs() < 1e-5, "{finish}");
+        assert_eq!(fab.node_bandwidth(b), (100.0, 100.0));
+        let rec = fab.complete_flow(finish, id);
+        assert_eq!(rec.bytes_moved, 1000);
+    }
+
+    #[test]
+    fn degraded_link_slows_a_flow_proportionally() {
+        let mut fab = Fabric::new();
+        let a = fab.add_symmetric_node(100.0);
+        let b = fab.add_symmetric_node(100.0);
+        let id = fab.start_flow(SimTime::ZERO, a, b, 1000, f64::INFINITY);
+        // Halfway through, the receiver's link degrades to 10 %.
+        fab.set_node_bandwidth(t(5.0), b, 10.0, 10.0);
+        assert!((fab.flow_rate(id).unwrap() - 10.0).abs() < 1e-9);
+        let (finish, _) = fab.next_completion().unwrap();
+        // 500 bytes at 10 B/s: finishes at 5 + 50 = 55 s.
+        assert!((finish.as_secs_f64() - 55.0).abs() < 1e-5, "{finish}");
     }
 
     #[test]

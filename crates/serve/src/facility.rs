@@ -24,7 +24,9 @@ use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use vine_cluster::ClusterSpec;
-use vine_core::{graph_file_cachename, Engine, EngineConfig, RunStats, SessionState};
+use vine_core::{
+    graph_file_cachename, Engine, EngineConfig, FaultPlan, RecoveryPolicy, RunStats, SessionState,
+};
 use vine_dag::TaskGraph;
 use vine_lint::{lint_facility, FacilityFacts, Report, SchedulerFamily};
 use vine_simcore::{RngHub, SimDur, SimTime};
@@ -54,6 +56,11 @@ pub struct FacilityConfig {
     pub seed: u64,
     /// Refuse to start when the facility lints find errors.
     pub enforce_preflight: bool,
+    /// Fault plan injected into every inner run (chaos-testing the
+    /// facility end to end). [`FaultPlan::none`] injects nothing.
+    pub chaos: FaultPlan,
+    /// Recovery policy for the inner runs.
+    pub recovery: RecoveryPolicy,
 }
 
 impl FacilityConfig {
@@ -79,6 +86,8 @@ impl FacilityConfig {
             deterministic_runs: true,
             seed,
             enforce_preflight: true,
+            chaos: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -145,6 +154,9 @@ pub struct SubmissionRecord {
     pub makespan: SimDur,
     /// Whether the inner run completed.
     pub completed: bool,
+    /// Whether the inner run finished degraded (some tasks quarantined
+    /// by the recovery policy under injected faults).
+    pub degraded: bool,
 }
 
 impl SubmissionRecord {
@@ -535,6 +547,11 @@ impl Facility {
         if self.cfg.deterministic_runs {
             ecfg = ecfg.deterministic();
         }
+        // After deterministic(): an explicitly configured fault plan is
+        // an operator request, not inner-run noise.
+        ecfg = ecfg
+            .with_chaos(self.cfg.chaos.clone())
+            .with_recovery(self.cfg.recovery);
         let result = Engine::new(ecfg, q.graph).run_in_session(&mut session);
 
         self.inflight_cores[tenant] += self.cfg.run_cores();
@@ -555,6 +572,7 @@ impl Facility {
                 stats: result.stats,
                 makespan: result.makespan,
                 completed: matches!(result.outcome, vine_core::RunOutcome::Completed),
+                degraded: matches!(result.outcome, vine_core::RunOutcome::Degraded { .. }),
             },
             caches: session.into_caches(),
         });
@@ -698,5 +716,49 @@ mod tests {
         let (csv_b, metrics_b) = run(99);
         assert_eq!(csv_a, csv_b);
         assert_eq!(metrics_a, metrics_b);
+    }
+
+    #[test]
+    fn fair_share_holds_under_injected_faults() {
+        let mut cfg = FacilityConfig::demo(23);
+        cfg.chaos = FaultPlan::preset("storm").unwrap().with_seed(23);
+        cfg.recovery = RecoveryPolicy::hardened();
+        let mut f = Facility::new(cfg).unwrap();
+        f.ingest(vec![
+            sub(0, 0, "a0"),
+            sub(1, 0, "b0"),
+            sub(0, 2, "a1"),
+            sub(1, 2, "b1"),
+        ]);
+        let report = f.drain();
+        // Every submission is served even while every inner run is being
+        // bombarded; hardened recovery completes or degrades, never
+        // wedges the facility.
+        assert_eq!(report.records.len(), 4);
+        for r in &report.records {
+            assert!(
+                r.completed || r.degraded,
+                "{} neither finished state",
+                r.label
+            );
+        }
+        let injected: u64 = report
+            .records
+            .iter()
+            .map(|r| r.stats.preemptions + r.stats.transient_failures)
+            .sum();
+        assert!(injected > 0, "the storm never reached the inner runs");
+        // And the facility stays bit-deterministic under chaos.
+        let mut cfg2 = FacilityConfig::demo(23);
+        cfg2.chaos = FaultPlan::preset("storm").unwrap().with_seed(23);
+        cfg2.recovery = RecoveryPolicy::hardened();
+        let mut f2 = Facility::new(cfg2).unwrap();
+        f2.ingest(vec![
+            sub(0, 0, "a0"),
+            sub(1, 0, "b0"),
+            sub(0, 2, "a1"),
+            sub(1, 2, "b1"),
+        ]);
+        assert_eq!(report.to_csv(), f2.drain().to_csv());
     }
 }

@@ -53,6 +53,8 @@ fn facility(weights: &[f64], workers: usize, workers_per_run: usize, seed: u64) 
         deterministic_runs: true,
         seed,
         enforce_preflight: true,
+        chaos: vine_core::FaultPlan::none(),
+        recovery: vine_core::RecoveryPolicy::default(),
     };
     Facility::new(cfg).expect("generated configs are lint-clean")
 }

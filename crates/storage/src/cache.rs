@@ -11,7 +11,7 @@
 //! single-node reduction pins hundreds of gigabytes of histogram inputs on
 //! one worker and kills it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::cachename::CacheName;
 
@@ -74,6 +74,10 @@ pub struct LocalCache {
     insertions: u64,
     /// Lifetime evictions + clears of resident entries (survives `clear`).
     evictions: u64,
+    /// Resident entries whose bytes no longer match their cachename
+    /// checksum (chaos bitrot). Membership implies residency; the mark is
+    /// dropped whenever the entry's bytes are replaced or leave the cache.
+    corrupt: HashSet<CacheName>,
 }
 
 impl LocalCache {
@@ -87,6 +91,7 @@ impl LocalCache {
             peak_used: 0,
             insertions: 0,
             evictions: 0,
+            corrupt: HashSet::new(),
         }
     }
 
@@ -183,6 +188,7 @@ impl LocalCache {
                     break;
                 }
                 self.entries.remove(&victim);
+                self.corrupt.remove(&victim);
                 self.used -= vsize;
                 self.evictions += 1;
                 need = need.saturating_sub(vsize);
@@ -190,6 +196,7 @@ impl LocalCache {
             }
         }
 
+        self.corrupt.remove(&name);
         match self.entries.get_mut(&name) {
             Some(e) => {
                 self.used = self.used - e.size + size;
@@ -246,6 +253,7 @@ impl LocalCache {
             }),
             Some(_) => {
                 let e = self.entries.remove(&name).expect("checked above");
+                self.corrupt.remove(&name);
                 self.used -= e.size;
                 self.evictions += 1;
                 Ok(e.size)
@@ -274,6 +282,7 @@ impl LocalCache {
                 break;
             }
             self.entries.remove(&victim);
+            self.corrupt.remove(&victim);
             self.used -= vsize;
             self.evictions += 1;
             evicted.push(victim);
@@ -294,7 +303,34 @@ impl LocalCache {
     pub fn clear(&mut self) {
         self.evictions += self.entries.len() as u64;
         self.entries.clear();
+        self.corrupt.clear();
         self.used = 0;
+    }
+
+    /// Mark a resident entry's bytes as corrupted (chaos bitrot). Returns
+    /// `false` when the name is not resident. The mark survives until the
+    /// entry's bytes change: re-[`insert`]ing the name clears it, as does
+    /// any form of removal.
+    ///
+    /// [`insert`]: LocalCache::insert
+    pub fn mark_corrupt(&mut self, name: CacheName) -> bool {
+        if self.entries.contains_key(&name) {
+            self.corrupt.insert(name);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when the resident entry is marked corrupt: a reader comparing
+    /// the bytes' checksum against the cachename would detect a mismatch.
+    pub fn is_corrupt(&self, name: CacheName) -> bool {
+        self.corrupt.contains(&name)
+    }
+
+    /// Number of currently-corrupt resident entries.
+    pub fn corrupt_count(&self) -> usize {
+        self.corrupt.len()
     }
 
     /// Lifetime count of distinct-entry insertions; survives [`clear`].
@@ -334,6 +370,34 @@ mod tests {
 
     fn name(i: u32) -> CacheName {
         CacheName::for_dataset_file("t", i)
+    }
+
+    #[test]
+    fn corruption_marks_follow_the_bytes() {
+        let mut c = LocalCache::new(1000);
+        assert!(!c.mark_corrupt(name(1)), "absent entries cannot rot");
+        c.insert(name(1), 400, CacheEntryKind::Input).unwrap();
+        c.insert(name(2), 400, CacheEntryKind::Input).unwrap();
+        assert!(c.mark_corrupt(name(1)));
+        assert!(c.is_corrupt(name(1)));
+        assert!(!c.is_corrupt(name(2)));
+        assert_eq!(c.corrupt_count(), 1);
+        // Re-staging the file replaces the bytes: mark gone.
+        c.insert(name(1), 400, CacheEntryKind::Input).unwrap();
+        assert!(!c.is_corrupt(name(1)));
+        // Removal in any form drops the mark with the entry.
+        c.mark_corrupt(name(2));
+        c.remove(name(2)).unwrap();
+        assert!(!c.is_corrupt(name(2)));
+        c.mark_corrupt(name(1));
+        c.clear();
+        assert_eq!(c.corrupt_count(), 0);
+        // Eviction drops marks too.
+        c.insert(name(3), 600, CacheEntryKind::Input).unwrap();
+        c.mark_corrupt(name(3));
+        c.insert(name(4), 600, CacheEntryKind::Input).unwrap();
+        assert!(!c.contains(name(3)));
+        assert_eq!(c.corrupt_count(), 0);
     }
 
     #[test]

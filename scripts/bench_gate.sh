@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI perf gate: run the DV3-Small smoke benchmark and fail on a >10%
+# simulated-makespan regression against the committed baseline.
+#
+# The gated number is the *simulated* makespan, which is deterministic for
+# a fixed (workload, seed) — the gate therefore catches behavioral
+# regressions (scheduling, staging, recovery changes), not runner noise.
+# events_per_sec in the JSON is wall-clock engine throughput and is
+# informational only.
+#
+# Usage: scripts/bench_gate.sh [baseline.json] [out.json]
+# To refresh the baseline after an intentional change:
+#   scripts/bench_gate.sh && cp BENCH_ci.json results/bench_baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${1:-results/bench_baseline.json}
+OUT=${2:-BENCH_ci.json}
+
+if [ ! -s "$BASELINE" ]; then
+  echo "bench gate: no baseline at $BASELINE" >&2
+  exit 1
+fi
+
+cargo build --release -p vine-bench --bin vine-sim
+./target/release/vine-sim --workload dv3-small --scale 4 --workers 6 \
+  --stack 3 --bench-json "$OUT"
+
+extract() {
+  awk -F'[:,]' -v key="\"$1\"" '$0 ~ key { gsub(/[ \t]/, "", $2); print $2; exit }' "$2"
+}
+
+new=$(extract makespan_s "$OUT")
+old=$(extract makespan_s "$BASELINE")
+echo "makespan: baseline ${old}s, current ${new}s"
+
+awk -v new="$new" -v old="$old" 'BEGIN {
+  if (old + 0 <= 0) { print "bench gate: bad baseline makespan"; exit 1 }
+  ratio = new / old
+  printf "bench gate: ratio %.4f (fails above 1.10)\n", ratio
+  exit (ratio > 1.10) ? 1 : 0
+}'
+
+echo "bench gate: ok"

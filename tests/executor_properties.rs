@@ -46,6 +46,7 @@ proptest! {
             import_work: 1_000,
             arity,
             obs: false,
+            chaos: None,
         };
         let got = exec.run(&p, &datasets);
 
@@ -71,7 +72,7 @@ proptest! {
         let ds = vec![Dataset::synthesize("det.ds", total_kb * 1000, 1000, 120, 3)];
         let p = Dv3Processor::default();
         let run = |threads| {
-            Executor { threads, mode: ExecMode::Serverless, import_work: 1_000, arity: 3, obs: false }
+            Executor { threads, mode: ExecMode::Serverless, import_work: 1_000, arity: 3, obs: false, chaos: None }
                 .run(&p, &ds)
                 .final_result
         };

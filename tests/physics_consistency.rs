@@ -57,6 +57,7 @@ fn dv3_executor_matches_reference_in_all_modes() {
                 import_work: 10_000,
                 arity: 4,
                 obs: false,
+                chaos: None,
             };
             let got = exec.run(&p, &dss);
             assert_physics_equal(&got.final_result, &expect);
@@ -78,6 +79,7 @@ fn triphoton_executor_matches_reference() {
         import_work: 10_000,
         arity: 2,
         obs: false,
+        chaos: None,
     };
     let got = exec.run(&p, &dss);
     assert_physics_equal(&got.final_result, &expect);
@@ -97,6 +99,7 @@ fn reduction_arity_does_not_change_results() {
             import_work: 5_000,
             arity,
             obs: false,
+            chaos: None,
         };
         let got = exec.run(&p, &dss).final_result;
         if let Some(prev) = &previous {

@@ -90,6 +90,7 @@ fn memoized_run_serves_bit_identical_histograms() {
             import_work: 10_000,
             arity: 4,
             obs: false,
+            chaos: None,
         }
         .run(&processor, &datasets)
     };
