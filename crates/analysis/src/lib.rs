@@ -18,12 +18,17 @@
 //! * [`workloads`] — Table II's workload configurations (DV3-Small through
 //!   DV3-Huge, RS-TriPhoton) and the translation of a workload into a
 //!   [`vine_dag::TaskGraph`] with either single-node or tree-shaped
-//!   reductions (the Fig 11 knob).
+//!   reductions (the Fig 11 knob);
+//! * [`streaming`] — incremental accumulation of streamed partial
+//!   results ([`StreamAccumulator`]) and convergence-based early stop
+//!   ([`ConvergenceObserver`]) on the engine's
+//!   [`vine_core::RunObserver`] channel.
 
 pub mod cutflow;
 pub mod dv3;
 pub mod kinematics;
 pub mod processor;
+pub mod streaming;
 pub mod triphoton;
 pub mod variations;
 pub mod workloads;
@@ -31,6 +36,7 @@ pub mod workloads;
 pub use cutflow::Cutflow;
 pub use dv3::Dv3Processor;
 pub use processor::{run_processor_pipeline, Processor};
+pub use streaming::{ConvergenceObserver, PartialSnapshot, StreamAccumulator};
 pub use triphoton::TriPhotonProcessor;
 pub use variations::{Variation, VariedProcessor};
 pub use workloads::{AppKind, ReductionShape, WorkloadSpec};

@@ -1,0 +1,156 @@
+//! Property tests for the streaming accumulator (ISSUE 6 satellite c):
+//!
+//! 1. estimates are monotone in fraction-complete — no bin ever
+//!    decreases as partitions fold in;
+//! 2. fold order never changes the final histogram — any permutation is
+//!    bit-identical to the batch merge;
+//! 3. a [`ConvergenceObserver`] with threshold 1.0 produces exactly the
+//!    run a no-early-stop observer produces (same makespan, same
+//!    executions, same estimate, nothing cancelled).
+
+use proptest::prelude::*;
+use vine_analysis::{ConvergenceObserver, StreamAccumulator};
+use vine_cluster::ClusterSpec;
+use vine_core::{EngineConfig, ObserverControl, PartialUpdate, RunObserver, RunRequest};
+use vine_dag::{TaskGraph, TaskId, TaskKind};
+use vine_data::{partition_delta, HistogramSet, STREAM_HIST};
+
+/// Deterministic synthetic updates: partition i of `total`, each worth
+/// `ev_per + i` events (unequal partitions exercise the math harder).
+fn updates(total: u64, ev_per: u64) -> Vec<PartialUpdate> {
+    let events: Vec<u64> = (0..total).map(|i| ev_per + i).collect();
+    let events_total: u64 = events.iter().sum();
+    let mut done = 0;
+    events
+        .iter()
+        .enumerate()
+        .map(|(i, &ev)| {
+            done += ev;
+            PartialUpdate {
+                task: TaskId(i as u32),
+                name: format!("part{i}"),
+                delta: partition_delta(&format!("part{i}"), ev),
+                partitions_done: i as u64 + 1,
+                partitions_total: total,
+                events_done: done,
+                events_total,
+                sim_time_us: i as u64 * 1000,
+            }
+        })
+        .collect()
+}
+
+/// The batch answer: every delta merged at once.
+fn batch(updates: &[PartialUpdate]) -> HistogramSet {
+    let mut all = HistogramSet::new();
+    for u in updates {
+        all.merge(&u.delta);
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property 1: every bin of the estimate is monotone non-decreasing
+    /// as fraction-complete grows, and so are the scalar progress
+    /// measures.
+    #[test]
+    fn estimates_monotone_in_fraction(total in 2u64..24, ev_per in 1u64..5000) {
+        let mut acc = StreamAccumulator::new();
+        let mut prev_counts: Vec<f64> = Vec::new();
+        let mut prev_fraction = 0.0;
+        let mut prev_precision = 0.0;
+        for u in updates(total, ev_per) {
+            acc.fold(&u);
+            let h = acc.estimate().h1(STREAM_HIST).expect("stream histogram");
+            let counts = h.counts().to_vec();
+            if !prev_counts.is_empty() {
+                for (i, (&now, &before)) in counts.iter().zip(&prev_counts).enumerate() {
+                    prop_assert!(now >= before, "bin {i} shrank: {before} -> {now}");
+                }
+            }
+            prop_assert!(acc.fraction() >= prev_fraction);
+            prop_assert!(acc.precision() >= prev_precision);
+            prev_counts = counts;
+            prev_fraction = acc.fraction();
+            prev_precision = acc.precision();
+        }
+        prop_assert!((prev_fraction - 1.0).abs() < 1e-12);
+    }
+
+    /// Property 2: folding in any order is bit-identical to the batch
+    /// merge. The permutation is driven by proptest-chosen swap indices.
+    #[test]
+    fn fold_order_never_changes_final_histogram(
+        total in 2u64..24,
+        ev_per in 1u64..5000,
+        swaps in proptest::collection::vec((0usize..64, 0usize..64), 0..32),
+    ) {
+        let us = updates(total, ev_per);
+        let reference = batch(&us);
+
+        let mut shuffled = us.clone();
+        let n = shuffled.len();
+        for &(a, b) in &swaps {
+            shuffled.swap(a % n, b % n);
+        }
+
+        let mut acc = StreamAccumulator::new();
+        for u in &shuffled {
+            acc.fold(u);
+        }
+        let got = acc.estimate().h1(STREAM_HIST).expect("stream histogram");
+        let want = reference.h1(STREAM_HIST).expect("stream histogram");
+        // Bit-identical, not approximately equal: deltas are
+        // integer-valued, and integer f64 sums below 2^53 are exact.
+        prop_assert_eq!(got.counts(), want.counts());
+        prop_assert_eq!(got.sum_wx().to_bits(), want.sum_wx().to_bits());
+        prop_assert_eq!(
+            acc.estimate().events_processed,
+            reference.events_processed
+        );
+    }
+
+    /// Property 3: threshold 1.0 ≡ no early stop, on a real engine run.
+    #[test]
+    fn threshold_one_equals_no_early_stop(parts in 2usize..10, seed in 0u64..64) {
+        let graph = |n: usize| {
+            let mut g = TaskGraph::new();
+            let mut partials = Vec::new();
+            for i in 0..n {
+                let f = g.add_external_file(format!("chunk{i}"), 1_000_000);
+                let (_, outs) =
+                    g.add_task(format!("p{i}"), TaskKind::Process, vec![f], &[1_000], 1.0);
+                partials.extend(outs);
+            }
+            g.add_task("acc", TaskKind::Accumulate, partials, &[1_000], 0.5);
+            g
+        };
+        let cfg = || EngineConfig::stack3(ClusterSpec::standard(3), seed).deterministic();
+
+        /// Accumulates but never stops: the explicit no-early-stop run.
+        struct NeverStop(StreamAccumulator);
+        impl RunObserver for NeverStop {
+            fn on_partition(&mut self, u: PartialUpdate) -> ObserverControl {
+                self.0.fold(&u);
+                ObserverControl::Continue
+            }
+        }
+
+        let mut never = NeverStop(StreamAccumulator::new());
+        let base = RunRequest::new(cfg(), graph(parts)).observer(&mut never).run();
+
+        let mut conv = ConvergenceObserver::new(1.0);
+        let r = RunRequest::new(cfg(), graph(parts)).observer(&mut conv).run();
+
+        prop_assert!(base.completed() && r.completed());
+        prop_assert!(!r.stats.early_stopped, "threshold 1.0 must not stop early");
+        prop_assert_eq!(r.stats.early_stop_cancelled, 0);
+        prop_assert_eq!(r.makespan, base.makespan);
+        prop_assert_eq!(r.stats.task_executions, base.stats.task_executions);
+        prop_assert_eq!(r.stats.partitions_streamed, base.stats.partitions_streamed);
+        prop_assert_eq!(conv.accumulator().digest(), never.0.digest());
+        prop_assert_eq!(conv.stopped_at(), Some(1.0));
+    }
+}

@@ -7,7 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vine_analysis::WorkloadSpec;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig};
+use vine_core::{EngineConfig, RunRequest};
 use vine_obs::MemoryRecorder;
 
 const SCALE: usize = 20;
@@ -30,14 +30,16 @@ fn bench_recording(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
     group.bench_function("null_recorder", |b| {
         b.iter(|| {
-            let r = Engine::new(config(false), graph()).run();
+            let r = RunRequest::new(config(false), graph()).run();
             black_box(r.stats.task_executions)
         })
     });
     group.bench_function("full_recording", |b| {
         b.iter(|| {
             let mut rec = MemoryRecorder::new();
-            let r = Engine::new(config(true), graph()).run_recorded(&mut rec);
+            let r = RunRequest::new(config(true), graph())
+                .recorder(&mut rec)
+                .run();
             black_box((r.stats.task_executions, rec.spans().len()))
         })
     });

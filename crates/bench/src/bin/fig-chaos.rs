@@ -11,7 +11,7 @@
 use vine_analysis::WorkloadSpec;
 use vine_bench::report;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig, FaultPlan, RecoveryPolicy, RunOutcome};
+use vine_core::{EngineConfig, FaultPlan, RecoveryPolicy, RunOutcome, RunRequest};
 
 struct Row {
     preset: &'static str,
@@ -67,7 +67,7 @@ fn main() {
             let graph = WorkloadSpec::dv3_small()
                 .scaled_down(scale.max(1))
                 .to_graph();
-            let r = Engine::new(cfg, graph).run();
+            let r = RunRequest::new(cfg, graph).run();
             let outcome = match r.outcome {
                 RunOutcome::Completed => "completed".to_string(),
                 RunOutcome::Degraded { .. } => "degraded".to_string(),

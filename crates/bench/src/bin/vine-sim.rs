@@ -9,6 +9,7 @@
 //!          [--chaos PRESET|SPEC] [--recovery default|hardened|fragile]
 //!          [--lint] [--lint-deny=warn] [--no-preflight]
 //!          [--trace-out DIR] [--metrics] [--bench-json FILE]
+//!          [--stream-threshold T]
 //! ```
 //!
 //! Workloads: dv3-small, dv3-medium, dv3-large (default), dv3-huge,
@@ -23,6 +24,13 @@
 //! `--bench-json FILE` writes a small machine-readable summary (makespan,
 //! events processed, events/sec, peak cache bytes) for CI perf gates.
 //!
+//! `--stream-threshold T` attaches a convergence observer: the run
+//! streams a partial histogram after every partition and stops early
+//! once it reaches `T` of the full run's statistical precision
+//! (`T = 1.0` streams but never stops early). The shared flag family
+//! (`--trace-out`, `--metrics`, `--chaos`, `--recovery`, `--bench-json`,
+//! `--stream-threshold`) is parsed by [`vine_bench::cli::BenchCli`].
+//!
 //! `--trace-out DIR` records the run and writes a Chrome `trace_event`
 //! JSON (open in Perfetto), span/counter CSVs, a per-task phase
 //! attribution CSV, and the run digest under DIR. `--metrics` exports the
@@ -34,11 +42,11 @@
 //! pre-flight gate; `--no-preflight` disables it, and `--lint-deny=warn`
 //! makes it reject warnings as well.
 
-use vine_analysis::{ReductionShape, WorkloadSpec};
-use vine_bench::obsout::ObsCli;
+use vine_analysis::{ConvergenceObserver, ReductionShape, WorkloadSpec};
+use vine_bench::cli::BenchCli;
 use vine_bench::plot;
 use vine_cluster::{ClusterSpec, WorkerSpec};
-use vine_core::{DataSource, Engine, EngineConfig, Placement, Preflight};
+use vine_core::{DataSource, EngineConfig, Placement, Preflight, RunRequest};
 use vine_simcore::units::{fmt_bytes, gbit_per_sec};
 
 struct Args {
@@ -54,9 +62,6 @@ struct Args {
     replicas: Option<u32>,
     remote_inputs: bool,
     dot: Option<String>,
-    chaos: Option<String>,
-    recovery: String,
-    bench_json: Option<String>,
     lint_only: bool,
     lint_deny_warn: bool,
     no_preflight: bool,
@@ -76,9 +81,6 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         replicas: None,
         remote_inputs: false,
         dot: None,
-        chaos: None,
-        recovery: "default".into(),
-        bench_json: None,
         lint_only: false,
         lint_deny_warn: false,
         no_preflight: false,
@@ -136,9 +138,6 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             }
             "--remote-inputs" => args.remote_inputs = true,
             "--dot" => args.dot = Some(value("--dot")?),
-            "--chaos" => args.chaos = Some(value("--chaos")?),
-            "--recovery" => args.recovery = value("--recovery")?,
-            "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--lint" => args.lint_only = true,
             "--lint-deny=warn" => args.lint_deny_warn = true,
             "--lint-deny" => match value("--lint-deny")?.as_str() {
@@ -159,8 +158,9 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
 }
 
 fn main() {
-    let obs = ObsCli::parse();
-    let args = match parse_args(obs.rest.clone()) {
+    let cli = BenchCli::parse();
+    let obs = cli.obs.clone();
+    let args = match parse_args(cli.rest.clone()) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
@@ -222,25 +222,7 @@ fn main() {
     if args.remote_inputs {
         cfg.data_source = DataSource::remote_xrootd_default();
     }
-    if let Some(spec) = &args.chaos {
-        match vine_core::FaultPlan::parse(spec) {
-            Ok(plan) => cfg = cfg.with_chaos(plan),
-            Err(e) => {
-                eprintln!("--chaos: {e}");
-                std::process::exit(2);
-            }
-        }
-    }
-    let policy = match args.recovery.as_str() {
-        "default" => vine_core::RecoveryPolicy::default(),
-        "hardened" => vine_core::RecoveryPolicy::hardened(),
-        "fragile" => vine_core::RecoveryPolicy::fragile(),
-        other => {
-            eprintln!("unknown recovery policy {other} (default|hardened|fragile)");
-            std::process::exit(2);
-        }
-    };
-    cfg = cfg.with_recovery(policy);
+    cfg = cli.apply(cfg);
     cfg.trace.cache = true;
     if obs.enabled() {
         cfg.trace.obs = true;
@@ -286,12 +268,16 @@ fn main() {
     );
 
     let mut rec = vine_obs::MemoryRecorder::new();
+    let mut conv = cli.stream_threshold.map(ConvergenceObserver::new);
     let wall_start = std::time::Instant::now();
-    let r = if obs.enabled() {
-        Engine::new(cfg, graph).run_recorded(&mut rec)
-    } else {
-        Engine::new(cfg, graph).run()
-    };
+    let mut request = RunRequest::new(cfg, graph);
+    if obs.enabled() {
+        request = request.recorder(&mut rec);
+    }
+    if let Some(conv) = &mut conv {
+        request = request.observer(conv);
+    }
+    let r = request.run();
     let wall = wall_start.elapsed();
     println!();
     if !r.finished() {
@@ -306,7 +292,19 @@ fn main() {
     println!("task executions     {:>12}", r.stats.task_executions);
     println!("mean task time      {:>12.2} s", r.mean_task_secs());
     println!("preemptions         {:>12}", r.stats.preemptions);
-    if args.chaos.is_some() {
+    if let Some(conv) = &conv {
+        println!("partitions streamed {:>12}", r.stats.partitions_streamed);
+        println!(
+            "converged at        {:>12}",
+            match conv.stopped_at() {
+                Some(f) => format!("{:.0}%", f * 100.0),
+                None => "never".into(),
+            }
+        );
+        println!("early-stop cancels  {:>12}", r.stats.early_stop_cancelled);
+        println!("partial digest      {:>12x}", conv.accumulator().digest());
+    }
+    if cli.chaos.is_some() {
         println!("transient failures  {:>12}", r.stats.transient_failures);
         println!("task timeouts       {:>12}", r.stats.task_timeouts);
         println!("retries             {:>12}", r.stats.retries);
@@ -346,32 +344,6 @@ fn main() {
             print!("{}", o.digest.to_text());
         }
     }
-    if let Some(path) = &args.bench_json {
-        // makespan_s is *simulated* time — deterministic for a fixed
-        // (workload, seed), which is what a CI regression gate needs.
-        // events_per_sec is engine throughput on this machine's wall
-        // clock, informational only.
-        let makespan_s = r.makespan_secs();
-        let events = r.stats.events_processed;
-        let wall_s = wall.as_secs_f64();
-        let events_per_sec = if wall_s > 0.0 {
-            events as f64 / wall_s
-        } else {
-            0.0
-        };
-        let json = format!(
-            "{{\n  \"workload\": \"{}\",\n  \"seed\": {},\n  \"makespan_s\": {makespan_s:.6},\n  \
-             \"events\": {events},\n  \"events_per_sec\": {events_per_sec:.3},\n  \
-             \"peak_cache_bytes\": {}\n}}\n",
-            args.workload, args.seed, r.stats.peak_cache_bytes
-        );
-        match std::fs::write(path, json) {
-            Ok(()) => println!("[wrote {path}]"),
-            Err(e) => {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
+    cli.write_bench_json(&args.workload, args.seed, &r, wall);
     std::process::exit(if r.finished() { 0 } else { 1 });
 }

@@ -15,7 +15,7 @@
 
 use vine_analysis::WorkloadSpec;
 use vine_cluster::{ClusterSpec, PreemptionModel};
-use vine_core::{DataSource, Engine, EngineConfig, Placement, RunResult};
+use vine_core::{DataSource, EngineConfig, Placement, RunRequest, RunResult};
 
 /// A labeled makespan measurement with supporting counters.
 #[derive(Clone, Debug)]
@@ -61,7 +61,7 @@ pub fn replication(seed: u64, scale_down: usize) -> Vec<AblationRow> {
             let mut cfg = EngineConfig::stack4(ClusterSpec::standard(workers), seed);
             cfg.preemption = preemption;
             cfg.replica_target = replicas;
-            let r = Engine::new(cfg, spec.to_graph()).run();
+            let r = RunRequest::new(cfg, spec.to_graph()).run();
             out.push(row(format!("{plabel}/replicas={replicas}"), r));
         }
     }
@@ -78,7 +78,7 @@ pub fn placement(seed: u64, scale_down: usize) -> Vec<AblationRow> {
             let mut cfg =
                 EngineConfig::stack4(ClusterSpec::standard(workers), seed).deterministic();
             cfg.placement = p;
-            let r = Engine::new(cfg, spec.to_graph()).run();
+            let r = RunRequest::new(cfg, spec.to_graph()).run();
             row(format!("{p:?}"), r)
         })
         .collect()
@@ -94,7 +94,7 @@ pub fn throttle(seed: u64, scale_down: usize) -> Vec<AblationRow> {
             let mut cfg =
                 EngineConfig::stack4(ClusterSpec::standard(workers), seed).deterministic();
             cfg.max_peer_transfers_per_worker = limit;
-            let r = Engine::new(cfg, spec.to_graph()).run();
+            let r = RunRequest::new(cfg, spec.to_graph()).run();
             row(format!("throttle={limit}"), r)
         })
         .collect()
@@ -116,7 +116,7 @@ pub fn datasource(seed: u64, scale_down: usize) -> Vec<AblationRow> {
     .map(|(label, src)| {
         let mut cfg = EngineConfig::stack4(ClusterSpec::standard(workers), seed).deterministic();
         cfg.data_source = src;
-        let r = Engine::new(cfg, spec.to_graph()).run();
+        let r = RunRequest::new(cfg, spec.to_graph()).run();
         row(label.to_string(), r)
     })
     .collect()

@@ -13,7 +13,7 @@
 //! slightly outperforms the shared filesystem throughout.
 
 use vine_cluster::{ClusterSpec, WorkerSpec};
-use vine_core::{Engine, EngineConfig, ExecMode, ImportSource};
+use vine_core::{EngineConfig, ExecMode, ImportSource, RunRequest};
 use vine_dag::{TaskGraph, TaskKind};
 use vine_simcore::units::{gbit_per_sec, KB};
 use vine_simcore::Dist;
@@ -81,7 +81,7 @@ pub fn run(seed: u64, n_tasks: usize) -> Vec<HoistPoint> {
                 // complexity 1, scaled linearly (0.125 -> ~0.07 s,
                 // 64 -> ~35 s).
                 cfg.time_model.base_compute = Dist::Constant(0.55);
-                let r = Engine::new(cfg, workflow(n_tasks, complexity)).run();
+                let r = RunRequest::new(cfg, workflow(n_tasks, complexity)).run();
                 assert!(r.completed(), "{:?}", r.outcome);
                 out.push(HoistPoint {
                     complexity,

@@ -10,7 +10,7 @@
 
 use vine_analysis::{ReductionShape, WorkloadSpec};
 use vine_cluster::{ClusterSpec, WorkerSpec};
-use vine_core::{Engine, EngineConfig, Preflight, RunResult};
+use vine_core::{EngineConfig, Preflight, RunRequest, RunResult};
 use vine_simcore::units::gbit_per_sec;
 
 /// Result of one reduction-shape run.
@@ -78,7 +78,7 @@ pub fn run(seed: u64, workers: usize, scale_down: usize) -> (ReductionRun, Reduc
         // This figure *is* the failure the pre-flight lint predicts; the
         // run must actually happen to produce the cache-occupancy curves.
         cfg.preflight = Preflight::Off;
-        summarize(label, Engine::new(cfg, spec.to_graph()).run())
+        summarize(label, RunRequest::new(cfg, spec.to_graph()).run())
     };
     (
         mk(ReductionShape::SingleNode, "single-node"),
@@ -111,7 +111,7 @@ mod tests {
             // cap, masking the reduction-shape signal.
             cfg.replica_target = 1;
             cfg.preemption = vine_cluster::PreemptionModel::none();
-            summarize(label, Engine::new(cfg, spec.to_graph()).run())
+            summarize(label, RunRequest::new(cfg, spec.to_graph()).run())
         };
         let single = mk(ReductionShape::SingleNode, "single-node");
         let tree = mk(ReductionShape::Tree { arity: 8 }, "tree");

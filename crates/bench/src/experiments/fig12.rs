@@ -9,7 +9,7 @@
 
 use vine_analysis::WorkloadSpec;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig};
+use vine_core::{EngineConfig, RunRequest};
 use vine_simcore::trace::TimeSeries;
 use vine_simcore::{SimDur, SimTime};
 
@@ -48,7 +48,7 @@ pub fn run(seed: u64, scale_down: usize) -> Vec<StackTimeline> {
     (1..=4)
         .map(|stack| {
             let cfg = EngineConfig::stack(stack, ClusterSpec::standard(workers), seed);
-            let r = Engine::new(cfg, spec.to_graph()).run();
+            let r = RunRequest::new(cfg, spec.to_graph()).run();
             assert!(r.completed(), "stack {stack} failed: {:?}", r.outcome);
             StackTimeline {
                 stack,

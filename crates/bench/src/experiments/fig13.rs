@@ -8,7 +8,7 @@
 
 use vine_analysis::WorkloadSpec;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig};
+use vine_core::{EngineConfig, RunRequest};
 use vine_simcore::trace::IntervalTrace;
 
 /// One (stack, workers) cell of the figure.
@@ -31,7 +31,7 @@ pub fn run_cell(stack: usize, workers: usize, seed: u64, scale_down: usize) -> G
     let spec = WorkloadSpec::dv3_large().scaled_down(scale_down.max(1));
     let mut cfg = EngineConfig::stack(stack, ClusterSpec::standard(workers), seed);
     cfg.trace.gantt = true;
-    let r = Engine::new(cfg, spec.to_graph()).run();
+    let r = RunRequest::new(cfg, spec.to_graph()).run();
     assert!(
         r.completed(),
         "stack {stack}/{workers}w failed: {:?}",

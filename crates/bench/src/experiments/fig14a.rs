@@ -6,7 +6,7 @@
 
 use vine_analysis::WorkloadSpec;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig};
+use vine_core::{EngineConfig, RunRequest};
 
 /// One scaling point.
 #[derive(Clone, Debug)]
@@ -43,7 +43,7 @@ pub fn run_workload(
                 EngineConfig::dask_distributed(cluster, seed),
             ),
         ] {
-            let r = Engine::new(cfg, spec.to_graph()).run();
+            let r = RunRequest::new(cfg, spec.to_graph()).run();
             out.push(ScalePoint {
                 workload: name,
                 scheduler: label,

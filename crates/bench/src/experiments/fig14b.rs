@@ -7,7 +7,7 @@
 
 use vine_analysis::WorkloadSpec;
 use vine_cluster::{ClusterSpec, WorkerSpec};
-use vine_core::{Engine, EngineConfig};
+use vine_core::{EngineConfig, RunRequest};
 use vine_simcore::units::gbit_per_sec;
 
 pub use super::fig14a::ScalePoint;
@@ -33,7 +33,7 @@ pub fn run_workload(
             manager_link_bw: gbit_per_sec(12.0),
         };
         let cfg = EngineConfig::stack4(cluster, seed);
-        let r = Engine::new(cfg, spec.to_graph()).run();
+        let r = RunRequest::new(cfg, spec.to_graph()).run();
         out.push(ScalePoint {
             workload: name,
             scheduler: "TaskVine",
@@ -67,7 +67,7 @@ pub fn run(seed: u64, scale_down: usize) -> Vec<ScalePoint> {
     if scale_down == 1 {
         let cluster = ClusterSpec::standard(10);
         let cfg = EngineConfig::dask_distributed(cluster, seed);
-        let r = Engine::new(cfg, WorkloadSpec::dv3_large().to_graph()).run();
+        let r = RunRequest::new(cfg, WorkloadSpec::dv3_large().to_graph()).run();
         out.push(ScalePoint {
             workload: "DV3-Large",
             scheduler: "Dask.Distributed",

@@ -7,7 +7,7 @@
 
 use vine_analysis::WorkloadSpec;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig, RunResult};
+use vine_core::{EngineConfig, RunRequest, RunResult};
 
 /// The DV3-Huge run summary.
 #[derive(Clone, Debug)]
@@ -31,7 +31,7 @@ pub fn run(seed: u64, scale_down: usize) -> HugeRun {
     let spec = WorkloadSpec::dv3_huge().scaled_down(scale_down);
     let workers = (600 / scale_down).max(4);
     let cfg = EngineConfig::stack4(ClusterSpec::standard(workers), seed);
-    let r = Engine::new(cfg, spec.to_graph()).run();
+    let r = RunRequest::new(cfg, spec.to_graph()).run();
     assert!(r.completed(), "DV3-Huge failed: {:?}", r.outcome);
 
     let makespan = r.makespan_secs();

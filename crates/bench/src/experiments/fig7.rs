@@ -8,7 +8,7 @@
 
 use vine_analysis::WorkloadSpec;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig};
+use vine_core::{EngineConfig, RunRequest};
 use vine_simcore::trace::TransferMatrix;
 
 /// Heatmap summary for one scheduler.
@@ -71,7 +71,7 @@ pub fn run(seed: u64, scale_down: usize) -> (HeatmapSummary, HeatmapSummary) {
     let mk = |stack: usize| {
         let mut cfg = EngineConfig::stack(stack, ClusterSpec::standard(workers), seed);
         cfg.trace.transfers = true;
-        let r = Engine::new(cfg, spec.to_graph()).run();
+        let r = RunRequest::new(cfg, spec.to_graph()).run();
         assert!(r.completed(), "stack {stack} failed: {:?}", r.outcome);
         r.transfers.expect("transfer trace enabled")
     };

@@ -8,7 +8,7 @@
 
 use vine_analysis::WorkloadSpec;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig};
+use vine_core::{EngineConfig, RunRequest};
 use vine_simcore::trace::LogHistogram;
 
 /// The two measured distributions.
@@ -27,7 +27,7 @@ pub fn run(seed: u64, scale_down: usize) -> TaskTimeDistributions {
     let workers = (200 / scale_down).max(2);
     let mk = |stack: usize| {
         let cfg = EngineConfig::stack(stack, ClusterSpec::standard(workers), seed);
-        let r = Engine::new(cfg, spec.to_graph()).run();
+        let r = RunRequest::new(cfg, spec.to_graph()).run();
         assert!(r.completed(), "stack {stack} failed: {:?}", r.outcome);
         r.task_time_hist.expect("task-time trace on by default")
     };

@@ -12,7 +12,7 @@
 
 use vine_analysis::WorkloadSpec;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig, RunResult};
+use vine_core::{EngineConfig, RunRequest, RunResult};
 
 /// One measured row of Table I.
 #[derive(Clone, Debug)]
@@ -50,7 +50,7 @@ const CHANGES: [&str; 4] = [
 pub fn run_stack(stack: usize, spec: &WorkloadSpec, workers: usize, seed: u64) -> RunResult {
     let cluster = ClusterSpec::standard(workers);
     let cfg = EngineConfig::stack(stack, cluster, seed);
-    Engine::new(cfg, spec.to_graph()).run()
+    RunRequest::new(cfg, spec.to_graph()).run()
 }
 
 /// Run all four stacks. `scale_down = 1` is the paper's full configuration

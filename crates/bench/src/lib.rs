@@ -22,6 +22,7 @@
 //! | Fig 14b (scaling to 2400 cores) | [`experiments::fig14b`] | `fig14b` |
 //! | Fig 15 (DV3-Huge at 7200 cores) | [`experiments::fig15`] | `fig15` |
 
+pub mod cli;
 pub mod experiments;
 pub mod obsout;
 pub mod plot;

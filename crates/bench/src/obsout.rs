@@ -17,7 +17,7 @@
 
 use std::path::{Path, PathBuf};
 
-use vine_core::{Engine, EngineConfig, RunResult};
+use vine_core::{EngineConfig, RunRequest, RunResult};
 use vine_dag::TaskGraph;
 use vine_obs::{chrome, csv, MemoryRecorder, MetricsRegistry};
 
@@ -90,7 +90,7 @@ impl ObsCli {
         }
         cfg.trace.obs = true;
         let mut rec = MemoryRecorder::new();
-        let result = Engine::new(cfg, graph).run_recorded(&mut rec);
+        let result = RunRequest::new(cfg, graph).recorder(&mut rec).run();
         self.export(label, &rec, &result);
         Some(result)
     }
@@ -200,7 +200,7 @@ mod tests {
             .deterministic()
             .with_obs();
         let spec = vine_analysis::WorkloadSpec::dv3_small().scaled_down(50);
-        let r = Engine::new(cfg, spec.to_graph()).run();
+        let r = RunRequest::new(cfg, spec.to_graph()).run();
         let m = run_metrics(&r);
         assert_eq!(m.counter("tasks.executions"), Some(r.stats.task_executions));
         let parsed = MetricsRegistry::parse_text(&m.to_text()).unwrap();

@@ -10,12 +10,14 @@ use std::process::Command;
 use vine_analysis::WorkloadSpec;
 use vine_bench::obsout;
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig, RunResult};
+use vine_core::{EngineConfig, RunRequest, RunResult};
 use vine_obs::{chrome, csv, json::JsonValue, MemoryRecorder, MetricsRegistry, Phase};
 
 fn recorded_run(cfg: EngineConfig, graph: vine_dag::TaskGraph) -> (MemoryRecorder, RunResult) {
     let mut rec = MemoryRecorder::new();
-    let r = Engine::new(cfg.with_obs(), graph).run_recorded(&mut rec);
+    let r = RunRequest::new(cfg.with_obs(), graph)
+        .recorder(&mut rec)
+        .run();
     (rec, r)
 }
 

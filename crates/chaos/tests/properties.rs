@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use vine_chaos::{ExitClass, Fault, FaultPlan};
 use vine_cluster::ClusterSpec;
-use vine_core::{Engine, EngineConfig, RecoveryPolicy};
+use vine_core::{EngineConfig, RecoveryPolicy, RunRequest};
 use vine_dag::{TaskGraph, TaskKind};
 use vine_simcore::{SimDur, SimTime};
 
@@ -82,7 +82,7 @@ proptest! {
             .deterministic()
             .with_chaos(plan)
             .with_recovery(RecoveryPolicy::default());
-        let r = Engine::new(cfg, small_graph(16)).run();
+        let r = RunRequest::new(cfg, small_graph(16)).run();
         // Graceful degradation: the run always finishes, one way or the
         // other. Quarantined tasks are the only permitted casualty.
         prop_assert!(r.finished(), "outcome: {:?}", r.outcome);
@@ -107,7 +107,7 @@ proptest! {
                 .deterministic()
                 .with_chaos(plan.clone())
                 .with_recovery(RecoveryPolicy::hardened());
-            Engine::new(cfg, small_graph(12)).run()
+            RunRequest::new(cfg, small_graph(12)).run()
         };
         let a = run();
         let b = run();

@@ -81,7 +81,7 @@ pub enum Placement {
     RoundRobin,
 }
 
-/// What the pre-flight lint gate in [`crate::Engine::run`] does with
+/// What the pre-flight lint gate in [`crate::RunRequest::run`] does with
 /// `vine-lint` findings before any event is simulated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Preflight {
@@ -174,7 +174,7 @@ pub struct EngineConfig {
     /// Satisfy tasks whose output cachenames are already resident in a
     /// warm session ([`crate::SessionState`]) instead of re-executing
     /// them. Only takes effect for TaskVine runs launched through
-    /// [`crate::Engine::run_in_session`]; cold runs are unaffected.
+    /// [`crate::RunRequest::session`] runs; cold runs are unaffected.
     pub memoization: bool,
     /// Master RNG seed.
     pub seed: u64,

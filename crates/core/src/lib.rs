@@ -35,8 +35,10 @@
 pub mod config;
 pub mod cost;
 pub mod engine;
+pub mod observer;
 pub mod placement;
 pub mod recovery;
+pub mod request;
 pub mod result;
 pub mod session;
 
@@ -46,7 +48,9 @@ pub use config::{
 };
 pub use cost::TaskTimeModel;
 pub use engine::{graph_file_cachename, Engine};
+pub use observer::{ObserverControl, PartialUpdate, RunObserver};
 pub use recovery::RecoveryPolicy;
+pub use request::RunRequest;
 pub use result::{RunOutcome, RunResult, RunStats};
 pub use session::SessionState;
 pub use vine_chaos::{ExitClass, Fault, FaultPlan};

@@ -1,0 +1,170 @@
+//! The unified run entry point.
+//!
+//! [`RunRequest`] collapses what used to be a 2×2 of ad-hoc `Engine`
+//! methods (`run`, `run_recorded`, `run_in_session`,
+//! `run_in_session_recorded`) into one builder: a workload plus any
+//! combination of warm session, observability recorder, chaos plan,
+//! recovery policy, and streaming observer.
+//!
+//! Migration map from the deprecated variants:
+//!
+//! | old call | builder form |
+//! |---|---|
+//! | `Engine::new(cfg, g).run()` | `RunRequest::new(cfg, g).run()` |
+//! | `.run_recorded(&mut rec)` | `RunRequest::new(cfg, g).recorder(&mut rec).run()` |
+//! | `.run_in_session(&mut s)` | `RunRequest::new(cfg, g).session(&mut s).run()` |
+//! | `.run_in_session_recorded(&mut s, &mut rec)` | `.session(&mut s).recorder(&mut rec).run()` |
+//!
+//! Streaming is the capability the redesign buys: attach a
+//! [`RunObserver`](crate::RunObserver) with [`RunRequest::observer`] and
+//! the engine pushes a partial result at every partition completion (and
+//! honors early stop). Every knob is optional; a bare
+//! `RunRequest::new(cfg, graph).run()` is byte-identical to the old
+//! `Engine::run`.
+
+use vine_chaos::FaultPlan;
+use vine_dag::TaskGraph;
+use vine_obs::Recorder;
+
+use crate::config::EngineConfig;
+use crate::engine::run_request;
+use crate::observer::RunObserver;
+use crate::recovery::RecoveryPolicy;
+use crate::result::RunResult;
+use crate::session::SessionState;
+
+/// Builder for one engine run. See the module docs for the migration
+/// map from the deprecated `Engine::run*` variants.
+pub struct RunRequest<'a> {
+    pub(crate) cfg: EngineConfig,
+    pub(crate) graph: TaskGraph,
+    pub(crate) session: Option<&'a mut SessionState>,
+    pub(crate) recorder: Option<&'a mut dyn Recorder>,
+    pub(crate) observer: Option<&'a mut dyn RunObserver>,
+}
+
+impl<'a> RunRequest<'a> {
+    /// A run of `graph` under `cfg`, with no session, recorder, or
+    /// observer attached.
+    pub fn new(cfg: EngineConfig, graph: TaskGraph) -> Self {
+        RunRequest {
+            cfg,
+            graph,
+            session: None,
+            recorder: None,
+            observer: None,
+        }
+    }
+
+    /// Execute inside a warm [`SessionState`]: workers adopt the
+    /// session's caches at start, resident outputs are memoized (under
+    /// TaskVine with `cfg.memoization`), and the post-run caches are
+    /// written back. Fails without simulating when the session's worker
+    /// count does not match the run's geometry.
+    pub fn session(mut self, session: &'a mut SessionState) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Stream observability events (task/manager/library spans, transfer
+    /// instants, concurrency and cache counters) into `rec`.
+    pub fn recorder(mut self, rec: &'a mut dyn Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Push partial results into `obs` at every partition completion;
+    /// `obs` may stop the run early (convergence-based early stop).
+    pub fn observer(mut self, obs: &'a mut dyn RunObserver) -> Self {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Attach a fault-injection plan (shorthand for setting
+    /// `cfg.chaos`).
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.cfg.chaos = plan;
+        self
+    }
+
+    /// Replace the recovery policy (shorthand for setting
+    /// `cfg.recovery`).
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.cfg.recovery = policy;
+        self
+    }
+
+    /// Execute the run to completion (or failure, or early stop) and
+    /// return its result.
+    pub fn run(self) -> RunResult {
+        run_request(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{ObserverControl, PartialUpdate};
+    use vine_cluster::ClusterSpec;
+    use vine_dag::TaskKind;
+
+    fn graph(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let mut partials = Vec::new();
+        for i in 0..n {
+            let f = g.add_external_file(format!("chunk{i}"), 1_000_000);
+            let (_, outs) = g.add_task(format!("p{i}"), TaskKind::Process, vec![f], &[1_000], 1.0);
+            partials.extend(outs);
+        }
+        g.add_task("acc", TaskKind::Accumulate, partials, &[1_000], 0.5);
+        g
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::stack3(ClusterSpec::standard(3), 7).deterministic()
+    }
+
+    #[test]
+    fn bare_request_equals_engine_run() {
+        let a = RunRequest::new(cfg(), graph(8)).run();
+        #[allow(deprecated)]
+        let b = crate::Engine::new(cfg(), graph(8)).run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.stats.task_executions, b.stats.task_executions);
+        assert!(a.completed());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let mut session = SessionState::new(&ClusterSpec::standard(3));
+        let mut rec = vine_obs::MemoryRecorder::new();
+        let r = RunRequest::new(cfg(), graph(8))
+            .session(&mut session)
+            .recorder(&mut rec)
+            .recovery(RecoveryPolicy::hardened())
+            .run();
+        assert!(r.completed());
+        assert_eq!(session.runs_completed(), 1);
+    }
+
+    struct CountObserver {
+        seen: u64,
+    }
+    impl RunObserver for CountObserver {
+        fn on_partition(&mut self, u: PartialUpdate) -> ObserverControl {
+            self.seen += 1;
+            assert_eq!(u.partitions_done, self.seen, "updates arrive in order");
+            assert_eq!(u.partitions_total, 8);
+            ObserverControl::Continue
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_partition() {
+        let mut obs = CountObserver { seen: 0 };
+        let r = RunRequest::new(cfg(), graph(8)).observer(&mut obs).run();
+        assert!(r.completed());
+        assert_eq!(obs.seen, 8);
+        assert_eq!(r.stats.partitions_streamed, 8);
+    }
+}

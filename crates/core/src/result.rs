@@ -52,7 +52,7 @@ pub struct RunStats {
     /// across all executions, in microseconds.
     pub total_task_busy_us: u64,
     /// Tasks satisfied from a warm session's caches instead of executing
-    /// (zero outside [`crate::Engine::run_in_session`]).
+    /// (zero outside [`crate::RunRequest::session`] runs).
     pub memoized_tasks: u64,
     /// Bytes of already-resident outputs those memoized tasks would have
     /// produced (compute and transfer the warm start avoided).
@@ -85,6 +85,18 @@ pub struct RunStats {
     pub peak_cache_bytes: u64,
     /// Simulator events processed by the engine's event loop.
     pub events_processed: u64,
+    /// Partitions whose completion was pushed to a [`crate::RunObserver`]
+    /// (memoized partitions count toward the fraction but are not
+    /// re-pushed). Zero when no observer was attached.
+    pub partitions_streamed: u64,
+    /// Tasks cancelled because the observer declared convergence
+    /// ([`crate::ObserverControl::Stop`]). Counted separately from
+    /// [`quarantined_tasks`](Self::quarantined_tasks): an early-stopped
+    /// run is still [`RunOutcome::Completed`] — the cancellation was the
+    /// analysis's choice, not a fault.
+    pub early_stop_cancelled: u64,
+    /// True if the run ended early at the observer's request.
+    pub early_stopped: bool,
 }
 
 /// Everything one simulated run produces.

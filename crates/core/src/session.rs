@@ -1,7 +1,7 @@
 //! Cross-run session state: worker caches that outlive a single run.
 //!
 //! A facility (`vine-serve`) keeps one [`SessionState`] per cluster and
-//! threads it through consecutive [`crate::Engine::run_in_session`] calls.
+//! threads it through consecutive [`crate::RunRequest::session`] runs.
 //! Whatever each worker's [`LocalCache`] retained at the end of one run —
 //! partials, reduction products, staged inputs, all keyed by cachename —
 //! is still there when the next graph arrives, so a resubmitted analysis

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use vine_analysis::{ReductionShape, WorkloadSpec};
 use vine_cluster::{ClusterSpec, PreemptionModel};
-use vine_core::{Engine, EngineConfig, Placement};
+use vine_core::{EngineConfig, Placement, RunRequest};
 use vine_dag::{TaskGraph, TaskKind};
 
 /// A small random layered DAG.
@@ -50,7 +50,7 @@ proptest! {
         let total = g.task_count();
         let cluster = ClusterSpec::standard(workers);
         let cfg = EngineConfig::stack(stack, cluster, seed).deterministic();
-        let r = Engine::new(cfg, g).run();
+        let r = RunRequest::new(cfg, g).run();
         prop_assert!(r.completed(), "stack {} failed: {:?}", stack, r.outcome);
         prop_assert_eq!(r.stats.task_executions, total as u64);
         prop_assert!(r.running_series.max_value() <= (workers * 12) as f64);
@@ -66,7 +66,7 @@ proptest! {
         let spec = WorkloadSpec::dv3_small().scaled_down(8);
         let mk = || {
             let cfg = EngineConfig::stack(stack, ClusterSpec::standard(3), seed);
-            Engine::new(cfg, spec.to_graph()).run()
+            RunRequest::new(cfg, spec.to_graph()).run()
         };
         let (a, b) = (mk(), mk());
         prop_assert_eq!(a.makespan, b.makespan);
@@ -88,7 +88,7 @@ proptest! {
         let mut cfg = EngineConfig::stack4(ClusterSpec::standard(4), seed);
         cfg.preemption = PreemptionModel { rate_per_sec: 1.0 / rate_denom };
         cfg.replica_target = replicas;
-        let r = Engine::new(cfg, spec.to_graph()).run();
+        let r = RunRequest::new(cfg, spec.to_graph()).run();
         prop_assert!(r.completed(), "{:?}", r.outcome);
         prop_assert!(r.stats.task_executions >= total);
     }
@@ -106,7 +106,7 @@ proptest! {
             .with_reduction(ReductionShape::Tree { arity });
         let mut cfg = EngineConfig::stack4(ClusterSpec::standard(4), seed).deterministic();
         cfg.placement = if placement_aware { Placement::DataAware } else { Placement::RoundRobin };
-        let r = Engine::new(cfg, spec.to_graph()).run();
+        let r = RunRequest::new(cfg, spec.to_graph()).run();
         prop_assert!(r.completed(), "{:?}", r.outcome);
         prop_assert!(r.makespan_secs() > 0.0);
     }

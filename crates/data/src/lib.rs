@@ -25,6 +25,7 @@ pub mod gen;
 pub mod hist;
 pub mod jagged;
 pub mod rootfile;
+pub mod stream;
 
 pub use codec::{
     decode_event_batch, decode_histogram_set, encode_event_batch, encode_histogram_set, CodecError,
@@ -34,3 +35,4 @@ pub use gen::EventGenerator;
 pub use hist::{Hist1D, Hist2D, HistogramSet};
 pub use jagged::Jagged;
 pub use rootfile::{Chunk, Dataset, RootFile};
+pub use stream::{fnv1a64, partition_delta, STREAM_HIST};

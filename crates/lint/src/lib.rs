@@ -36,7 +36,7 @@
 //!
 //! Entry points: [`lint_graph`] for graph-only checks (used by
 //! `vine-exec`, which has no engine config), and [`lint_all`] for the
-//! full battery (used by `Engine::run`'s pre-flight gate and the
+//! full battery (used by the engine's pre-flight gate and the
 //! `vine-sim --lint` CLI).
 
 pub mod config;

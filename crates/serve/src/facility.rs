@@ -23,9 +23,11 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
+use vine_analysis::ConvergenceObserver;
 use vine_cluster::ClusterSpec;
 use vine_core::{
-    graph_file_cachename, Engine, EngineConfig, FaultPlan, RecoveryPolicy, RunStats, SessionState,
+    graph_file_cachename, EngineConfig, FaultPlan, RecoveryPolicy, RunRequest, RunStats,
+    SessionState,
 };
 use vine_dag::TaskGraph;
 use vine_lint::{lint_facility, FacilityFacts, Report, SchedulerFamily};
@@ -33,6 +35,7 @@ use vine_simcore::{RngHub, SimDur, SimTime};
 use vine_storage::{CacheName, LocalCache};
 
 use crate::report::FacilityReport;
+use crate::resultstore::ResultStore;
 use crate::tenant::{FairShare, TenantSpec};
 
 /// Everything a facility needs to start serving.
@@ -127,6 +130,12 @@ pub struct Submission {
     pub arrival: SimTime,
     /// Display label for records and metrics.
     pub label: String,
+    /// Convergence threshold for streaming runs: the fraction of the
+    /// full run's statistical precision at which the run may stop early
+    /// (see [`vine_analysis::ConvergenceObserver`]). `None` runs to
+    /// completion without streaming; `Some(1.0)` streams partials but
+    /// never stops early.
+    pub stream_threshold: Option<f64>,
 }
 
 /// What happened to one submission, start to finish.
@@ -157,6 +166,17 @@ pub struct SubmissionRecord {
     /// Whether the inner run finished degraded (some tasks quarantined
     /// by the recovery policy under injected faults).
     pub degraded: bool,
+    /// Fraction-complete at which the run's observer stopped it, for
+    /// streaming submissions that converged early (1.0 = ran to the
+    /// end; `None` = not a streaming run).
+    pub stream_stopped_at: Option<f64>,
+    /// Content digest (FNV-1a) of the streamed partial-result estimate,
+    /// for streaming submissions. Matches the engine digest's
+    /// `stream_partial_digest` counter.
+    pub stream_digest: Option<u64>,
+    /// Live partial entries this run published into the
+    /// [`ResultStore`].
+    pub partials_published: usize,
 }
 
 impl SubmissionRecord {
@@ -181,6 +201,7 @@ struct Queued {
     arrival: SimTime,
     graph: TaskGraph,
     label: String,
+    stream_threshold: Option<f64>,
 }
 
 struct ActiveRun {
@@ -210,6 +231,8 @@ pub struct Facility {
     runs_admitted: u64,
     peak_inflight_cores: u64,
     preflight: Report,
+    /// Physics results (final and live partial) across runs.
+    results: ResultStore,
 }
 
 impl Facility {
@@ -243,6 +266,7 @@ impl Facility {
             peak_inflight_cores: 0,
             cfg,
             preflight,
+            results: ResultStore::new(),
         })
     }
 
@@ -260,6 +284,12 @@ impl Facility {
     /// The persistent per-worker caches (placeholders while checked out).
     pub fn caches(&self) -> &[LocalCache] {
         &self.caches
+    }
+
+    /// The facility's result store: final blobs plus the live partial
+    /// entries streaming runs publish (keyed by cachename + fraction).
+    pub fn results(&self) -> &ResultStore {
+        &self.results
     }
 
     /// Unique resident bytes currently attributed to `tenant`.
@@ -338,6 +368,35 @@ impl Facility {
             priority: 0,
             arrival: self.now,
             label: label.to_string(),
+            stream_threshold: None,
+        }]);
+        self.drain();
+        self.records
+            .iter()
+            .find(|r| r.seq == seq)
+            .expect("drained facility must have recorded the submission")
+            .clone()
+    }
+
+    /// [`run_now`](Self::run_now) with streaming: the run pushes partial
+    /// results into the [`ResultStore`] as partitions complete and may
+    /// stop early once it reaches `threshold` of the full run's
+    /// statistical precision.
+    pub fn run_now_streaming(
+        &mut self,
+        tenant: usize,
+        graph: TaskGraph,
+        label: &str,
+        threshold: f64,
+    ) -> SubmissionRecord {
+        let seq = self.next_seq;
+        self.ingest(vec![Submission {
+            tenant,
+            graph,
+            priority: 0,
+            arrival: self.now,
+            label: label.to_string(),
+            stream_threshold: Some(threshold),
         }]);
         self.drain();
         self.records
@@ -454,6 +513,7 @@ impl Facility {
                 arrival: s.arrival,
                 graph: s.graph,
                 label: s.label,
+                stream_threshold: s.stream_threshold,
             };
             let queue = &mut self.queues[s.tenant];
             if queue.is_empty() {
@@ -552,7 +612,44 @@ impl Facility {
         ecfg = ecfg
             .with_chaos(self.cfg.chaos.clone())
             .with_recovery(self.cfg.recovery);
-        let result = Engine::new(ecfg, q.graph).run_in_session(&mut session);
+
+        // The cachename the run's final answer lives under: the produced
+        // file nothing consumes. Live partial entries are keyed by it.
+        let result_name = q.stream_threshold.and_then(|_| {
+            let consumed: std::collections::BTreeSet<u32> = q
+                .graph
+                .tasks()
+                .iter()
+                .flat_map(|t| t.inputs.iter().map(|f| f.0))
+                .collect();
+            q.graph
+                .files()
+                .iter()
+                .enumerate()
+                .find(|(i, f)| f.producer.is_some() && !consumed.contains(&(*i as u32)))
+                .map(|(i, _)| graph_file_cachename(&q.graph, vine_dag::FileId(i as u32)))
+        });
+
+        let request = RunRequest::new(ecfg, q.graph).session(&mut session);
+        let (result, stream_stopped_at, stream_digest, partials_published) =
+            match q.stream_threshold {
+                Some(threshold) => {
+                    let mut obs = ConvergenceObserver::new(threshold);
+                    let result = request.observer(&mut obs).run();
+                    let mut published = 0;
+                    if let Some(name) = result_name {
+                        for s in obs.snapshots() {
+                            self.results
+                                .put_partial(name, s.milli_fraction, s.payload.clone());
+                            published += 1;
+                        }
+                    }
+                    let stopped_at = obs.stopped_at().unwrap_or(1.0);
+                    let digest = obs.accumulator().digest();
+                    (result, Some(stopped_at), Some(digest), published)
+                }
+                None => (request.run(), None, None, 0),
+            };
 
         self.inflight_cores[tenant] += self.cfg.run_cores();
         let inflight: u64 = self.inflight_cores.iter().sum();
@@ -573,6 +670,9 @@ impl Facility {
                 makespan: result.makespan,
                 completed: matches!(result.outcome, vine_core::RunOutcome::Completed),
                 degraded: matches!(result.outcome, vine_core::RunOutcome::Degraded { .. }),
+                stream_stopped_at,
+                stream_digest,
+                partials_published,
             },
             caches: session.into_caches(),
         });
@@ -596,6 +696,7 @@ mod tests {
             priority: 0,
             arrival: SimTime::from_secs(at),
             label: label.to_string(),
+            stream_threshold: None,
         }
     }
 
@@ -760,5 +861,49 @@ mod tests {
             sub(1, 2, "b1"),
         ]);
         assert_eq!(report.to_csv(), f2.drain().to_csv());
+    }
+
+    #[test]
+    fn streaming_submission_publishes_partials_and_saves_cores() {
+        let mut f = Facility::new(FacilityConfig::demo(29)).unwrap();
+        let full = f.run_now(0, spec().to_graph(), "full");
+        assert!(full.completed);
+
+        // Fresh facility (cold caches) so the streaming run is not
+        // trivially memoized; low threshold → stop at 25% precision.
+        let mut fs = Facility::new(FacilityConfig::demo(29)).unwrap();
+        let streamed = fs.run_now_streaming(0, spec().to_graph(), "stream", 0.5);
+        assert!(streamed.completed, "early stop is Completed, not Degraded");
+        assert!(!streamed.degraded);
+        assert!(
+            streamed.stream_stopped_at.unwrap() < 1.0,
+            "a 0.5 threshold must converge before the end"
+        );
+        assert!(streamed.stats.early_stopped);
+        assert!(streamed.stats.early_stop_cancelled > 0, "cone cancelled");
+        assert!(streamed.partials_published > 0, "partials in the store");
+        assert!(fs.results().partial_count() > 0);
+        assert!(streamed.stream_digest.is_some());
+        assert!(
+            streamed.stats.total_task_busy_us < full.stats.total_task_busy_us,
+            "early stop must save core-seconds: {} vs {}",
+            streamed.stats.total_task_busy_us,
+            full.stats.total_task_busy_us,
+        );
+        assert!(streamed.makespan < full.makespan, "first plot sooner");
+    }
+
+    #[test]
+    fn streaming_threshold_one_matches_plain_run() {
+        let mut a = Facility::new(FacilityConfig::demo(31)).unwrap();
+        let plain = a.run_now(0, spec().to_graph(), "plain");
+        let mut b = Facility::new(FacilityConfig::demo(31)).unwrap();
+        let streamed = b.run_now_streaming(0, spec().to_graph(), "stream", 1.0);
+        assert_eq!(plain.makespan, streamed.makespan);
+        assert_eq!(plain.stats.task_executions, streamed.stats.task_executions);
+        assert!(!streamed.stats.early_stopped);
+        assert_eq!(streamed.stream_stopped_at, Some(1.0));
+        // Partial entries were still published along the way.
+        assert!(streamed.partials_published > 0);
     }
 }

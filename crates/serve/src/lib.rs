@@ -11,7 +11,7 @@
 //!
 //! * [`Facility`] — holds one persistent [`vine_storage::LocalCache`] per
 //!   cluster worker *between* runs and threads slices of them through
-//!   [`vine_core::Engine::run_in_session`], so a resubmitted graph finds
+//!   [`vine_core::RunRequest::session`] runs, so a resubmitted graph finds
 //!   its intermediates warm and skips their producers (see
 //!   [`vine_dag::MemoPlan`]). Admission is weighted fair-share (stride
 //!   scheduling, [`FairShare`]) under per-tenant quotas on in-flight

@@ -103,6 +103,7 @@ impl LoadGen {
                         priority: 0,
                         arrival: at,
                         label,
+                        stream_threshold: None,
                     },
                 ));
             }

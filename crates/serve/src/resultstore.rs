@@ -8,7 +8,24 @@
 //! real executor is deterministic (accumulation order is fixed by the
 //! plan, not completion timing), a stored blob is bit-identical to what
 //! recomputation would yield — which the warm-start tests assert.
+//!
+//! Streaming runs additionally publish **live partial entries**: the
+//! encoded partial histogram at each progress milestone, keyed by the
+//! final result's cachename plus the fraction complete (in milli-units).
+//! A tenant polling for a result it just submitted can read the 30%
+//! estimate while the remaining partitions are still in flight — the
+//! "first plot in seconds" the paper's near-interactive goal asks for.
+//!
+//! Counter audit (ISSUE 6 satellite a): [`fetch_or_insert`] determines
+//! hit/miss via `contains_key` *before* any insertion and bumps exactly
+//! one counter per call — there is no double-count on the miss path, and
+//! `get` + `fetch_or_insert` never both run for the same logical lookup
+//! in the facility. The counters live in [`Cell`]s so `get` takes
+//! `&self`: lookups are logically read-only, and callers holding `&self`
+//! (e.g. admission planning peeking at warm results) no longer need
+//! `&mut` plumbed through.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use vine_storage::CacheName;
@@ -17,8 +34,12 @@ use vine_storage::CacheName;
 #[derive(Clone, Debug, Default)]
 pub struct ResultStore {
     entries: BTreeMap<CacheName, Vec<u8>>,
-    hits: u64,
-    misses: u64,
+    /// Live partial results keyed by (final cachename, milli-fraction):
+    /// `(name, 300)` is the estimate at 30% complete. Replaced wholesale
+    /// when the same run re-executes.
+    partials: BTreeMap<(CacheName, u32), Vec<u8>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
 }
 
 impl ResultStore {
@@ -27,27 +48,36 @@ impl ResultStore {
         Self::default()
     }
 
-    /// Stored blob for `name`, if any. Counts a hit or miss.
-    pub fn get(&mut self, name: CacheName) -> Option<&[u8]> {
+    /// Stored blob for `name`, if any. Counts a hit or miss. Logically
+    /// read-only: the counters are interior-mutable so concurrent-shaped
+    /// callers can hold `&self`.
+    pub fn get(&self, name: CacheName) -> Option<&[u8]> {
         match self.entries.get(&name) {
             Some(b) => {
-                self.hits += 1;
+                self.hits.set(self.hits.get() + 1);
                 Some(b.as_slice())
             }
             None => {
-                self.misses += 1;
+                self.misses.set(self.misses.get() + 1);
                 None
             }
         }
     }
 
-    /// Store (or overwrite) a blob.
+    /// Store (or overwrite) a blob. Publishing the final result
+    /// supersedes any partial entries for it.
     pub fn put(&mut self, name: CacheName, bytes: Vec<u8>) {
         self.entries.insert(name, bytes);
+        self.drop_partials(name);
     }
 
     /// Return the stored blob for `name`, computing and storing it via
     /// `compute` on a miss. The flag is `true` on a hit.
+    ///
+    /// Audited (ISSUE 6 satellite a): the hit/miss verdict comes from
+    /// `contains_key` *before* the insert, and exactly one counter is
+    /// bumped per call — a miss is not also counted as a hit when the
+    /// just-inserted blob is read back.
     pub fn fetch_or_insert<F: FnOnce() -> Vec<u8>>(
         &mut self,
         name: CacheName,
@@ -55,21 +85,57 @@ impl ResultStore {
     ) -> (&[u8], bool) {
         let hit = self.entries.contains_key(&name);
         if hit {
-            self.hits += 1;
+            self.hits.set(self.hits.get() + 1);
         } else {
-            self.misses += 1;
+            self.misses.set(self.misses.get() + 1);
             self.entries.insert(name, compute());
         }
         (self.entries.get(&name).expect("just ensured present"), hit)
     }
 
+    /// Publish a live partial result for `name` at `milli_fraction`
+    /// (e.g. `300` = 30% complete).
+    pub fn put_partial(&mut self, name: CacheName, milli_fraction: u32, bytes: Vec<u8>) {
+        self.partials.insert((name, milli_fraction), bytes);
+    }
+
+    /// The freshest partial for `name` at or below `milli_fraction`
+    /// (`1000` returns the most complete partial available), with the
+    /// fraction it was taken at. Not counted as a hit or miss: partials
+    /// are progress reports, not memoization.
+    pub fn get_partial(&self, name: CacheName, milli_fraction: u32) -> Option<(u32, &[u8])> {
+        self.partials
+            .range((name, 0)..=(name, milli_fraction))
+            .next_back()
+            .map(|((_, f), b)| (*f, b.as_slice()))
+    }
+
+    /// All partial fractions published for `name`, ascending.
+    pub fn partial_fractions(&self, name: CacheName) -> Vec<u32> {
+        self.partials
+            .range((name, 0)..=(name, u32::MAX))
+            .map(|((_, f), _)| *f)
+            .collect()
+    }
+
+    /// Drop every partial entry for `name`. Returns how many were
+    /// removed.
+    pub fn drop_partials(&mut self, name: CacheName) -> usize {
+        let keys: Vec<u32> = self.partial_fractions(name);
+        for f in &keys {
+            self.partials.remove(&(name, *f));
+        }
+        keys.len()
+    }
+
     /// Drop the blob for `name` (when the backing cache entry was
-    /// evicted or invalidated).
+    /// evicted or invalidated). Partials for it go too.
     pub fn invalidate(&mut self, name: CacheName) -> bool {
+        self.drop_partials(name);
         self.entries.remove(&name).is_some()
     }
 
-    /// Stored blob count.
+    /// Stored (final) blob count.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -79,19 +145,25 @@ impl ResultStore {
         self.entries.is_empty()
     }
 
-    /// Total stored bytes.
+    /// Live partial entry count.
+    pub fn partial_count(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Total stored bytes (final blobs plus live partials).
     pub fn bytes(&self) -> u64 {
-        self.entries.values().map(|v| v.len() as u64).sum()
+        self.entries.values().map(|v| v.len() as u64).sum::<u64>()
+            + self.partials.values().map(|v| v.len() as u64).sum::<u64>()
     }
 
     /// Lookup hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Lookup misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
     }
 }
 
@@ -124,6 +196,28 @@ mod tests {
     }
 
     #[test]
+    fn counters_count_exactly_once_per_call() {
+        // The satellite-a audit, as a regression test: one counter bump
+        // per lookup, on both the get and fetch_or_insert paths.
+        let mut store = ResultStore::new();
+        store.fetch_or_insert(name(1), || vec![1]); // miss
+        store.fetch_or_insert(name(1), || vec![2]); // hit
+        store.get(name(1)); // hit
+        store.get(name(9)); // miss
+        assert_eq!((store.hits(), store.misses()), (2, 2));
+    }
+
+    #[test]
+    fn get_takes_shared_ref() {
+        let mut store = ResultStore::new();
+        store.put(name(1), vec![7]);
+        let shared: &ResultStore = &store;
+        assert_eq!(shared.get(name(1)), Some(&[7u8][..]));
+        assert!(shared.get(name(2)).is_none());
+        assert_eq!((shared.hits(), shared.misses()), (1, 1));
+    }
+
+    #[test]
     fn invalidate_forces_recompute() {
         let mut store = ResultStore::new();
         store.put(name(2), vec![5]);
@@ -144,5 +238,30 @@ mod tests {
         assert_eq!(store.bytes(), 15);
         assert!(store.get(name(3)).is_none());
         assert_eq!(store.misses(), 1);
+    }
+
+    #[test]
+    fn partials_keyed_by_fraction() {
+        let mut store = ResultStore::new();
+        store.put_partial(name(1), 300, vec![3]);
+        store.put_partial(name(1), 700, vec![7]);
+        store.put_partial(name(2), 500, vec![5]);
+        assert_eq!(store.partial_count(), 3);
+        assert_eq!(store.get_partial(name(1), 1000), Some((700, &[7u8][..])));
+        assert_eq!(store.get_partial(name(1), 500), Some((300, &[3u8][..])));
+        assert_eq!(store.get_partial(name(1), 100), None);
+        assert_eq!(store.partial_fractions(name(1)), vec![300, 700]);
+        // Partials are progress reports, not memoization hits.
+        assert_eq!((store.hits(), store.misses()), (0, 0));
+    }
+
+    #[test]
+    fn final_result_supersedes_partials() {
+        let mut store = ResultStore::new();
+        store.put_partial(name(1), 300, vec![3]);
+        store.put_partial(name(1), 900, vec![9]);
+        store.put(name(1), vec![10]);
+        assert_eq!(store.partial_count(), 0, "final publish drops partials");
+        assert_eq!(store.get(name(1)), Some(&[10u8][..]));
     }
 }

@@ -11,7 +11,7 @@
 
 use reshaping_hep::analysis::WorkloadSpec;
 use reshaping_hep::cluster::ClusterSpec;
-use reshaping_hep::core::{Engine, EngineConfig};
+use reshaping_hep::core::{EngineConfig, RunRequest};
 use reshaping_hep::simcore::units::fmt_bytes;
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
     for stack in 1..=4 {
         let mut cfg = EngineConfig::stack(stack, ClusterSpec::standard(workers), 42);
         cfg.trace.transfers = true;
-        let r = Engine::new(cfg, spec.to_graph()).run();
+        let r = RunRequest::new(cfg, spec.to_graph()).run();
         assert!(r.completed(), "stack {stack} failed: {:?}", r.outcome);
         let runtime = r.makespan_secs();
         let base = *baseline.get_or_insert(runtime);

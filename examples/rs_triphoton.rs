@@ -13,7 +13,7 @@
 
 use reshaping_hep::analysis::{ReductionShape, TriPhotonProcessor, WorkloadSpec};
 use reshaping_hep::cluster::{ClusterSpec, WorkerSpec};
-use reshaping_hep::core::{Engine, EngineConfig};
+use reshaping_hep::core::{EngineConfig, RunRequest};
 use reshaping_hep::data::Dataset;
 use reshaping_hep::exec::{ExecMode, Executor};
 use reshaping_hep::simcore::units::{fmt_bytes, gbit_per_sec, KB, MB};
@@ -71,7 +71,7 @@ fn main() {
         cluster.worker.disk_bytes /= scale as u64; // scale disks with the data
         let mut cfg = EngineConfig::stack4(cluster, 7);
         cfg.trace.cache = true;
-        let r = Engine::new(cfg, spec.to_graph()).run();
+        let r = RunRequest::new(cfg, spec.to_graph()).run();
         let peak = r
             .cache_series
             .as_ref()

@@ -13,7 +13,7 @@
 
 use reshaping_hep::analysis::WorkloadSpec;
 use reshaping_hep::cluster::ClusterSpec;
-use reshaping_hep::core::{Engine, EngineConfig};
+use reshaping_hep::core::{EngineConfig, RunRequest};
 
 fn main() {
     let scale: usize = std::env::args()
@@ -34,7 +34,7 @@ fn main() {
         let cluster = ClusterSpec::standard(workers);
         let run = |stack: usize| {
             let cfg = EngineConfig::stack(stack, cluster, 42);
-            let r = Engine::new(cfg, spec.to_graph()).run();
+            let r = RunRequest::new(cfg, spec.to_graph()).run();
             assert!(r.completed(), "{:?}", r.outcome);
             r.makespan_secs()
         };

@@ -8,6 +8,12 @@
 # events_per_sec in the JSON is wall-clock engine throughput and is
 # informational only.
 #
+# Also runs the streaming gates (ISSUE 6): a no-observer run's obs digest
+# must be byte-identical to the committed pre-streaming baseline
+# (results/stream_baseline_digest.txt), and fig-stream's early stop must
+# save >= 20% core-seconds on the stragglers preset (asserted inside the
+# binary).
+#
 # Usage: scripts/bench_gate.sh [baseline.json] [out.json]
 # To refresh the baseline after an intentional change:
 #   scripts/bench_gate.sh && cp BENCH_ci.json results/bench_baseline.json
@@ -40,5 +46,26 @@ awk -v new="$new" -v old="$old" 'BEGIN {
   printf "bench gate: ratio %.4f (fails above 1.10)\n", ratio
   exit (ratio > 1.10) ? 1 : 0
 }'
+
+# Streaming gate 1: a run with no observer must replay byte-identical to
+# the pre-streaming baseline digest — streaming is strictly pay-for-play.
+STREAM_BASELINE=results/stream_baseline_digest.txt
+if [ -s "$STREAM_BASELINE" ]; then
+  rm -rf stream-gate-traces
+  ./target/release/vine-sim --workload dv3-small --scale 4 --workers 6 \
+    --stack 3 --trace-out stream-gate-traces
+  cmp "$STREAM_BASELINE" stream-gate-traces/dv3-small-stack3-seed42.digest.txt
+  echo "stream gate: no-observer digest byte-identical"
+else
+  echo "stream gate: no baseline at $STREAM_BASELINE" >&2
+  exit 1
+fi
+
+# Streaming gate 2: convergence early stop must save >= 20% core-seconds
+# on the stragglers preset (fig-stream exits non-zero otherwise, and also
+# asserts monotone partials and threshold-1.0 == baseline).
+cargo build --release -p vine-bench --bin fig-stream
+./target/release/fig-stream
+echo "stream gate: early-stop saving >= 20%"
 
 echo "bench gate: ok"

@@ -3,14 +3,14 @@
 
 use reshaping_hep::analysis::WorkloadSpec;
 use reshaping_hep::cluster::ClusterSpec;
-use reshaping_hep::core::{Engine, EngineConfig, RunResult};
+use reshaping_hep::core::{EngineConfig, RunRequest, RunResult};
 
 fn run_stack(stack: usize, seed: u64) -> RunResult {
     let spec = WorkloadSpec::dv3_large().scaled_down(20);
     let cluster = ClusterSpec::standard(10);
     let mut cfg = EngineConfig::stack(stack, cluster, seed);
     cfg.trace.transfers = true;
-    Engine::new(cfg, spec.to_graph()).run()
+    RunRequest::new(cfg, spec.to_graph()).run()
 }
 
 #[test]

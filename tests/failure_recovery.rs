@@ -4,7 +4,7 @@
 use reshaping_hep::analysis::{ReductionShape, WorkloadSpec};
 use reshaping_hep::cluster::{ClusterSpec, PreemptionModel};
 use reshaping_hep::core::SessionState;
-use reshaping_hep::core::{graph_file_cachename, Engine, EngineConfig, Preflight, RunOutcome};
+use reshaping_hep::core::{graph_file_cachename, EngineConfig, Preflight, RunOutcome, RunRequest};
 use reshaping_hep::dag::{MemoPlan, TaskGraph, TaskKind};
 use reshaping_hep::simcore::units::{GB, MB};
 
@@ -14,7 +14,7 @@ fn survives_paper_grade_preemption() {
     // must be invisible apart from re-executions.
     let spec = WorkloadSpec::dv3_large().scaled_down(20);
     let cfg = EngineConfig::stack4(ClusterSpec::standard(10), 3);
-    let r = Engine::new(cfg, spec.to_graph()).run();
+    let r = RunRequest::new(cfg, spec.to_graph()).run();
     assert!(r.completed(), "{:?}", r.outcome);
     assert!(r.stats.task_executions >= r.stats.tasks_total as u64);
 }
@@ -28,7 +28,7 @@ fn survives_preemption_storm() {
     cfg.preemption = PreemptionModel {
         rate_per_sec: 1.0 / 20.0,
     };
-    let r = Engine::new(cfg, spec.to_graph()).run();
+    let r = RunRequest::new(cfg, spec.to_graph()).run();
     assert!(r.completed(), "{:?}", r.outcome);
     assert!(r.stats.preemptions > 0, "storm produced no preemptions");
     assert!(
@@ -42,14 +42,14 @@ fn preemption_costs_time_but_not_correctness() {
     let spec = WorkloadSpec::dv3_large().scaled_down(40);
     let quiet = {
         let cfg = EngineConfig::stack4(ClusterSpec::standard(5), 21).deterministic();
-        Engine::new(cfg, spec.to_graph()).run()
+        RunRequest::new(cfg, spec.to_graph()).run()
     };
     let stormy = {
         let mut cfg = EngineConfig::stack4(ClusterSpec::standard(5), 21);
         cfg.preemption = PreemptionModel {
             rate_per_sec: 1.0 / 100.0,
         };
-        Engine::new(cfg, spec.to_graph()).run()
+        RunRequest::new(cfg, spec.to_graph()).run()
     };
     assert!(quiet.completed() && stormy.completed());
     assert!(
@@ -67,7 +67,7 @@ fn workqueue_also_recovers_from_preemption() {
     cfg.preemption = PreemptionModel {
         rate_per_sec: 1.0 / 200.0,
     };
-    let r = Engine::new(cfg, spec.to_graph()).run();
+    let r = RunRequest::new(cfg, spec.to_graph()).run();
     assert!(r.completed(), "{:?}", r.outcome);
 }
 
@@ -89,7 +89,7 @@ fn impossible_reduction_fails_cleanly_not_forever() {
     // Bypass the pre-flight lint: this test is about the *runtime*
     // crash-loop guard (the static rejection has its own test below).
     cfg.preflight = Preflight::Off;
-    let r = Engine::new(cfg, g).run();
+    let r = RunRequest::new(cfg, g).run();
     assert!(!r.completed());
     assert!(r.stats.cache_overflow_failures > 0);
 }
@@ -110,7 +110,7 @@ fn impossible_reduction_is_rejected_by_preflight() {
     let mut cluster = ClusterSpec::standard(4);
     cluster.worker.disk_bytes = 20 * GB;
     let cfg = EngineConfig::stack4(cluster, 5).deterministic();
-    let r = Engine::new(cfg, g).run();
+    let r = RunRequest::new(cfg, g).run();
     assert!(!r.completed());
     assert_eq!(
         r.stats.cache_overflow_failures, 0,
@@ -143,7 +143,7 @@ fn rewriting_the_same_workflow_makes_it_feasible() {
     let mut cluster = ClusterSpec::standard(4);
     cluster.worker.disk_bytes = 60 * GB;
     let cfg = EngineConfig::stack4(cluster, 5).deterministic();
-    let r = Engine::new(cfg, spec_tree.to_graph()).run();
+    let r = RunRequest::new(cfg, spec_tree.to_graph()).run();
     assert!(r.completed(), "{:?}", r.outcome);
     assert_eq!(r.stats.cache_overflow_failures, 0);
 }
@@ -160,7 +160,9 @@ fn preemption_between_submissions_reruns_exactly_the_lost_producers() {
     let mut cfg = EngineConfig::stack3(ClusterSpec::standard(4), 11).deterministic();
     cfg.replica_target = 1;
     let mut session = SessionState::new(&cfg.cluster);
-    let cold = Engine::new(cfg.clone(), spec.to_graph()).run_in_session(&mut session);
+    let cold = RunRequest::new(cfg.clone(), spec.to_graph())
+        .session(&mut session)
+        .run();
     assert!(cold.completed(), "{:?}", cold.outcome);
     assert_eq!(cold.stats.memoized_tasks, 0);
 
@@ -185,7 +187,7 @@ fn preemption_between_submissions_reruns_exactly_the_lost_producers() {
         "losing a whole worker must force some re-runs"
     );
 
-    let warm = Engine::new(cfg, graph).run_in_session(&mut session);
+    let warm = RunRequest::new(cfg, graph).session(&mut session).run();
     assert!(warm.completed(), "{:?}", warm.outcome);
     assert_eq!(
         warm.stats.task_executions,
@@ -204,11 +206,15 @@ fn replicated_entries_still_hit_after_losing_one_worker() {
     let spec = WorkloadSpec::dv3_small().scaled_down(20);
     let cfg = EngineConfig::stack3(ClusterSpec::standard(4), 11).deterministic();
     let mut session = SessionState::new(&cfg.cluster);
-    let cold = Engine::new(cfg.clone(), spec.to_graph()).run_in_session(&mut session);
+    let cold = RunRequest::new(cfg.clone(), spec.to_graph())
+        .session(&mut session)
+        .run();
     assert!(cold.completed(), "{:?}", cold.outcome);
 
     session.preempt_worker(0);
-    let warm = Engine::new(cfg, spec.to_graph()).run_in_session(&mut session);
+    let warm = RunRequest::new(cfg, spec.to_graph())
+        .session(&mut session)
+        .run();
     assert!(warm.completed(), "{:?}", warm.outcome);
     assert!(
         warm.stats.memoized_tasks > 0,
@@ -226,10 +232,10 @@ fn replicated_entries_still_hit_after_losing_one_worker() {
 fn dask_instability_rule_applies_only_at_scale() {
     let small = WorkloadSpec::dv3_small().scaled_down(10);
     let cfg = EngineConfig::dask_distributed(ClusterSpec::standard(4), 9);
-    let r = Engine::new(cfg.clone(), small.to_graph()).run();
+    let r = RunRequest::new(cfg.clone(), small.to_graph()).run();
     assert!(r.completed(), "small workload must run: {:?}", r.outcome);
 
     let large = WorkloadSpec::dv3_large(); // 1.2 TB > instability threshold
-    let r = Engine::new(cfg, large.to_graph()).run();
+    let r = RunRequest::new(cfg, large.to_graph()).run();
     assert!(!r.completed(), "TB-scale Dask run must fail per the paper");
 }

@@ -6,7 +6,7 @@
 
 use reshaping_hep::analysis::{Dv3Processor, WorkloadSpec};
 use reshaping_hep::cluster::ClusterSpec;
-use reshaping_hep::core::{graph_file_cachename, Engine, EngineConfig, SessionState};
+use reshaping_hep::core::{graph_file_cachename, EngineConfig, RunRequest, SessionState};
 use reshaping_hep::data::{encode_histogram_set, Dataset};
 use reshaping_hep::exec::{ExecMode, Executor};
 use reshaping_hep::serve::{Facility, FacilityConfig, LoadGen, ResultStore};
@@ -21,8 +21,12 @@ fn warm_resubmission_is_at_least_three_times_faster() {
     let spec = WorkloadSpec::dv3_small().scaled_down(20);
     let cfg = base_cfg();
     let mut session = SessionState::new(&cfg.cluster);
-    let cold = Engine::new(cfg.clone(), spec.to_graph()).run_in_session(&mut session);
-    let warm = Engine::new(cfg, spec.to_graph()).run_in_session(&mut session);
+    let cold = RunRequest::new(cfg.clone(), spec.to_graph())
+        .session(&mut session)
+        .run();
+    let warm = RunRequest::new(cfg, spec.to_graph())
+        .session(&mut session)
+        .run();
     assert!(cold.completed() && warm.completed());
     assert_eq!(cold.stats.memoized_tasks, 0);
     assert_eq!(
@@ -45,8 +49,12 @@ fn obs_digest_attributes_the_saving_to_memoization() {
     let spec = WorkloadSpec::dv3_small().scaled_down(20);
     let cfg = base_cfg().with_obs();
     let mut session = SessionState::new(&cfg.cluster);
-    let cold = Engine::new(cfg.clone(), spec.to_graph()).run_in_session(&mut session);
-    let warm = Engine::new(cfg, spec.to_graph()).run_in_session(&mut session);
+    let cold = RunRequest::new(cfg.clone(), spec.to_graph())
+        .session(&mut session)
+        .run();
+    let warm = RunRequest::new(cfg, spec.to_graph())
+        .session(&mut session)
+        .run();
 
     let cold_digest = &cold.obs.as_ref().expect("obs on").digest;
     let warm_digest = &warm.obs.as_ref().expect("obs on").digest;
@@ -98,7 +106,9 @@ fn memoized_run_serves_bit_identical_histograms() {
     // Cold: simulate, execute for real, store the encoded answer.
     let cfg = base_cfg();
     let mut session = SessionState::new(&cfg.cluster);
-    let cold = Engine::new(cfg.clone(), spec.to_graph()).run_in_session(&mut session);
+    let cold = RunRequest::new(cfg.clone(), spec.to_graph())
+        .session(&mut session)
+        .run();
     assert!(cold.completed());
     let mut store = ResultStore::new();
     store.put(key, encode_histogram_set(&run_exec(4).final_result));
@@ -106,7 +116,9 @@ fn memoized_run_serves_bit_identical_histograms() {
     // Warm: the simulation memoizes the sink's producer, so the store
     // may answer without recomputing — and its blob must equal what a
     // fresh (differently-threaded) computation yields.
-    let warm = Engine::new(cfg, spec.to_graph()).run_in_session(&mut session);
+    let warm = RunRequest::new(cfg, spec.to_graph())
+        .session(&mut session)
+        .run();
     assert_eq!(warm.stats.memoized_tasks, warm.stats.tasks_total as u64);
     let (served, hit) = store.fetch_or_insert(key, || unreachable!("must be a hit"));
     assert!(hit);
