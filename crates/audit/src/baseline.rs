@@ -1,0 +1,281 @@
+//! The committed baseline and its one-way ratchet.
+//!
+//! `results/audit_baseline.txt` grandfathers the findings that existed
+//! when the auditor landed. The gate compares the current report against
+//! it per (code, file): counts may fall but never rise, and a finding in
+//! a file with no baseline entry is always a violation. Separate `lines`
+//! entries cap the growth of oversized modules (the `engine.rs` ratchet):
+//! a module already past the size threshold may shrink or hold, not grow.
+//!
+//! Improvements (counts below baseline, entries for findings that no
+//! longer exist) are reported as notes so the baseline can be re-tightened
+//! with `--update-baseline`, but they never fail the gate — a stale-but-
+//! loose baseline is debt, not breakage.
+
+use std::collections::BTreeMap;
+
+use crate::{AuditConfig, AuditReport, Code};
+
+/// A parsed baseline file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Grandfathered finding counts per (code, path).
+    pub counts: BTreeMap<(Code, String), u32>,
+    /// Recorded line counts for modules over the size threshold.
+    pub lines: BTreeMap<String, u32>,
+}
+
+/// The gate's verdict.
+#[derive(Clone, Debug, Default)]
+pub struct GateOutcome {
+    /// Ratchet violations: new findings or module growth. Non-empty means
+    /// the gate fails under `--deny`.
+    pub violations: Vec<String>,
+    /// Counts below baseline or stale entries: candidates for
+    /// `--update-baseline`. Informational only.
+    pub improvements: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when the ratchet holds.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Parse the baseline text format. Unknown or malformed lines are
+    /// errors: a typo in the gate's input must not silently loosen it.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut b = Baseline::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            let bad = |what: &str| format!("baseline line {}: {what}: {raw:?}", idx + 1);
+            match fields.as_slice() {
+                ["count", code, path, n] => {
+                    let code = Code::parse(code).ok_or_else(|| bad("unknown code"))?;
+                    let n: u32 = n.parse().map_err(|_| bad("bad count"))?;
+                    b.counts.insert((code, path.to_string()), n);
+                }
+                ["lines", path, n] => {
+                    let n: u32 = n.parse().map_err(|_| bad("bad line count"))?;
+                    b.lines.insert(path.to_string(), n);
+                }
+                _ => return Err(bad("unrecognized entry")),
+            }
+        }
+        Ok(b)
+    }
+
+    /// Build the baseline that exactly matches `report`: every active
+    /// finding grandfathered, every over-threshold module's size recorded.
+    pub fn from_report(report: &AuditReport, cfg: &AuditConfig) -> Baseline {
+        let mut b = Baseline {
+            counts: report.counts(),
+            lines: BTreeMap::new(),
+        };
+        for (path, lines) in &report.file_lines {
+            if *lines > cfg.module_lines_threshold {
+                b.lines.insert(path.clone(), *lines);
+            }
+        }
+        b
+    }
+
+    /// Render to the committed text format: header comment, then sorted
+    /// `count` entries, then sorted `lines` entries. Byte-stable.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(
+            "# vine-audit baseline: grandfathered findings, per (code, file).\n\
+             # Counts may only ratchet DOWN; `lines` entries cap module growth.\n\
+             # Regenerate with: cargo run -p vine-audit -- --update-baseline\n",
+        );
+        for ((code, path), n) in &self.counts {
+            out.push_str(&format!("count\t{code}\t{path}\t{n}\n"));
+        }
+        for (path, n) in &self.lines {
+            out.push_str(&format!("lines\t{path}\t{n}\n"));
+        }
+        out
+    }
+
+    /// Ratchet `report` against this baseline.
+    pub fn gate(&self, report: &AuditReport, cfg: &AuditConfig) -> GateOutcome {
+        let mut out = GateOutcome::default();
+        let current = report.counts();
+
+        for ((code, path), n) in &current {
+            let allowed = self
+                .counts
+                .get(&(*code, path.clone()))
+                .copied()
+                .unwrap_or(0);
+            if *n > allowed {
+                out.violations.push(format!(
+                    "{code} {path}: {n} finding(s), baseline allows {allowed} — fix or waive \
+                     with a reason ({})",
+                    code.describe()
+                ));
+            } else if *n < allowed {
+                out.improvements.push(format!(
+                    "{code} {path}: {n} finding(s), baseline still allows {allowed}"
+                ));
+            }
+        }
+        for ((code, path), allowed) in &self.counts {
+            if !current.contains_key(&(*code, path.clone())) {
+                out.improvements.push(format!(
+                    "{code} {path}: clean, baseline still allows {allowed}"
+                ));
+            }
+        }
+
+        // Module-size ratchet: growth of an already-grandfathered module
+        // is a violation in its own right (the A302 count alone cannot
+        // see growth — the finding count stays 1).
+        for (path, lines) in &report.file_lines {
+            if *lines <= cfg.module_lines_threshold {
+                continue;
+            }
+            match self.lines.get(path) {
+                Some(cap) if lines > cap => out.violations.push(format!(
+                    "A302 {path}: {lines} lines, baseline caps it at {cap} — split the module \
+                     instead of growing it"
+                )),
+                Some(cap) if lines < cap => out.improvements.push(format!(
+                    "A302 {path}: {lines} lines, baseline still allows {cap}"
+                )),
+                Some(_) => {}
+                // No cap recorded: the A302 count check above already
+                // flags the new oversized module; don't double-report.
+                None => {}
+            }
+        }
+        for (path, cap) in &self.lines {
+            match report.file_lines.get(path) {
+                Some(lines) if *lines <= cfg.module_lines_threshold => {
+                    out.improvements.push(format!(
+                        "A302 {path}: back under threshold ({lines} lines), cap {cap} is stale"
+                    ))
+                }
+                None => out
+                    .improvements
+                    .push(format!("A302 {path}: file gone, cap {cap} is stale")),
+                Some(_) => {}
+            }
+        }
+
+        out.violations.sort();
+        out.improvements.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit_files;
+
+    fn cfg() -> AuditConfig {
+        AuditConfig::default()
+    }
+
+    fn one_finding_report() -> AuditReport {
+        audit_files(
+            &[(
+                "core".to_string(),
+                "crates/core/src/x.rs".to_string(),
+                "fn f() { let _m = std::collections::HashSet::<u8>::new(); }\n".to_string(),
+            )],
+            &cfg(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_parse_render() {
+        let report = one_finding_report();
+        let b = Baseline::from_report(&report, &cfg());
+        let parsed = Baseline::parse(&b.to_text()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Baseline::parse("count\tA999\tfoo.rs\t1").is_err());
+        assert!(Baseline::parse("count\tA101\tfoo.rs\tmany").is_err());
+        assert!(Baseline::parse("frobnicate\tfoo.rs").is_err());
+        assert!(Baseline::parse("# comment\n\n").is_ok());
+    }
+
+    #[test]
+    fn exact_baseline_passes_and_new_findings_violate() {
+        let report = one_finding_report();
+        let b = Baseline::from_report(&report, &cfg());
+        assert!(b.gate(&report, &cfg()).passed());
+        // An empty baseline treats the same finding as new.
+        let empty = Baseline::default();
+        let out = empty.gate(&report, &cfg());
+        assert!(!out.passed());
+        assert!(out.violations[0].contains("A101"));
+    }
+
+    #[test]
+    fn fixed_findings_become_improvements_not_violations() {
+        let report = one_finding_report();
+        let mut b = Baseline::from_report(&report, &cfg());
+        // Baseline remembers a finding in a file that is now clean.
+        b.counts
+            .insert((Code::A102, "crates/core/src/gone.rs".to_string()), 3);
+        let out = b.gate(&report, &cfg());
+        assert!(out.passed());
+        assert!(out.improvements.iter().any(|i| i.contains("gone.rs")));
+    }
+
+    #[test]
+    fn module_growth_past_cap_violates() {
+        let mut cfg = cfg();
+        cfg.module_lines_threshold = 2;
+        let src_small = "fn a() {}\nfn b() {}\nfn c() {}\n"; // 3 lines
+        let src_big = "fn a() {}\nfn b() {}\nfn c() {}\nfn d() {}\n"; // 4 lines
+        let file = |s: &str| {
+            vec![(
+                "serve".to_string(),
+                "crates/serve/src/x.rs".to_string(),
+                s.to_string(),
+            )]
+        };
+        let before = audit_files(&file(src_small), &cfg);
+        let b = Baseline::from_report(&before, &cfg);
+        assert!(b.gate(&before, &cfg).passed(), "holding steady is fine");
+        let after = audit_files(&file(src_big), &cfg);
+        let out = b.gate(&after, &cfg);
+        assert!(!out.passed());
+        assert!(out.violations.iter().any(|v| v.contains("caps it at 3")));
+    }
+
+    #[test]
+    fn module_shrink_is_an_improvement() {
+        let mut cfg = cfg();
+        cfg.module_lines_threshold = 2;
+        let file = |s: &str| {
+            vec![(
+                "serve".to_string(),
+                "crates/serve/src/x.rs".to_string(),
+                s.to_string(),
+            )]
+        };
+        let before = audit_files(&file("fn a() {}\nfn b() {}\nfn c() {}\nfn d() {}\n"), &cfg);
+        let b = Baseline::from_report(&before, &cfg);
+        let after = audit_files(&file("fn a() {}\nfn b() {}\nfn c() {}\n"), &cfg);
+        let out = b.gate(&after, &cfg);
+        assert!(out.passed());
+        assert!(out
+            .improvements
+            .iter()
+            .any(|i| i.contains("still allows 4")));
+    }
+}

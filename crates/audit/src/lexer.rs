@@ -1,0 +1,337 @@
+//! A hand-rolled Rust lexer: just enough tokenization to audit source
+//! files without a compiler frontend or any third-party crate.
+//!
+//! The scanner strips what cannot carry findings — string/char literal
+//! *contents*, comments — while preserving what can: identifiers, path
+//! separators (`::`), member access (`.`), brackets, and attribute
+//! punctuation, each tagged with its 1-based source line. Line comments
+//! are kept aside verbatim because waivers
+//! (`// vine-audit: allow(Axxx) -- reason`) live in them.
+//!
+//! Deliberate simplifications, safe for auditing purposes:
+//!
+//! * String literals become a single `"<str>"` token (their text can
+//!   never trigger a rule, but their *position* keeps token adjacency
+//!   honest for sequence matches).
+//! * Numbers are folded to a single token retaining their text, so the
+//!   float-accumulation rule can see `0.0` in `fold(0.0, ..)`.
+//! * Lifetimes (`'a`) are distinguished from char literals by lookahead
+//!   and dropped entirely.
+
+/// One token with the line it started on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text: an identifier, a number, `"<str>"`, or punctuation
+    /// (single char, except the combined `::`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexed source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub toks: Vec<Tok>,
+    /// Line comments, `(line, text-after-slashes)`, in source order.
+    /// Doc comments (`///`, `//!`) are included; waiver parsing ignores
+    /// them unless they carry the waiver marker.
+    pub comments: Vec<(u32, String)>,
+    /// Total line count of the file (for the module-size ratchet).
+    pub lines: u32,
+}
+
+/// Tokenize `src`. Never fails: unterminated literals consume to EOF,
+/// which is the least-surprising behavior for an auditor that must not
+/// crash on the code it polices.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    macro_rules! bump {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            // Swallow any further leading slashes or a doc bang.
+            while j < n && (b[j] == '/' || b[j] == '!') {
+                j += 1;
+            }
+            let mut text = String::new();
+            while j < n && b[j] != '\n' {
+                text.push(b[j]);
+                j += 1;
+            }
+            out.comments.push((start_line, text.trim().to_string()));
+            i = j;
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    bump!(b[j]);
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Raw strings: r"..", r#".."#, br#".."# — count the hashes and
+        // scan for the matching close.
+        if (c == 'r' || c == 'b') && {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            b[j] == 'r'
+                && j + 1 < n
+                && (b[j + 1] == '"' || (b[j + 1] == '#' && raw_str_follows(&b, j + 1)))
+        } {
+            let tok_line = line;
+            let mut j = i;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // past opening quote
+            'scan: while j < n {
+                if b[j] == '"' {
+                    let mut k = j + 1;
+                    let mut h = 0;
+                    while k < n && b[k] == '#' && h < hashes {
+                        h += 1;
+                        k += 1;
+                    }
+                    if h == hashes {
+                        j = k;
+                        break 'scan;
+                    }
+                }
+                bump!(b[j]);
+                j += 1;
+            }
+            out.toks.push(Tok {
+                text: "\"<str>\"".into(),
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Plain (or byte) string literal.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let tok_line = line;
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < n {
+                match b[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    ch => {
+                        bump!(ch);
+                        j += 1;
+                    }
+                }
+            }
+            out.toks.push(Tok {
+                text: "\"<str>\"".into(),
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs. lifetime: 'x' is a char, 'x (no close) is a
+        // lifetime label. '\'' and '\n' are chars with escapes.
+        if c == '\'' {
+            let is_lifetime = i + 1 < n
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                && !(i + 2 < n && b[i + 2] == '\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                i = j;
+            } else {
+                let mut j = i + 1;
+                while j < n {
+                    match b[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                out.toks.push(Tok {
+                    text: "'<char>'".into(),
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let tok_line = line;
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                text.push(b[j]);
+                j += 1;
+            }
+            out.toks.push(Tok {
+                text,
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Number: digits, then an optional fraction and exponent. `1..2`
+        // must not swallow the range dots.
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                text.push(b[j]);
+                j += 1;
+            }
+            if j + 1 < n && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                text.push('.');
+                j += 1;
+                while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    text.push(b[j]);
+                    j += 1;
+                }
+            }
+            out.toks.push(Tok {
+                text,
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // `::` combined; everything else is single-char punctuation.
+        if c == ':' && i + 1 < n && b[i + 1] == ':' {
+            out.toks.push(Tok {
+                text: "::".into(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.toks.push(Tok {
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out.lines = src.lines().count() as u32;
+    out
+}
+
+/// After an `r`, a `#...#"` sequence means a raw string (vs. `r#ident`,
+/// the raw-identifier syntax).
+fn raw_str_follows(b: &[char], mut j: usize) -> bool {
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_punct() {
+        assert_eq!(
+            texts("use std::collections::HashMap;"),
+            ["use", "std", "::", "collections", "::", "HashMap", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let t = texts(r#"let s = "HashMap"; let c = 'x';"#);
+        assert!(t.contains(&"\"<str>\"".to_string()));
+        assert!(!t.contains(&"HashMap".to_string()));
+        assert!(t.contains(&"'<char>'".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_do_not_leak_tokens() {
+        let t = texts(r##"let s = r#"thread_rng() "quoted" inside"#; done"##);
+        assert!(!t.contains(&"thread_rng".to_string()));
+        assert!(t.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(!t.iter().any(|s| s == "'<char>'"));
+        assert!(t.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("let a = 1;\n// vine-audit: allow(A101) -- test reason\nlet b = 2;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].0, 2);
+        assert!(l.comments[0].1.starts_with("vine-audit:"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let l = lex("/* a /* b */ c */\nfoo");
+        assert_eq!(l.toks.len(), 1);
+        assert_eq!(l.toks[0].text, "foo");
+        assert_eq!(l.toks[0].line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        assert_eq!(texts("1..2"), ["1", ".", ".", "2"]);
+        assert_eq!(texts("fold(0.0, f)"), ["fold", "(", "0.0", ",", "f", ")"]);
+    }
+}

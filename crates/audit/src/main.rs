@@ -1,0 +1,146 @@
+//! `vine-audit` — run the determinism/concurrency auditor over the
+//! workspace and (optionally) gate against the committed baseline.
+//!
+//! ```text
+//! vine-audit                                    # report every active finding
+//! vine-audit --all                              # ... plus waived findings
+//! vine-audit --baseline results/audit_baseline.txt          # ratchet check
+//! vine-audit --deny --baseline results/audit_baseline.txt   # CI gate (exit 1)
+//! vine-audit --update-baseline                  # rewrite the baseline file
+//! vine-audit --root /path/to/repo               # audit another checkout
+//! ```
+//!
+//! Output is deterministic: findings sorted by (path, line, code,
+//! message), byte-stable across runs and file-discovery order.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vine_audit::{audit_workspace, AuditConfig, Baseline};
+
+const DEFAULT_BASELINE: &str = "results/audit_baseline.txt";
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    deny: bool,
+    all: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vine-audit [--root DIR] [--baseline PATH] [--update-baseline] [--deny] [--all]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        update_baseline: false,
+        deny: false,
+        all: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--update-baseline" => args.update_baseline = true,
+            "--deny" => args.deny = true,
+            "--all" => args.all = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("vine-audit: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cfg = AuditConfig::default();
+
+    let report = match audit_workspace(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vine-audit: cannot audit {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_baseline {
+        let path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| args.root.join(DEFAULT_BASELINE));
+        let baseline = Baseline::from_report(&report, &cfg);
+        if let Err(e) = std::fs::write(&path, baseline.to_text()) {
+            eprintln!("vine-audit: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "vine-audit: baseline updated: {} ({} count entr(ies), {} lines entr(ies))",
+            path.display(),
+            baseline.counts.len(),
+            baseline.lines.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match &args.baseline {
+        None => {
+            // Plain report mode: print everything active (and waived with
+            // --all); --deny fails on any active finding.
+            print!("{}", report.to_text(args.all));
+            if args.deny && !report.findings.is_empty() {
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("vine-audit: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let baseline = match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("vine-audit: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let outcome = baseline.gate(&report, &cfg);
+            if args.all {
+                print!("{}", report.to_text(true));
+            }
+            for v in &outcome.violations {
+                println!("violation: {v}");
+            }
+            for i in &outcome.improvements {
+                println!("note: {i} (re-tighten with --update-baseline)");
+            }
+            println!(
+                "vine-audit: {} violation(s), {} improvement note(s), {} active finding(s), \
+                 {} waived, {} file(s) scanned",
+                outcome.violations.len(),
+                outcome.improvements.len(),
+                report.findings.len(),
+                report.waived.len(),
+                report.files_scanned
+            );
+            if args.deny && !outcome.passed() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,540 @@
+//! The rule engine: token-sequence checks over one lexed file, waiver
+//! application, and the per-file outputs the workspace report absorbs.
+//!
+//! Rules are deliberately syntactic — an auditor built on a hand-rolled
+//! lexer cannot type-check, so each rule matches the *tokens* a hazard
+//! class leaves behind (`HashMap`, `thread_rng`, `Instant :: now`, …).
+//! That trades a class of false positives for zero dependencies and
+//! total predictability; the waiver syntax exists precisely to settle
+//! the disagreements, with a written reason.
+//!
+//! Code inside `#[cfg(test)]` items is skipped: tests may use ambient
+//! collections and clocks freely, because nothing in a test feeds a
+//! digest that replay must reproduce.
+
+use crate::lexer::{lex, Lexed, Tok};
+use crate::{AuditConfig, Code, Finding};
+
+/// The audit of a single file.
+#[derive(Clone, Debug, Default)]
+pub struct FileAudit {
+    /// Repo-relative path.
+    pub path: String,
+    /// Total source lines (ratchet input).
+    pub lines: u32,
+    /// Active findings.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a waiver.
+    pub waived: Vec<Finding>,
+}
+
+/// One parsed waiver comment.
+#[derive(Clone, Debug)]
+struct Waiver {
+    /// Codes this waiver suppresses.
+    codes: Vec<Code>,
+    /// Whole-file scope (`allow-file`) vs. same/next line (`allow`).
+    file_scope: bool,
+    /// Comment line.
+    line: u32,
+    /// The `-- reason` text; empty means malformed.
+    reason: String,
+    /// Set when the waiver suppressed at least one finding.
+    used: bool,
+    /// Unparseable code list (e.g. `allow(A9)`): reported via A304.
+    bad_codes: Vec<String>,
+}
+
+/// Parse `vine-audit: allow(A101,A301) -- reason` comments.
+fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (line, text) in &lexed.comments {
+        let Some(rest) = text.strip_prefix("vine-audit:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            (false, r)
+        } else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let inner = rest
+            .strip_prefix('(')
+            .map(|r| &r[..close - 1])
+            .unwrap_or("");
+        let mut codes = Vec::new();
+        let mut bad_codes = Vec::new();
+        for c in inner.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            match Code::parse(c) {
+                Some(code) => codes.push(code),
+                None => bad_codes.push(c.to_string()),
+            }
+        }
+        let reason = rest[close + 1..]
+            .trim()
+            .strip_prefix("--")
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(Waiver {
+            codes,
+            file_scope,
+            line: *line,
+            reason,
+            used: false,
+            bad_codes,
+        });
+    }
+    out
+}
+
+/// Token indices covered by `#[cfg(test)]` items (the attribute itself,
+/// any stacked attributes after it, and the braced item body).
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            // Collect the attribute's tokens up to the matching `]`.
+            let attr_start = i;
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut is_cfg_test = false;
+            let mut saw_cfg = false;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "cfg" => saw_cfg = true,
+                    "test" if saw_cfg => is_cfg_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_cfg_test {
+                // Mask through the end of the annotated item: either the
+                // first `;` at brace depth 0 (e.g. `mod tests;`) or the
+                // matching `}` of its body.
+                let mut k = j;
+                let mut bdepth = 0i32;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => bdepth += 1,
+                        "}" => {
+                            bdepth -= 1;
+                            if bdepth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        ";" if bdepth == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                for m in mask.iter_mut().take(k).skip(attr_start) {
+                    *m = true;
+                }
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn is_float_literal(s: &str) -> bool {
+    s.contains('.') && s.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Run every rule over one file and apply its waivers.
+pub fn audit_file(crate_name: &str, rel_path: &str, source: &str, cfg: &AuditConfig) -> FileAudit {
+    let lexed = lex(source);
+    let mut waivers = parse_waivers(&lexed);
+    let mask = test_mask(&lexed.toks);
+    let toks = &lexed.toks;
+
+    let in_exec_boundary = cfg.exec_boundary_crates.iter().any(|c| c == crate_name);
+    let in_hot_path = cfg.hot_path_crates.iter().any(|c| c == crate_name);
+    let path_lower = rel_path.to_ascii_lowercase();
+    let in_float_scope = cfg.float_scope.iter().any(|f| path_lower.contains(f));
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |code: Code, line: u32, message: String| {
+        raw.push(Finding {
+            code,
+            severity: code.severity(),
+            path: rel_path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    // Layering findings are deduplicated per referenced crate.
+    let mut layering_seen: Vec<String> = Vec::new();
+    let allowed_deps = cfg.layering.get(crate_name);
+
+    let mut in_use = false;
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let prev = i
+            .checked_sub(1)
+            .map(|j| toks[j].text.as_str())
+            .unwrap_or("");
+        let next = toks.get(i + 1).map(|t| t.text.as_str()).unwrap_or("");
+        let next2 = toks.get(i + 2).map(|t| t.text.as_str()).unwrap_or("");
+        let next3 = toks.get(i + 3).map(|t| t.text.as_str()).unwrap_or("");
+
+        // `use` item tracking: imports are not flagged — the hazard is
+        // the usage site, and rustc already warns on unused imports.
+        if t.text == "use" {
+            in_use = true;
+        } else if in_use && t.text == ";" {
+            in_use = false;
+        }
+
+        match t.text.as_str() {
+            // — A1xx determinism —
+            "HashMap" | "HashSet" if !in_use => push(
+                Code::A101,
+                t.line,
+                format!(
+                    "unordered {} in deterministic code: iteration order is \
+                     per-process ambient state",
+                    t.text
+                ),
+            ),
+            "thread_rng" | "from_entropy" => push(
+                Code::A102,
+                t.line,
+                format!("ambient RNG `{}`: draws cannot replay", t.text),
+            ),
+            "rand" if next == "::" && next2 == "random" => push(
+                Code::A102,
+                t.line,
+                "ambient RNG `rand::random`: draws cannot replay".into(),
+            ),
+            "Instant" | "SystemTime" if next == "::" && next2 == "now" && !in_exec_boundary => {
+                push(
+                    Code::A103,
+                    t.line,
+                    format!(
+                        "wall clock `{}::now` outside the execution boundary: \
+                         simulated paths must use the sim clock",
+                        t.text
+                    ),
+                )
+            }
+            "sum"
+                if in_float_scope
+                    && next == "::"
+                    && next2 == "<"
+                    && (next3 == "f64" || next3 == "f32") =>
+            {
+                push(
+                    Code::A104,
+                    t.line,
+                    format!(
+                        "float accumulation `sum::<{next3}>()` in digest-adjacent \
+                         code: result depends on fold order"
+                    ),
+                )
+            }
+            "fold" if in_float_scope && next == "(" && is_float_literal(next2) => push(
+                Code::A104,
+                t.line,
+                format!(
+                    "float accumulation `fold({next2}, ..)` in digest-adjacent \
+                     code: result depends on fold order"
+                ),
+            ),
+            "RandomState" | "DefaultHasher" if !in_use => push(
+                Code::A105,
+                t.line,
+                format!("ambient hasher state `{}`", t.text),
+            ),
+            // — A2xx concurrency —
+            "spawn" if (prev == "." || prev == "::") && !in_exec_boundary => push(
+                Code::A201,
+                t.line,
+                "thread spawn outside the vine-exec boundary".into(),
+            ),
+            "Relaxed" if prev == "::" && !in_exec_boundary => push(
+                Code::A202,
+                t.line,
+                "`Ordering::Relaxed` outside the vine-exec boundary".into(),
+            ),
+            "Mutex" | "RwLock" | "Condvar" if !in_use && !in_exec_boundary => push(
+                Code::A203,
+                t.line,
+                format!("lock type `{}` outside the vine-exec boundary", t.text),
+            ),
+            // — A3xx hygiene —
+            "unwrap" | "expect" if in_hot_path && prev == "." && next == "(" => push(
+                Code::A301,
+                t.line,
+                format!("`.{}()` in an engine hot path", t.text),
+            ),
+            _ => {}
+        }
+
+        // A303 — cross-crate layering, deduplicated per referenced crate.
+        if let Some(allowed) = allowed_deps {
+            if let Some(dep) = t.text.strip_prefix("vine_") {
+                if dep != crate_name
+                    && !allowed.iter().any(|a| a == dep)
+                    && !layering_seen.iter().any(|s| s == dep)
+                {
+                    layering_seen.push(dep.to_string());
+                    push(
+                        Code::A303,
+                        t.line,
+                        format!(
+                            "crate `{crate_name}` references `vine-{dep}`, which its \
+                             architecture layer may not depend on"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // A302 — module-size ratchet.
+    if lexed.lines > cfg.module_lines_threshold {
+        raw.push(Finding {
+            code: Code::A302,
+            severity: Code::A302.severity(),
+            path: rel_path.to_string(),
+            line: 1,
+            message: format!(
+                "module is {} lines (threshold {}); growth past the recorded \
+                 baseline fails the build",
+                lexed.lines, cfg.module_lines_threshold
+            ),
+        });
+    }
+
+    // Apply waivers: file-scope waivers match on code; line waivers match
+    // on code and the same or immediately following line.
+    let mut findings = Vec::new();
+    let mut waived = Vec::new();
+    for f in raw {
+        let w = waivers.iter_mut().find(|w| {
+            !w.reason.is_empty()
+                && w.codes.contains(&f.code)
+                && (w.file_scope || w.line == f.line || w.line + 1 == f.line)
+        });
+        match w {
+            Some(w) => {
+                w.used = true;
+                waived.push(f);
+            }
+            None => findings.push(f),
+        }
+    }
+
+    // A304 — waiver debt: malformed (no reason, bad code) or unused.
+    // A304 findings can themselves be waived by a *different* waiver
+    // naming A304, so a deliberate tombstone can be kept with a reason.
+    // The unused check runs in two rounds — ordinary waivers first, then
+    // A304-naming ones — so a tombstone that exists only to suppress
+    // another waiver's "unused" finding is marked used before its own
+    // usage is judged.
+    let meta_finding = |line: u32, message: String| Finding {
+        code: Code::A304,
+        severity: Code::A304.severity(),
+        path: rel_path.to_string(),
+        line,
+        message,
+    };
+    let mut meta: Vec<Finding> = Vec::new();
+    for w in &waivers {
+        if w.reason.is_empty() {
+            meta.push(meta_finding(
+                w.line,
+                "waiver without a `-- reason`: suppressions must be justified".into(),
+            ));
+        } else if !w.bad_codes.is_empty() {
+            meta.push(meta_finding(
+                w.line,
+                format!("waiver names unknown code(s): {}", w.bad_codes.join(", ")),
+            ));
+        }
+    }
+    for round in [false, true] {
+        for w in &waivers {
+            if w.reason.is_empty()
+                || !w.bad_codes.is_empty()
+                || w.used
+                || w.codes.contains(&Code::A304) != round
+            {
+                continue;
+            }
+            meta.push(meta_finding(
+                w.line,
+                "waiver suppresses nothing; remove it or fix the code it named".into(),
+            ));
+        }
+        // Apply A304 waivers to what this round produced before judging
+        // the tombstones themselves in the next round. A tombstone cannot
+        // waive the finding on its own line.
+        let mut still_active = Vec::new();
+        for f in meta.drain(..) {
+            let w = waivers.iter_mut().find(|w| {
+                !w.reason.is_empty()
+                    && w.codes.contains(&Code::A304)
+                    && w.line != f.line
+                    && (w.file_scope || w.line + 1 == f.line)
+            });
+            match w {
+                Some(w) => {
+                    w.used = true;
+                    waived.push(f);
+                }
+                None => still_active.push(f),
+            }
+        }
+        findings.append(&mut still_active);
+    }
+
+    FileAudit {
+        path: rel_path.to_string(),
+        lines: lexed.lines,
+        findings,
+        waived,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AuditConfig {
+        AuditConfig::default()
+    }
+
+    fn codes(fa: &FileAudit) -> Vec<Code> {
+        fa.findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn hashmap_usage_flagged_but_import_is_not() {
+        let fa = audit_file(
+            "core",
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nfn f() -> HashMap<u8, u8> { HashMap::new() }\n",
+            &cfg(),
+        );
+        assert_eq!(codes(&fa), vec![Code::A101, Code::A101]);
+        assert_eq!(fa.findings[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn g() { let _m: HashMap<u8, u8> = HashMap::new(); }\n}\n";
+        let fa = audit_file("core", "crates/core/src/x.rs", src, &cfg());
+        assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+    }
+
+    #[test]
+    fn line_waiver_suppresses_with_reason_and_counts_as_used() {
+        let src = "// vine-audit: allow(A101) -- membership probe only\nfn f() { let _m = std::collections::HashSet::<u8>::new(); }\n";
+        let fa = audit_file("core", "crates/core/src/x.rs", src, &cfg());
+        assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+        assert_eq!(fa.waived.len(), 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_does_not_suppress_and_is_itself_flagged() {
+        let src = "// vine-audit: allow(A101)\nfn f() { let _m = std::collections::HashSet::<u8>::new(); }\n";
+        let fa = audit_file("core", "crates/core/src/x.rs", src, &cfg());
+        let cs = codes(&fa);
+        assert!(cs.contains(&Code::A101));
+        assert!(cs.contains(&Code::A304));
+    }
+
+    #[test]
+    fn unused_waiver_is_flagged() {
+        let src = "// vine-audit: allow(A102) -- no rng here at all\nfn f() {}\n";
+        let fa = audit_file("core", "crates/core/src/x.rs", src, &cfg());
+        assert_eq!(codes(&fa), vec![Code::A304]);
+    }
+
+    #[test]
+    fn tombstone_waiver_can_keep_a_dead_waiver_documented() {
+        // A waiver naming A304 on the line above an unused waiver
+        // suppresses its "unused" finding — and is itself counted as
+        // used for doing so.
+        let src = "// vine-audit: allow(A304) -- tombstone kept deliberately\n// vine-audit: allow(A102) -- historical; rng was removed\nfn f() {}\n";
+        let fa = audit_file("core", "crates/core/src/x.rs", src, &cfg());
+        assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+        assert_eq!(fa.waived.len(), 1);
+    }
+
+    #[test]
+    fn exec_boundary_exempts_concurrency_and_clocks() {
+        let src = "fn f() { let _ = std::time::Instant::now(); std::thread::spawn(|| {}); let _m = std::sync::Mutex::new(0); }\n";
+        let fa = audit_file("exec", "crates/exec/src/x.rs", src, &cfg());
+        assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+        let fa = audit_file("core", "crates/core/src/x.rs", src, &cfg());
+        let cs = codes(&fa);
+        assert!(cs.contains(&Code::A103) && cs.contains(&Code::A201) && cs.contains(&Code::A203));
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_hot_path_crates() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            codes(&audit_file("core", "crates/core/src/x.rs", src, &cfg())),
+            vec![Code::A301]
+        );
+        assert!(audit_file("serve", "crates/serve/src/x.rs", src, &cfg())
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn float_accumulation_scoped_to_digest_files() {
+        let src = "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n";
+        assert_eq!(
+            codes(&audit_file("data", "crates/data/src/hist.rs", src, &cfg())),
+            vec![Code::A104]
+        );
+        assert!(audit_file("data", "crates/data/src/gen.rs", src, &cfg())
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn layering_violation_dedups_per_crate() {
+        let src = "use vine_core::Engine;\nfn f() { vine_core::engine::noop(); }\n";
+        let fa = audit_file("lint", "crates/lint/src/x.rs", src, &cfg());
+        assert_eq!(
+            codes(&fa),
+            vec![Code::A303],
+            "one finding per referenced crate"
+        );
+    }
+
+    #[test]
+    fn module_size_threshold() {
+        let mut cfg = cfg();
+        cfg.module_lines_threshold = 3;
+        let src = "fn a() {}\nfn b() {}\nfn c() {}\nfn d() {}\n";
+        let fa = audit_file("core", "crates/core/src/x.rs", src, &cfg);
+        assert_eq!(codes(&fa), vec![Code::A302]);
+    }
+}

@@ -1,0 +1,76 @@
+//! The auditor must hold itself to the standard it enforces: its output
+//! is byte-stable across repeated runs and independent of the order files
+//! are discovered in. The corpus is the fixture set — every code, both
+//! triggering and waived variants — so the property exercises the whole
+//! rule surface, not just the easy paths.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+use vine_audit::{audit_files, AuditConfig};
+
+/// Load every fixture as an in-memory `(crate, path, source)` triple, in
+/// sorted (canonical) order.
+fn corpus() -> Vec<(String, String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut out = Vec::new();
+    for kind in ["bad", "ok"] {
+        let mut paths: Vec<_> = std::fs::read_dir(root.join(kind))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let fname = p.file_name().unwrap().to_string_lossy().into_owned();
+            let krate = if fname.starts_with("a303") {
+                "lint"
+            } else {
+                "core"
+            };
+            out.push((
+                krate.to_string(),
+                format!("crates/{krate}/src/{kind}_{fname}"),
+                std::fs::read_to_string(&p).unwrap(),
+            ));
+        }
+    }
+    out
+}
+
+fn cfg() -> AuditConfig {
+    AuditConfig {
+        module_lines_threshold: 40,
+        ..AuditConfig::default()
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let files = corpus();
+    let cfg = cfg();
+    let a = audit_files(&files, &cfg).to_text(true);
+    let b = audit_files(&files, &cfg).to_text(true);
+    assert_eq!(a, b);
+    assert!(a.contains("finding(s)"));
+}
+
+proptest! {
+    /// Shuffling the file-discovery order (rotation plus a swap, driven
+    /// by arbitrary indices) never changes a byte of the report.
+    #[test]
+    fn report_is_independent_of_file_order(shift in 0usize..48, a in 0usize..48, b in 0usize..48) {
+        let canonical = corpus();
+        let cfg = cfg();
+        let reference = audit_files(&canonical, &cfg).to_text(true);
+
+        let mut shuffled = canonical.clone();
+        let n = shuffled.len();
+        shuffled.rotate_left(shift % n);
+        shuffled.swap(a % n, b % n);
+
+        let got = audit_files(&shuffled, &cfg).to_text(true);
+        prop_assert_eq!(got, reference);
+    }
+}

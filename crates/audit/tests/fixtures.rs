@@ -1,0 +1,109 @@
+//! Fixture-driven coverage of every audit code: `fixtures/bad/` holds
+//! one minimal file per code that must trigger it; `fixtures/ok/` holds
+//! the same hazard carrying a waiver (with a reason) that must suppress
+//! it. Filenames start with the lowercase code (`a101.rs`, `a104_hist.rs`
+//! — the latter's name also puts it in A104's digest-file path scope).
+
+use std::path::{Path, PathBuf};
+
+use vine_audit::{audit_source, AuditConfig, Code};
+
+/// Fixture-sized config: the A302 fixtures are 40-odd lines, not 1500.
+fn fixture_cfg() -> AuditConfig {
+    AuditConfig {
+        module_lines_threshold: 40,
+        ..AuditConfig::default()
+    }
+}
+
+/// The crate a fixture is audited as. A303 needs a crate with a narrow
+/// dependency set (`lint` may only use `dag`); everything else runs as
+/// `core`, which is both a hot-path crate (A301) and outside the exec
+/// boundary (A1xx/A2xx).
+fn crate_for(fname: &str) -> &'static str {
+    if fname.starts_with("a303") {
+        "lint"
+    } else {
+        "core"
+    }
+}
+
+/// The code a fixture file is about, from its name.
+fn code_for(fname: &str) -> Code {
+    let tag = fname[..4].to_ascii_uppercase();
+    Code::parse(&tag).unwrap_or_else(|| panic!("fixture {fname} has no code prefix"))
+}
+
+fn fixture_files(kind: &str) -> Vec<(String, String)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind);
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no fixtures under {}", dir.display());
+    paths
+        .into_iter()
+        .map(|p| {
+            let fname = p.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&p).unwrap();
+            (fname, src)
+        })
+        .collect()
+}
+
+#[test]
+fn bad_fixtures_each_trigger_their_code() {
+    let cfg = fixture_cfg();
+    for (fname, src) in fixture_files("bad") {
+        let krate = crate_for(&fname);
+        let expected = code_for(&fname);
+        let fa = audit_source(krate, &format!("crates/{krate}/src/{fname}"), &src, &cfg);
+        assert!(
+            fa.findings.iter().any(|f| f.code == expected),
+            "bad/{fname}: expected an active {expected} finding, got {:?}",
+            fa.findings
+        );
+        assert!(
+            fa.waived.is_empty(),
+            "bad/{fname}: bad fixtures must not carry waivers"
+        );
+    }
+}
+
+#[test]
+fn ok_fixtures_waive_their_code_and_are_otherwise_clean() {
+    let cfg = fixture_cfg();
+    for (fname, src) in fixture_files("ok") {
+        let krate = crate_for(&fname);
+        let expected = code_for(&fname);
+        let fa = audit_source(krate, &format!("crates/{krate}/src/{fname}"), &src, &cfg);
+        assert!(
+            fa.findings.is_empty(),
+            "ok/{fname}: expected no active findings, got {:?}",
+            fa.findings
+        );
+        assert!(
+            fa.waived.iter().any(|f| f.code == expected),
+            "ok/{fname}: expected a waived {expected} finding, got waived {:?}",
+            fa.waived
+        );
+    }
+}
+
+#[test]
+fn fixtures_cover_every_code_in_both_directions() {
+    for kind in ["bad", "ok"] {
+        let covered: Vec<Code> = fixture_files(kind)
+            .iter()
+            .map(|(fname, _)| code_for(fname))
+            .collect();
+        for code in Code::ALL {
+            assert!(covered.contains(&code), "{kind}/ has no fixture for {code}");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: unordered map type in deterministic code.
+use std::collections::HashMap;
+
+pub fn key_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}

@@ -1,0 +1,4 @@
+//! Fixture: ambient RNG that replay cannot reproduce.
+pub fn jitter() -> f64 {
+    rand::random()
+}

@@ -1,0 +1,4 @@
+//! Fixture: wall clock reachable from simulated code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

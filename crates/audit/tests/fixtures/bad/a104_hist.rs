@@ -1,0 +1,4 @@
+//! Fixture: order-dependent float accumulation in digest-adjacent code.
+pub fn total(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>()
+}

@@ -1,0 +1,4 @@
+//! Fixture: ambient hasher state.
+use std::collections::hash_map::RandomState;
+
+pub fn fresh() -> RandomState { RandomState::new() }

@@ -1,0 +1,4 @@
+//! Fixture: thread spawn outside the execution boundary.
+pub fn go() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,2 @@
+//! Fixture: lock type outside the execution boundary.
+pub fn guard() -> std::sync::Mutex<u32> { std::sync::Mutex::new(0) }

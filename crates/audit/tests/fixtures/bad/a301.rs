@@ -1,0 +1,2 @@
+//! Fixture: unwrap in an engine hot path.
+pub fn first(v: &[u32]) -> u32 { *v.first().unwrap() }

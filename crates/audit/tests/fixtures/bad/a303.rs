@@ -1,0 +1,3 @@
+//! Fixture: layering violation (audited as vine-lint, which may not
+//! depend on vine-core).
+pub fn peek() -> u64 { vine_core::SCHEMA_VERSION }

@@ -1,0 +1,3 @@
+//! Fixture: a waiver that suppresses nothing.
+// vine-audit: allow(A102) -- no rng anywhere in this file
+pub fn quiet() {}

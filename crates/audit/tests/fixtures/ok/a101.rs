@@ -1,0 +1,9 @@
+//! Fixture: the same unordered map, waived with a reason.
+use std::collections::HashMap;
+
+// vine-audit: allow(A101) -- fixture: order is sorted by the caller before use
+pub fn key_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

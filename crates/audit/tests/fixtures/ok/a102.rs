@@ -1,0 +1,5 @@
+//! Fixture: the same ambient RNG, waived with a reason.
+pub fn jitter() -> f64 {
+    // vine-audit: allow(A102) -- fixture: value only perturbs a log message
+    rand::random()
+}

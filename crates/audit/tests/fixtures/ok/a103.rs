@@ -1,0 +1,5 @@
+//! Fixture: the same wall clock, waived with a reason.
+pub fn stamp() -> std::time::Instant {
+    // vine-audit: allow(A103) -- fixture: measures real elapsed runtime for reporting only
+    std::time::Instant::now()
+}

@@ -1,0 +1,5 @@
+//! Fixture: the same float accumulation, waived with a reason.
+pub fn total(v: &[f64]) -> f64 {
+    // vine-audit: allow(A104) -- fixture: bins are summed in fixed plan order
+    v.iter().sum::<f64>()
+}

@@ -1,0 +1,5 @@
+//! Fixture: the same ambient hasher, waived with a reason.
+use std::collections::hash_map::RandomState;
+
+// vine-audit: allow(A105) -- fixture: hasher feeds a scratch set, never a digest
+pub fn fresh() -> RandomState { RandomState::new() }

@@ -1,0 +1,7 @@
+//! Fixture: the same Relaxed atomic, waived with a reason.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    // vine-audit: allow(A202) -- fixture: monotone counter, read only after join
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,3 @@
+//! Fixture: the same lock, waived with a reason.
+// vine-audit: allow(A203) -- fixture: guards init-once config, never held across sim steps
+pub fn guard() -> std::sync::Mutex<u32> { std::sync::Mutex::new(0) }

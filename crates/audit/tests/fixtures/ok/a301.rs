@@ -1,0 +1,3 @@
+//! Fixture: the same unwrap, waived with a reason.
+// vine-audit: allow(A301) -- fixture: slice is non-empty by construction two lines up
+pub fn first(v: &[u32]) -> u32 { *v.first().unwrap() }

@@ -1,0 +1,3 @@
+//! Fixture: the same layering violation, waived with a reason.
+// vine-audit: allow(A303) -- fixture: transitional reference, tracked for removal
+pub fn peek() -> u64 { vine_core::SCHEMA_VERSION }

@@ -1,0 +1,4 @@
+//! Fixture: a tombstone waiver keeping a dead waiver documented.
+// vine-audit: allow(A304) -- fixture: the waiver below is kept deliberately as documentation
+// vine-audit: allow(A102) -- historical: the rng this waived was removed
+pub fn quiet() {}

@@ -269,6 +269,7 @@ fn main() {
 
     let mut rec = vine_obs::MemoryRecorder::new();
     let mut conv = cli.stream_threshold.map(ConvergenceObserver::new);
+    // vine-audit: allow(A103) -- CLI wall-time report for the human at the terminal; simulated time comes exclusively from the sim clock
     let wall_start = std::time::Instant::now();
     let mut request = RunRequest::new(cfg, graph);
     if obs.enabled() {

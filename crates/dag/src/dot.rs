@@ -34,7 +34,9 @@ pub fn to_dot(graph: &TaskGraph, opts: DotOptions) -> String {
         opts.max_tasks
     };
     let mut out = String::from("digraph workflow {\n  rankdir=TB;\n  node [fontsize=10];\n");
-    let mut included_files = std::collections::HashSet::new();
+    // Ordered set: the file section of the DOT text must not depend on
+    // hash iteration order, or repeated exports of one graph would diff.
+    let mut included_files = std::collections::BTreeSet::new();
 
     for t in graph.tasks().iter().take(limit) {
         let (shape, color) = match t.kind {

@@ -1,6 +1,6 @@
 //! The threaded manager/worker runtime.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -182,7 +182,7 @@ impl Executor {
         let threads = self.threads.max(1);
         let plan = ExecPlan::build(datasets, self.arity.max(2));
         let mut tracker = ReadyTracker::new(&plan.graph);
-        let mut storage: HashMap<FileId, Arc<HistogramSet>> = HashMap::new();
+        let mut storage: BTreeMap<FileId, Arc<HistogramSet>> = BTreeMap::new();
         let mut task_times = Vec::with_capacity(plan.task_count());
         let mut library_builds = 0u64;
         let mut transient_failures = 0u64;
@@ -224,7 +224,7 @@ impl Executor {
             drop(done_tx);
 
             let send =
-                |task: TaskId, attempt: u32, storage: &HashMap<FileId, Arc<HistogramSet>>| {
+                |task: TaskId, attempt: u32, storage: &BTreeMap<FileId, Arc<HistogramSet>>| {
                     let inputs = plan
                         .graph
                         .task(task)
@@ -244,7 +244,7 @@ impl Executor {
                 };
             // Prime the pipeline with every initially-ready task.
             let dispatch =
-                |tracker: &mut ReadyTracker, storage: &HashMap<FileId, Arc<HistogramSet>>| {
+                |tracker: &mut ReadyTracker, storage: &BTreeMap<FileId, Arc<HistogramSet>>| {
                     while let Some(task) = tracker.pop_ready() {
                         send(task, 1, storage);
                     }

@@ -6,7 +6,7 @@
 //! tasks, never-consumed inputs, unbounded reduction fan-in — are
 //! reported alongside.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vine_dag::{TaskGraph, TaskKind, ValidateError};
 
@@ -62,7 +62,7 @@ pub fn lint(graph: &TaskGraph) -> Report {
     // G003 — duplicate logical names. The engine derives cache keys from
     // file names, so two distinct files with one name would collide in
     // every worker cache and in transfer bookkeeping.
-    let mut by_name: HashMap<&str, usize> = HashMap::new();
+    let mut by_name: BTreeMap<&str, usize> = BTreeMap::new();
     for f in graph.files() {
         *by_name.entry(f.name.as_str()).or_insert(0) += 1;
     }

@@ -15,7 +15,7 @@
 //! changes. The engine keeps exactly one "flow completion" event scheduled
 //! and reschedules it whenever `next_completion()` moves.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vine_simcore::{SimDur, SimTime};
 
@@ -59,7 +59,7 @@ struct Flow {
 pub struct Fabric {
     /// (egress capacity, ingress capacity) per node, bytes/second.
     links: Vec<(f64, f64)>,
-    flows: HashMap<FlowId, Flow>,
+    flows: BTreeMap<FlowId, Flow>,
     next_flow_id: u64,
     /// Instant to which all flow progress has been advanced.
     now: SimTime,
@@ -72,7 +72,7 @@ impl Fabric {
     pub fn new() -> Self {
         Fabric {
             links: Vec::new(),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             next_flow_id: 0,
             now: SimTime::ZERO,
             recomputes: 0,
@@ -212,15 +212,15 @@ impl Fabric {
     /// records.
     pub fn cancel_flows_touching(&mut self, now: SimTime, node: NodeId) -> Vec<FlowRecord> {
         self.advance(now);
-        let doomed: Vec<FlowId> = self
+        // Ordered map: ids come out sorted, so the record order is
+        // deterministic without an explicit sort.
+        let ids: Vec<FlowId> = self
             .flows
             .iter()
             .filter(|(_, f)| f.src == node || f.dst == node)
             .map(|(&id, _)| id)
             .collect();
-        let mut records = Vec::with_capacity(doomed.len());
-        let mut ids: Vec<FlowId> = doomed;
-        ids.sort_unstable(); // deterministic record order
+        let mut records = Vec::with_capacity(ids.len());
         for id in ids {
             let f = self.flows.remove(&id).expect("listed above");
             records.push(FlowRecord {
@@ -283,9 +283,8 @@ impl Fabric {
             capacities.push(e);
             capacities.push(i);
         }
-        // Deterministic flow order: sorted by id.
-        let mut ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        ids.sort_unstable();
+        // Deterministic flow order: the ordered map iterates by id.
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
         let specs: Vec<FlowSpec> = ids
             .iter()
             .map(|id| {

@@ -24,6 +24,7 @@ impl WallClock {
     /// A clock whose origin is now.
     pub fn start() -> Self {
         WallClock {
+            // vine-audit: allow(A103) -- WallClock IS the wall-clock boundary: it measures real elapsed runtime for reporting and never feeds simulated time or digests
             origin: Instant::now(),
         }
     }

@@ -16,14 +16,14 @@
 //! estimate while the remaining partitions are still in flight — the
 //! "first plot in seconds" the paper's near-interactive goal asks for.
 //!
-//! Counter audit (ISSUE 6 satellite a): [`fetch_or_insert`] determines
-//! hit/miss via `contains_key` *before* any insertion and bumps exactly
-//! one counter per call — there is no double-count on the miss path, and
-//! `get` + `fetch_or_insert` never both run for the same logical lookup
-//! in the facility. The counters live in [`Cell`]s so `get` takes
-//! `&self`: lookups are logically read-only, and callers holding `&self`
-//! (e.g. admission planning peeking at warm results) no longer need
-//! `&mut` plumbed through.
+//! Hit/miss counters are **exact**: every lookup (`get` or
+//! [`fetch_or_insert`]) bumps exactly one counter, decided and serviced
+//! by a single map probe — there is no re-read of a just-inserted blob
+//! that could double-count, and `get` + `fetch_or_insert` never both run
+//! for the same logical lookup in the facility. The counters live in
+//! [`Cell`]s so `get` takes `&self`: lookups are logically read-only,
+//! and callers holding `&self` (e.g. admission planning peeking at warm
+//! results) no longer need `&mut` plumbed through.
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -74,23 +74,25 @@ impl ResultStore {
     /// Return the stored blob for `name`, computing and storing it via
     /// `compute` on a miss. The flag is `true` on a hit.
     ///
-    /// Audited (ISSUE 6 satellite a): the hit/miss verdict comes from
-    /// `contains_key` *before* the insert, and exactly one counter is
-    /// bumped per call — a miss is not also counted as a hit when the
-    /// just-inserted blob is read back.
+    /// One map probe decides the verdict, bumps the matching counter, and
+    /// yields the blob: the hit/miss tally is exact by construction (no
+    /// second lookup that could re-count the just-inserted entry).
     pub fn fetch_or_insert<F: FnOnce() -> Vec<u8>>(
         &mut self,
         name: CacheName,
         compute: F,
     ) -> (&[u8], bool) {
-        let hit = self.entries.contains_key(&name);
-        if hit {
-            self.hits.set(self.hits.get() + 1);
-        } else {
-            self.misses.set(self.misses.get() + 1);
-            self.entries.insert(name, compute());
+        use std::collections::btree_map::Entry;
+        match self.entries.entry(name) {
+            Entry::Occupied(e) => {
+                self.hits.set(self.hits.get() + 1);
+                (e.into_mut().as_slice(), true)
+            }
+            Entry::Vacant(e) => {
+                self.misses.set(self.misses.get() + 1);
+                (e.insert(compute()).as_slice(), false)
+            }
         }
-        (self.entries.get(&name).expect("just ensured present"), hit)
     }
 
     /// Publish a live partial result for `name` at `milli_fraction`
@@ -197,14 +199,28 @@ mod tests {
 
     #[test]
     fn counters_count_exactly_once_per_call() {
-        // The satellite-a audit, as a regression test: one counter bump
-        // per lookup, on both the get and fetch_or_insert paths.
+        // Regression test for the fetch_or_insert double-count: one
+        // counter bump per lookup, on both the get and fetch_or_insert
+        // paths, asserted after every single call so a re-count anywhere
+        // in the interleaving is pinpointed, not just detected at the end.
         let mut store = ResultStore::new();
         store.fetch_or_insert(name(1), || vec![1]); // miss
+        assert_eq!((store.hits(), store.misses()), (0, 1));
         store.fetch_or_insert(name(1), || vec![2]); // hit
+        assert_eq!((store.hits(), store.misses()), (1, 1));
         store.get(name(1)); // hit
+        assert_eq!((store.hits(), store.misses()), (2, 1));
         store.get(name(9)); // miss
         assert_eq!((store.hits(), store.misses()), (2, 2));
+        // put / invalidate / partials are not lookups: no counter moves.
+        store.put(name(2), vec![4]);
+        store.put_partial(name(2), 500, vec![5]);
+        store.invalidate(name(1));
+        assert_eq!((store.hits(), store.misses()), (2, 2));
+        // A miss after invalidation recomputes and counts exactly once.
+        let (_, hit) = store.fetch_or_insert(name(1), || vec![3]);
+        assert!(!hit);
+        assert_eq!((store.hits(), store.misses()), (2, 3));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! the hot path of the fabric model.
 
 use std::cmp::Ordering;
+// vine-audit: allow-file(A101) -- pending/cancelled are membership probes
+// only; nothing ever iterates them, so hash order cannot escape. HashSet
+// keeps O(1) cancellation on the fabric-reschedule hot path.
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::SimTime;

@@ -11,7 +11,7 @@
 //! single-node reduction pins hundreds of gigabytes of histogram inputs on
 //! one worker and kills it.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::cachename::CacheName;
 
@@ -67,7 +67,7 @@ pub struct LocalCache {
     capacity: u64,
     used: u64,
     tick: u64,
-    entries: HashMap<CacheName, Entry>,
+    entries: BTreeMap<CacheName, Entry>,
     /// High-water mark of `used`, for Fig 11 reporting.
     peak_used: u64,
     /// Lifetime insertions (survives `clear`), for cross-session accounting.
@@ -77,7 +77,7 @@ pub struct LocalCache {
     /// Resident entries whose bytes no longer match their cachename
     /// checksum (chaos bitrot). Membership implies residency; the mark is
     /// dropped whenever the entry's bytes are replaced or leave the cache.
-    corrupt: HashSet<CacheName>,
+    corrupt: BTreeSet<CacheName>,
 }
 
 impl LocalCache {
@@ -87,11 +87,11 @@ impl LocalCache {
             capacity,
             used: 0,
             tick: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             peak_used: 0,
             insertions: 0,
             evictions: 0,
-            corrupt: HashSet::new(),
+            corrupt: BTreeSet::new(),
         }
     }
 

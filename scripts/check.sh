@@ -23,4 +23,7 @@ cargo build --workspace --all-targets "$@"
 echo "== cargo test =="
 cargo test --workspace -q "$@"
 
+echo "== vine-audit (determinism/concurrency gate, ratcheted baseline) =="
+cargo run -q -p vine-audit "$@" -- --deny --baseline results/audit_baseline.txt
+
 echo "check.sh: all green"
