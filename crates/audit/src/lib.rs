@@ -303,6 +303,7 @@ impl Default for AuditConfig {
         layering.insert("audit".into(), dep(&[]));
         layering.insert("storage".into(), dep(&["simcore"]));
         layering.insert("net".into(), dep(&["simcore"]));
+        layering.insert("store".into(), dep(&["simcore", "storage", "net", "obs"]));
         layering.insert("cluster".into(), dep(&["simcore"]));
         layering.insert("chaos".into(), dep(&["simcore"]));
         layering.insert("lint".into(), dep(&["dag"]));
@@ -321,14 +322,14 @@ impl Default for AuditConfig {
         layering.insert(
             "serve".into(),
             dep(&[
-                "simcore", "storage", "cluster", "dag", "lint", "obs", "analysis", "core",
+                "simcore", "storage", "store", "cluster", "dag", "lint", "obs", "analysis", "core",
             ]),
         );
         layering.insert(
             "bench".into(),
             dep(&[
-                "simcore", "storage", "net", "cluster", "chaos", "dag", "lint", "obs", "data",
-                "analysis", "core", "serve", "exec",
+                "simcore", "storage", "store", "net", "cluster", "chaos", "dag", "lint", "obs",
+                "data", "analysis", "core", "serve", "exec",
             ]),
         );
         AuditConfig {
@@ -449,7 +450,7 @@ mod tests {
         // added to it deliberately.
         let cfg = AuditConfig::default();
         for k in [
-            "simcore", "storage", "net", "cluster", "chaos", "dag", "lint", "obs", "data",
+            "simcore", "storage", "store", "net", "cluster", "chaos", "dag", "lint", "obs", "data",
             "analysis", "core", "serve", "exec", "bench", "audit",
         ] {
             assert!(cfg.layering.contains_key(k), "{k} missing from layering");

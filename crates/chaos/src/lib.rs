@@ -256,21 +256,33 @@ impl FaultPlan {
 
     /// A named preset, or `None` for an unknown name.
     ///
-    /// * `campus` — the paper's opportunistic pool: ~1 % of workers
-    ///   preempted per hour-long run, a whiff of transient failures.
+    /// Rates are tuned so every preset *differentiates* the recovery
+    /// policies on a short DV3-Small run (fig-chaos asserts ≥5 %
+    /// makespan spread per preset): faults must actually fire inside a
+    /// ~1-minute window and must surface as attempt-level failures that
+    /// draw on the retry budget, or every policy ladder rung behaves
+    /// identically.
+    ///
+    /// * `campus` — the opportunistic pool: a preemption every
+    ///   worker-minute or so plus the crash-level failures evicted jobs
+    ///   suffer.
     /// * `storm` — everything at once: brisk preemption, a slowdown
     ///   window, transient crashes, a link-degradation window, bitrot.
     /// * `stragglers` — a long window where 30 % of workers run 6× slow.
-    /// * `flaky-net` — a deep bandwidth collapse then a full partition.
-    /// * `bitrot` — steady cache corruption, nothing else.
+    /// * `flaky-net` — a deep bandwidth collapse then a full partition,
+    ///   plus the transfer I/O errors a flaky network inflicts on
+    ///   attempts.
+    /// * `bitrot` — steady cache corruption (detected on cache-hit
+    ///   re-reads) plus the mid-attempt I/O failures corrupt reads
+    ///   surface.
     pub fn preset(name: &str) -> Option<FaultPlan> {
         let plan = match name {
             "campus" => FaultPlan::none()
                 .with(Fault::Preemption {
-                    rate_per_sec: 0.01 / 3600.0,
+                    rate_per_sec: 1.0 / 60.0,
                 })
                 .with(Fault::TaskFailure {
-                    prob: 0.002,
+                    prob: 0.06,
                     exit: ExitClass::Crash,
                 }),
             "storm" => FaultPlan::none()
@@ -304,20 +316,27 @@ impl FaultPlan {
             }),
             "flaky-net" => FaultPlan::none()
                 .with(Fault::LinkDegrade {
-                    start: SimTime::from_secs(30),
-                    duration: SimDur::from_secs(180),
+                    start: SimTime::from_secs(10),
+                    duration: SimDur::from_secs(90),
                     factor: 0.05,
                     fraction: 0.5,
                 })
                 .with(Fault::LinkDegrade {
-                    start: SimTime::from_secs(90),
-                    duration: SimDur::from_secs(60),
+                    start: SimTime::from_secs(30),
+                    duration: SimDur::from_secs(45),
                     factor: 0.0,
                     fraction: 0.25,
+                })
+                .with(Fault::TaskFailure {
+                    prob: 0.08,
+                    exit: ExitClass::IoError,
                 }),
-            "bitrot" => FaultPlan::none().with(Fault::CacheCorruption {
-                rate_per_sec: 1.0 / 60.0,
-            }),
+            "bitrot" => FaultPlan::none()
+                .with(Fault::CacheCorruption { rate_per_sec: 0.1 })
+                .with(Fault::TaskFailure {
+                    prob: 0.08,
+                    exit: ExitClass::IoError,
+                }),
             _ => return None,
         };
         Some(plan)

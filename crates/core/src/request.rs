@@ -2,25 +2,16 @@
 //!
 //! [`RunRequest`] collapses what used to be a 2×2 of ad-hoc `Engine`
 //! methods (`run`, `run_recorded`, `run_in_session`,
-//! `run_in_session_recorded`) into one builder: a workload plus any
-//! combination of warm session, observability recorder, chaos plan,
-//! recovery policy, and streaming observer.
-//!
-//! Migration map from the deprecated variants:
-//!
-//! | old call | builder form |
-//! |---|---|
-//! | `Engine::new(cfg, g).run()` | `RunRequest::new(cfg, g).run()` |
-//! | `.run_recorded(&mut rec)` | `RunRequest::new(cfg, g).recorder(&mut rec).run()` |
-//! | `.run_in_session(&mut s)` | `RunRequest::new(cfg, g).session(&mut s).run()` |
-//! | `.run_in_session_recorded(&mut s, &mut rec)` | `.session(&mut s).recorder(&mut rec).run()` |
+//! `run_in_session_recorded` — all removed in 0.3) into one builder: a
+//! workload plus any combination of warm session, observability
+//! recorder, chaos plan, recovery policy, and streaming observer.
+//! `Engine::request` bridges from a prepared [`Engine`](crate::Engine).
 //!
 //! Streaming is the capability the redesign buys: attach a
 //! [`RunObserver`](crate::RunObserver) with [`RunRequest::observer`] and
 //! the engine pushes a partial result at every partition completion (and
 //! honors early stop). Every knob is optional; a bare
-//! `RunRequest::new(cfg, graph).run()` is byte-identical to the old
-//! `Engine::run`.
+//! `RunRequest::new(cfg, graph).run()` is the plain batch run.
 
 use vine_chaos::FaultPlan;
 use vine_dag::TaskGraph;
@@ -125,10 +116,9 @@ mod tests {
     }
 
     #[test]
-    fn bare_request_equals_engine_run() {
+    fn bare_request_equals_engine_request() {
         let a = RunRequest::new(cfg(), graph(8)).run();
-        #[allow(deprecated)]
-        let b = crate::Engine::new(cfg(), graph(8)).run();
+        let b = crate::Engine::new(cfg(), graph(8)).request().run();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.stats.task_executions, b.stats.task_executions);
         assert!(a.completed());

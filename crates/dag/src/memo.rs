@@ -25,6 +25,19 @@
 //! Invalidation is the scheduler's job: when preemption or eviction later
 //! destroys the only copy of a memoized file, the policy declares the loss
 //! and the [`crate::ReadyTracker`] revives the (skipped) producer chain.
+//!
+//! ## A second residency source: the shared object tier
+//!
+//! A federated facility backs its shards with a shared content-addressed
+//! store (`vine-store`): a file absent from the local session may still be
+//! *warm in the store*, produced by another shard. [`MemoPlan::compute_with_store`]
+//! treats store residency as equivalent to local residency for the
+//! must-run analysis, and additionally reports the **fetch set** — the
+//! needed files that must be pulled out of the store (and charged transfer
+//! time) before the run can treat them as local. A file is fetched only
+//! when it is needed (a sink, or consumed by a must-run task), resident
+//! only in the store, and its producer is skipped — a must-run producer
+//! regenerates it locally for free.
 
 use crate::graph::{FileId, TaskGraph, TaskId};
 
@@ -40,6 +53,11 @@ pub struct MemoPlan {
     pub warm_files: usize,
     /// Bytes of those warm-hit files (by graph size hint).
     pub warm_bytes: u64,
+    /// Needed files resident only in the shared store: they must be
+    /// fetched before the run starts (ascending file id — deterministic).
+    pub store_fetches: Vec<FileId>,
+    /// Bytes of those fetches (by graph size hint).
+    pub store_bytes: u64,
 }
 
 impl MemoPlan {
@@ -49,13 +67,35 @@ impl MemoPlan {
     ///
     /// Relies on the builder's guarantee that task ids are topologically
     /// ordered (a task only consumes files that already exist).
-    pub fn compute(graph: &TaskGraph, resident: impl Fn(FileId) -> bool) -> Self {
+    pub fn compute(graph: &TaskGraph, resident: impl FnMut(FileId) -> bool) -> Self {
+        MemoPlan::compute_with_store(graph, resident, |_| false)
+    }
+
+    /// Like [`MemoPlan::compute`], but with a second residency source: the
+    /// shared object tier. `local(f)` reports session residency, and
+    /// `in_store(f)` store residency; either satisfies the must-run rule.
+    /// Files satisfied *only* by the store that the run actually needs are
+    /// collected into [`MemoPlan::store_fetches`] so the caller can charge
+    /// transfer time and pre-warm its caches before dispatch.
+    pub fn compute_with_store(
+        graph: &TaskGraph,
+        mut local: impl FnMut(FileId) -> bool,
+        mut in_store: impl FnMut(FileId) -> bool,
+    ) -> Self {
         let nt = graph.task_count();
         let nf = graph.file_count();
         let mut is_resident = vec![false; nf];
+        let mut store_only = vec![false; nf];
         for f in graph.files() {
-            if f.producer.is_some() && resident(f.id) {
-                is_resident[f.id.0 as usize] = true;
+            if f.producer.is_none() {
+                continue; // external inputs are always re-readable
+            }
+            let i = f.id.0 as usize;
+            if local(f.id) {
+                is_resident[i] = true;
+            } else if in_store(f.id) {
+                is_resident[i] = true;
+                store_only[i] = true;
             }
         }
 
@@ -92,12 +132,37 @@ impl MemoPlan {
             }
         }
 
+        // Second pass, after must_run is final: a store-only file is worth
+        // fetching when the run needs it — it feeds a must-run consumer, or
+        // it is a sink the analyst reads — and its producer is skipped (a
+        // must-run producer regenerates it locally anyway).
+        let mut store_fetches = Vec::new();
+        let mut store_bytes = 0u64;
+        for f in graph.files() {
+            let i = f.id.0 as usize;
+            if !store_only[i] {
+                continue;
+            }
+            let producer = f.producer.expect("store_only implies produced");
+            if must_run[producer.0 as usize] {
+                continue;
+            }
+            let needed =
+                f.consumers.is_empty() || f.consumers.iter().any(|c| must_run[c.0 as usize]);
+            if needed {
+                store_fetches.push(f.id);
+                store_bytes += f.size_hint;
+            }
+        }
+
         MemoPlan {
             skip: must_run.iter().map(|&m| !m).collect(),
             resident: is_resident,
             skipped_tasks,
             warm_files,
             warm_bytes,
+            store_fetches,
+            store_bytes,
         }
     }
 
@@ -109,6 +174,8 @@ impl MemoPlan {
             skipped_tasks: 0,
             warm_files: 0,
             warm_bytes: 0,
+            store_fetches: Vec::new(),
+            store_bytes: 0,
         }
     }
 
@@ -235,6 +302,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn store_residency_collapses_ancestry_and_reports_the_fetch() {
+        // Nothing local; the sink is warm in the shared store. All three
+        // tasks are satisfied, and the one needed store-only file is the
+        // fetch set.
+        let (g, p0, p1, acc) = chain();
+        let sink = g.task(acc).outputs[0];
+        let plan = MemoPlan::compute_with_store(&g, |_| false, |f| f == sink);
+        assert!(plan.skips(p0) && plan.skips(p1) && plan.skips(acc));
+        assert_eq!(plan.store_fetches, vec![sink]);
+        assert_eq!(plan.store_bytes, g.file(sink).size_hint);
+    }
+
+    #[test]
+    fn fetch_set_skips_regenerated_and_unneeded_files() {
+        // f0 warm in store, f1 and the sink cold: acc and p1 must run, p0
+        // is satisfied by the store. f0 feeds the must-run acc, so it is
+        // fetched; nothing else is store-resident.
+        let (g, p0, p1, acc) = chain();
+        let f0 = g.task(p0).outputs[0];
+        let plan = MemoPlan::compute_with_store(&g, |_| false, |f| f == f0);
+        assert!(plan.skips(p0) && !plan.skips(p1) && !plan.skips(acc));
+        assert_eq!(plan.store_fetches, vec![f0]);
+
+        // Same store state but the sink is *locally* resident: everything
+        // collapses and f0 is no longer needed — no fetch.
+        let sink = g.task(acc).outputs[0];
+        let plan = MemoPlan::compute_with_store(&g, |f| f == sink, |f| f == f0);
+        assert_eq!(plan.skipped_tasks, 3);
+        assert!(plan.store_fetches.is_empty());
+        assert_eq!(plan.store_bytes, 0);
+    }
+
+    #[test]
+    fn local_residency_shadows_the_store() {
+        // A file both local and in store is a local hit: no fetch.
+        let (g, p0, _, _) = chain();
+        let f0 = g.task(p0).outputs[0];
+        let plan = MemoPlan::compute_with_store(&g, |f| f == f0, |f| f == f0);
+        assert!(plan.skips(p0));
+        assert!(plan.store_fetches.is_empty());
     }
 
     #[test]

@@ -138,6 +138,77 @@ pub fn lint_facility(facts: &FacilityFacts) -> Report {
     report
 }
 
+/// A plain snapshot of the federation knobs the sharding lints read.
+#[derive(Clone, Debug)]
+pub struct ShardFacts {
+    /// Independent facility shards in the federation.
+    pub shards: usize,
+    /// Whether a shared object tier is attached.
+    pub store_enabled: bool,
+    /// The tier's byte capacity (ignored when disabled).
+    pub store_capacity_bytes: u64,
+    /// The tier's egress bandwidth, bytes/second (ignored when disabled).
+    pub store_bw: f64,
+    /// Per-shard ingress bandwidth, bytes/second (ignored when disabled).
+    pub shard_bw: f64,
+    /// Cross-shard work stealing enabled.
+    pub work_stealing: bool,
+}
+
+/// Run the per-shard facility lints plus the federation-level sharding
+/// lints (F006–F008).
+pub fn lint_sharded(facts: &FacilityFacts, shard_facts: &ShardFacts) -> Report {
+    let mut report = lint_facility(facts);
+
+    if shard_facts.shards == 0 {
+        report.push(Diagnostic {
+            code: Code::F006,
+            severity: Severity::Error,
+            locus: Locus::Config,
+            message: "federation has zero shards; nothing can ever run".into(),
+            suggestion: Some("configure at least one shard".into()),
+        });
+    }
+
+    if shard_facts.store_enabled {
+        let bad_bw = |bw: f64| !(bw.is_finite() && bw > 0.0);
+        if shard_facts.store_capacity_bytes == 0 {
+            report.push(Diagnostic {
+                code: Code::F007,
+                severity: Severity::Error,
+                locus: Locus::Config,
+                message: "shared object tier has zero capacity; every put bounces".into(),
+                suggestion: Some("give the tier a positive byte capacity".into()),
+            });
+        }
+        if bad_bw(shard_facts.store_bw) || bad_bw(shard_facts.shard_bw) {
+            report.push(Diagnostic {
+                code: Code::F007,
+                severity: Severity::Error,
+                locus: Locus::Config,
+                message: format!(
+                    "shared object tier bandwidth is invalid (store {} B/s, shard {} B/s)",
+                    shard_facts.store_bw, shard_facts.shard_bw
+                ),
+                suggestion: Some("use positive finite bandwidths".into()),
+            });
+        }
+    }
+
+    if shard_facts.work_stealing && shard_facts.shards == 1 {
+        report.push(Diagnostic {
+            code: Code::F008,
+            severity: Severity::Warn,
+            locus: Locus::Config,
+            message: "work stealing enabled on a single-shard federation; there is never a victim"
+                .into(),
+            suggestion: Some("add shards or disable work stealing".into()),
+        });
+    }
+
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +293,66 @@ mod tests {
         let r = lint_facility(&f);
         assert!(r.has_code(Code::F005));
         assert!(!r.has_errors(), "F005 is advisory");
+    }
+
+    fn healthy_shards() -> ShardFacts {
+        ShardFacts {
+            shards: 4,
+            store_enabled: true,
+            store_capacity_bytes: 200_000_000_000,
+            store_bw: 12.5e9,
+            shard_bw: 1.25e9,
+            work_stealing: true,
+        }
+    }
+
+    #[test]
+    fn healthy_federation_is_clean() {
+        assert!(lint_sharded(&healthy(), &healthy_shards()).is_clean());
+    }
+
+    #[test]
+    fn zero_shards_fire_f006() {
+        let mut s = healthy_shards();
+        s.shards = 0;
+        let r = lint_sharded(&healthy(), &s);
+        assert!(r.has_code(Code::F006) && r.has_errors());
+    }
+
+    #[test]
+    fn broken_store_fires_f007() {
+        let mut s = healthy_shards();
+        s.store_capacity_bytes = 0;
+        assert!(lint_sharded(&healthy(), &s).has_code(Code::F007));
+
+        let mut s = healthy_shards();
+        s.store_bw = 0.0;
+        assert!(lint_sharded(&healthy(), &s).has_code(Code::F007));
+        s.store_bw = f64::NAN;
+        assert!(lint_sharded(&healthy(), &s).has_code(Code::F007));
+
+        let mut s = healthy_shards();
+        s.shard_bw = -1.0;
+        let r = lint_sharded(&healthy(), &s);
+        assert!(r.has_code(Code::F007) && r.has_errors());
+
+        // A disabled store never lints its knobs.
+        let mut s = healthy_shards();
+        s.store_enabled = false;
+        s.store_capacity_bytes = 0;
+        s.store_bw = 0.0;
+        assert!(lint_sharded(&healthy(), &s).is_clean());
+    }
+
+    #[test]
+    fn single_shard_stealing_fires_f008() {
+        let mut s = healthy_shards();
+        s.shards = 1;
+        let r = lint_sharded(&healthy(), &s);
+        assert!(r.has_code(Code::F008));
+        assert!(!r.has_errors(), "F008 is advisory");
+
+        s.work_stealing = false;
+        assert!(lint_sharded(&healthy(), &s).is_clean());
     }
 }

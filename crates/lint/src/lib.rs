@@ -46,7 +46,7 @@ pub mod graph;
 pub mod recovery;
 pub mod resources;
 
-pub use facility::{lint_facility, FacilityFacts, TenantFacts};
+pub use facility::{lint_facility, lint_sharded, FacilityFacts, ShardFacts, TenantFacts};
 
 use std::fmt;
 
@@ -145,11 +145,19 @@ pub enum Code {
     /// A tenant's resident-byte quota exceeds the cluster's aggregate
     /// disk.
     F005,
+    /// Federation has zero shards: no facility can ever run anything.
+    F006,
+    /// Shared object tier configured with zero capacity or a
+    /// non-positive/non-finite bandwidth: every fetch stalls or fails.
+    F007,
+    /// Cross-shard work stealing enabled on a single-shard federation:
+    /// there is never another shard to steal from.
+    F008,
 }
 
 impl Code {
     /// Every code, in report order — drives the README reference table.
-    pub const ALL: [Code; 30] = [
+    pub const ALL: [Code; 33] = [
         Code::G001,
         Code::G002,
         Code::G003,
@@ -180,6 +188,9 @@ impl Code {
         Code::F003,
         Code::F004,
         Code::F005,
+        Code::F006,
+        Code::F007,
+        Code::F008,
     ];
 
     /// One-line description (the README reference text).
@@ -215,6 +226,9 @@ impl Code {
             Code::F003 => "warm-cache memoization under a non-TaskVine scheduler does nothing",
             Code::F004 => "per-run worker slice is zero or larger than the cluster",
             Code::F005 => "tenant resident-byte quota exceeds the cluster's aggregate disk",
+            Code::F006 => "federation has zero shards; nothing can ever run",
+            Code::F007 => "shared object tier with zero capacity or invalid bandwidth",
+            Code::F008 => "work stealing on a single-shard federation has no victim",
         }
     }
 }

@@ -20,8 +20,11 @@
 //! writeback by evicting the owning tenant's entries in deterministic
 //! (sorted cachename) order.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use vine_analysis::ConvergenceObserver;
 use vine_cluster::ClusterSpec;
@@ -29,10 +32,11 @@ use vine_core::{
     graph_file_cachename, EngineConfig, FaultPlan, RecoveryPolicy, RunRequest, RunStats,
     SessionState,
 };
-use vine_dag::TaskGraph;
+use vine_dag::{FileId, MemoPlan, TaskGraph};
 use vine_lint::{lint_facility, FacilityFacts, Report, SchedulerFamily};
 use vine_simcore::{RngHub, SimDur, SimTime};
-use vine_storage::{CacheName, LocalCache};
+use vine_storage::{CacheEntryKind, CacheName, LocalCache};
+use vine_store::ObjectStore;
 
 use crate::report::FacilityReport;
 use crate::resultstore::ResultStore;
@@ -177,6 +181,14 @@ pub struct SubmissionRecord {
     /// Live partial entries this run published into the
     /// [`ResultStore`].
     pub partials_published: usize,
+    /// Files pre-fetched out of the shared object tier before the run
+    /// (federated facilities only; zero when no tier is attached).
+    pub store_fetched_files: usize,
+    /// Bytes of those pre-fetches.
+    pub store_fetch_bytes: u64,
+    /// Simulated transfer time charged for the pre-fetch, added to the
+    /// run's facility-clock duration.
+    pub store_fetch: SimDur,
 }
 
 impl SubmissionRecord {
@@ -195,19 +207,30 @@ impl SubmissionRecord {
     }
 }
 
-struct Queued {
-    seq: usize,
-    priority: i32,
-    arrival: SimTime,
-    graph: TaskGraph,
-    label: String,
-    stream_threshold: Option<f64>,
+/// One queued submission; crate-visible so the federation layer can move
+/// it between shards when work stealing.
+pub(crate) struct Queued {
+    pub(crate) seq: usize,
+    pub(crate) priority: i32,
+    pub(crate) arrival: SimTime,
+    pub(crate) graph: TaskGraph,
+    pub(crate) label: String,
+    pub(crate) stream_threshold: Option<f64>,
 }
 
 struct ActiveRun {
     record: SubmissionRecord,
     /// Post-run caches, held back until `record.finished`.
     caches: Vec<LocalCache>,
+    /// Shared-tier entries pinned for this run's duration.
+    pinned: Vec<CacheName>,
+}
+
+/// This facility's handle onto a federation's shared object tier.
+pub(crate) struct SharedStore {
+    pub(crate) tier: Rc<RefCell<ObjectStore>>,
+    /// This facility's shard index in the tier's accounting.
+    pub(crate) shard: usize,
 }
 
 /// The multi-tenant facility. See the module docs for the model.
@@ -219,6 +242,14 @@ pub struct Facility {
     busy: Vec<bool>,
     share: FairShare,
     queues: Vec<VecDeque<Queued>>,
+    /// Admission candidates: `(vtime, tenant)` for every tenant with
+    /// queued work whose core quota has room. Kept in lockstep with
+    /// `queues`/`inflight_cores` so admission is O(log tenants) instead
+    /// of a full scan — load-bearing at federation scale (10⁵ tenants).
+    ready: BTreeSet<(u64, usize)>,
+    /// Tenants with queued work blocked on their in-flight core quota;
+    /// they re-enter `ready` when a writeback frees cores.
+    quota_blocked: BTreeSet<usize>,
     inflight_cores: Vec<u64>,
     /// Which tenant first materialized each resident cachename.
     owner: BTreeMap<CacheName, usize>,
@@ -233,6 +264,14 @@ pub struct Facility {
     preflight: Report,
     /// Physics results (final and live partial) across runs.
     results: ResultStore,
+    /// The federation's shared object tier, when this facility is a
+    /// shard of a [`crate::ShardedFacility`]. `None` for a standalone
+    /// facility — and a standalone facility then behaves byte-identically
+    /// to the pre-federation code path.
+    store: Option<SharedStore>,
+    /// Next seq advances by this much (1 standalone; the shard count in
+    /// a federation, so seqs stay globally unique across shards).
+    seq_stride: usize,
 }
 
 impl Facility {
@@ -254,6 +293,8 @@ impl Facility {
             busy: vec![false; cfg.cluster.workers],
             share: FairShare::new(weights),
             queues: (0..n).map(|_| VecDeque::new()).collect(),
+            ready: BTreeSet::new(),
+            quota_blocked: BTreeSet::new(),
             inflight_cores: vec![0; n],
             owner: BTreeMap::new(),
             pending: Vec::new(),
@@ -267,7 +308,20 @@ impl Facility {
             cfg,
             preflight,
             results: ResultStore::new(),
+            store: None,
+            seq_stride: 1,
         })
+    }
+
+    /// Attach the federation's shared object tier and take `base` /
+    /// `stride` seq numbering (shard index / shard count), so seqs stay
+    /// globally unique across the federation and inner run seeds —
+    /// derived from the seq — are stable under work stealing.
+    pub(crate) fn federate(&mut self, store: Option<SharedStore>, base: usize, stride: usize) {
+        assert!(stride > 0 && base < stride, "shard numbering out of range");
+        self.store = store;
+        self.next_seq = base;
+        self.seq_stride = stride;
     }
 
     /// The pre-flight lint report (warnings survive even when clean
@@ -315,7 +369,7 @@ impl Facility {
         for s in subs {
             assert!(s.tenant < self.cfg.tenants.len(), "unknown tenant");
             let seq = self.next_seq;
-            self.next_seq += 1;
+            self.next_seq += self.seq_stride;
             self.pending_seq.push(seq);
             self.pending.push(s);
         }
@@ -337,24 +391,47 @@ impl Facility {
     /// at equal times; admission is retried after every state change.
     pub fn drain(&mut self) -> FacilityReport {
         loop {
-            self.complete_due();
-            self.arrive_due();
-            if self.admit_all() > 0 {
-                // A warm run can finish in ~zero time: re-check
-                // completions at the current clock before advancing.
-                continue;
-            }
-            let next_completion = self.active.iter().map(|r| r.record.finished).min();
-            let next_arrival = self.pending.last().map(|s| s.arrival);
-            let next = match (next_completion, next_arrival) {
-                (None, None) => break,
-                (Some(c), None) => c,
-                (None, Some(a)) => a,
-                (Some(c), Some(a)) => c.min(a),
+            self.step_now();
+            let Some(next) = self.next_event_time() else {
+                break;
             };
             self.now = self.now.max(next);
         }
         self.report()
+    }
+
+    /// Settle every event due at the current clock: completions, then
+    /// arrivals, then admissions — repeated until quiescent (a warm run
+    /// can finish in ~zero time, re-enabling completions at the same
+    /// instant).
+    pub(crate) fn step_now(&mut self) {
+        loop {
+            self.complete_due();
+            self.arrive_due();
+            if self.admit_all() == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Advance the facility clock to `t` (monotone) and settle. The
+    /// federation's lockstep driver steps every shard with this.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+        self.step_now();
+    }
+
+    /// The earliest future event — run completion or staged arrival —
+    /// or `None` when the facility is fully drained.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let next_completion = self.active.iter().map(|r| r.record.finished).min();
+        let next_arrival = self.pending.last().map(|s| s.arrival);
+        match (next_completion, next_arrival) {
+            (None, None) => None,
+            (Some(c), None) => Some(c),
+            (None, Some(a)) => Some(a),
+            (Some(c), Some(a)) => Some(c.min(a)),
+        }
     }
 
     /// Submit one graph at the current facility time and run it to
@@ -446,6 +523,28 @@ impl Facility {
             self.busy[w] = false;
         }
         self.inflight_cores[tenant] -= self.cfg.run_cores();
+        // Cores freed: the tenant (if quota-blocked with queued work)
+        // may be admissible again.
+        if self.quota_blocked.contains(&tenant) && self.tenant_has_quota_room(tenant) {
+            self.quota_blocked.remove(&tenant);
+            self.ready.insert((self.share.vtime(tenant), tenant));
+        }
+        // Publish the run's intermediates into the shared tier (inputs
+        // are externally re-readable, not store material) and release
+        // the pins its pre-fetch took.
+        if let Some(store) = &self.store {
+            let mut tier = store.tier.borrow_mut();
+            for &name in &run.pinned {
+                tier.unpin(name);
+            }
+            for &w in &run.record.workers {
+                for (name, size, kind) in self.caches[w].iter() {
+                    if kind == CacheEntryKind::Intermediate {
+                        let _ = tier.put(store.shard, name, size);
+                    }
+                }
+            }
+        }
         // Newly resident entries belong to the first tenant that
         // materialized them; entries that vanished everywhere (evicted
         // inside runs) drop off the ownership map.
@@ -507,24 +606,55 @@ impl Facility {
         while self.pending.last().is_some_and(|s| s.arrival <= self.now) {
             let s = self.pending.pop().expect("checked non-empty");
             let seq = self.pending_seq.pop().expect("parallel to pending");
-            let q = Queued {
-                seq,
-                priority: s.priority,
-                arrival: s.arrival,
-                graph: s.graph,
-                label: s.label,
-                stream_threshold: s.stream_threshold,
-            };
-            let queue = &mut self.queues[s.tenant];
-            if queue.is_empty() {
-                self.share.activate(s.tenant);
-            }
-            // Insert keeping (-priority, arrival, seq) order.
-            let pos = queue
-                .iter()
-                .position(|e| (-e.priority, e.arrival, e.seq) > (-q.priority, q.arrival, q.seq))
-                .unwrap_or(queue.len());
-            queue.insert(pos, q);
+            let tenant = s.tenant;
+            self.enqueue(
+                tenant,
+                Queued {
+                    seq,
+                    priority: s.priority,
+                    arrival: s.arrival,
+                    graph: s.graph,
+                    label: s.label,
+                    stream_threshold: s.stream_threshold,
+                },
+            );
+        }
+    }
+
+    /// Queue one submission for `tenant` (arrival or stolen work) and
+    /// refresh its admission bookkeeping.
+    fn enqueue(&mut self, tenant: usize, q: Queued) {
+        let queue = &mut self.queues[tenant];
+        if queue.is_empty() {
+            self.share.activate(tenant);
+        }
+        // Insert keeping (-priority, arrival, seq) order.
+        let pos = queue
+            .iter()
+            .position(|e| (-e.priority, e.arrival, e.seq) > (-q.priority, q.arrival, q.seq))
+            .unwrap_or(queue.len());
+        queue.insert(pos, q);
+        self.mark_admissible(tenant);
+    }
+
+    fn tenant_has_quota_room(&self, t: usize) -> bool {
+        self.inflight_cores[t] + self.cfg.run_cores()
+            <= u64::from(self.cfg.tenants[t].max_inflight_cores)
+    }
+
+    /// Re-derive which admission set the tenant belongs in. Idempotent;
+    /// call after any change to its queue, vtime, or in-flight cores.
+    fn mark_admissible(&mut self, t: usize) {
+        if self.queues[t].is_empty() {
+            self.ready.remove(&(self.share.vtime(t), t));
+            self.quota_blocked.remove(&t);
+            return;
+        }
+        if self.tenant_has_quota_room(t) {
+            self.quota_blocked.remove(&t);
+            self.ready.insert((self.share.vtime(t), t));
+        } else {
+            self.quota_blocked.insert(t);
         }
     }
 
@@ -539,39 +669,38 @@ impl Facility {
             if free.len() < self.cfg.workers_per_run {
                 break;
             }
-            let run_cores = self.cfg.run_cores();
-            let eligible = (0..self.queues.len()).filter(|&t| {
-                !self.queues[t].is_empty()
-                    && self.inflight_cores[t] + run_cores
-                        <= u64::from(self.cfg.tenants[t].max_inflight_cores)
-            });
-            let Some(t) = self.share.pick(eligible) else {
+            // The ready set's head is exactly `share.pick` over eligible
+            // tenants: min (vtime, index), entries kept fresh at every
+            // vtime/queue/quota change.
+            let Some(&(vt, t)) = self.ready.iter().next() else {
                 break;
             };
-            let q = self.queues[t].pop_front().expect("eligible ⇒ non-empty");
-            self.share.charge(t, run_cores);
+            debug_assert_eq!(vt, self.share.vtime(t), "stale ready-set vtime");
+            self.ready.remove(&(vt, t));
+            let q = self.queues[t].pop_front().expect("ready ⇒ non-empty");
+            self.share.charge(t, self.cfg.run_cores());
             self.admit(t, q, &free);
             admitted += 1;
+            self.mark_admissible(t);
         }
         admitted
     }
 
     fn admit(&mut self, tenant: usize, q: Queued, free: &[usize]) {
+        // Cachenames of every produced file, indexed by file id (the
+        // slice scorer and the store consult both read them).
+        let mut names: Vec<Option<(CacheName, u64)>> = vec![None; q.graph.file_count()];
+        for (i, f) in q.graph.files().iter().enumerate() {
+            if f.producer.is_some() {
+                names[i] = Some((
+                    graph_file_cachename(&q.graph, FileId(i as u32)),
+                    f.size_hint,
+                ));
+            }
+        }
         // Cache-aware slice selection: prefer free workers already
         // holding this graph's intermediates (exact name *and* size).
-        let wanted: Vec<(CacheName, u64)> = q
-            .graph
-            .files()
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.producer.is_some())
-            .map(|(i, f)| {
-                (
-                    graph_file_cachename(&q.graph, vine_dag::FileId(i as u32)),
-                    f.size_hint,
-                )
-            })
-            .collect();
+        let wanted: Vec<(CacheName, u64)> = names.iter().flatten().copied().collect();
         let mut scored: Vec<(u64, usize)> = free
             .iter()
             .map(|&w| {
@@ -588,13 +717,61 @@ impl Facility {
         let overlap_bytes: u64 = scored.iter().map(|&(s, _)| s).sum();
         let slice: Vec<usize> = scored.iter().map(|&(_, w)| w).collect();
 
-        let run_caches: Vec<LocalCache> = slice
+        let mut run_caches: Vec<LocalCache> = slice
             .iter()
             .map(|&w| {
                 self.busy[w] = true;
                 std::mem::replace(&mut self.caches[w], LocalCache::new(0))
             })
             .collect();
+
+        // Consult the shared tier before recompute: anything the run
+        // needs that is warm in the store but cold on this slice is
+        // pre-fetched into the roomiest slice cache, pinned in the tier
+        // for the run's duration, and charged one batched transfer at
+        // the tier's simulated bandwidth.
+        let mut store_fetched_files = 0usize;
+        let mut store_fetch_bytes = 0u64;
+        let mut store_fetch = SimDur::ZERO;
+        let mut pinned: Vec<CacheName> = Vec::new();
+        if let Some(store) = &self.store {
+            let mut tier = store.tier.borrow_mut();
+            let shard = store.shard;
+            let plan = {
+                let tier = &mut *tier;
+                let caches = &run_caches;
+                MemoPlan::compute_with_store(
+                    &q.graph,
+                    |f| {
+                        names[f.0 as usize]
+                            .is_some_and(|(n, s)| caches.iter().any(|c| c.size_of(n) == Some(s)))
+                    },
+                    |f| names[f.0 as usize].is_some_and(|(n, s)| tier.lookup(shard, n, s)),
+                )
+            };
+            for &f in &plan.store_fetches {
+                let (name, size) = names[f.0 as usize].expect("fetch set ⇒ produced file");
+                // Roomiest cache first (ties → lowest index); a file no
+                // slice cache can hold without eviction is simply not
+                // fetched — its producer re-runs, which is always safe.
+                let target = (0..run_caches.len())
+                    .max_by_key(|&i| {
+                        let c = &run_caches[i];
+                        (c.capacity() - c.used(), std::cmp::Reverse(i))
+                    })
+                    .expect("slice is non-empty");
+                let c = &mut run_caches[target];
+                if c.capacity() - c.used() < size {
+                    continue;
+                }
+                if c.insert(name, size, CacheEntryKind::Intermediate).is_ok() && tier.pin(name) {
+                    pinned.push(name);
+                    store_fetched_files += 1;
+                    store_fetch_bytes += size;
+                }
+            }
+            store_fetch = tier.fetch_cost(shard, store_fetch_bytes);
+        }
         let mut session = SessionState::from_caches(run_caches);
 
         let inner_cluster = ClusterSpec {
@@ -663,7 +840,7 @@ impl Facility {
                 label: q.label,
                 arrival: q.arrival,
                 admitted: self.now,
-                finished: self.now + result.makespan,
+                finished: self.now + store_fetch + result.makespan,
                 workers: slice,
                 overlap_bytes,
                 stats: result.stats,
@@ -673,9 +850,57 @@ impl Facility {
                 stream_stopped_at,
                 stream_digest,
                 partials_published,
+                store_fetched_files,
+                store_fetch_bytes,
+                store_fetch,
             },
             caches: session.into_caches(),
+            pinned,
         });
+    }
+
+    // ------------------------------------------------------------------
+    // Federation hooks (work stealing)
+    // ------------------------------------------------------------------
+
+    /// Whether any tenant could be admitted right now if workers freed
+    /// up (quota-blocked work does not count — admitting it is illegal).
+    pub(crate) fn has_admissible_work(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Workers not checked out to a run.
+    pub fn free_workers(&self) -> usize {
+        self.busy.iter().filter(|&&b| !b).count()
+    }
+
+    /// Cores `tenant` currently holds in flight on this shard.
+    pub(crate) fn tenant_inflight_cores(&self, tenant: usize) -> u64 {
+        self.inflight_cores[tenant]
+    }
+
+    /// The entry a thief shard would steal: the front of the most
+    /// underserved admissible tenant's queue, as `(tenant, arrival,
+    /// seq)`. O(log tenants) — reads the ready set's head.
+    pub(crate) fn steal_candidate(&self) -> Option<(usize, SimTime, usize)> {
+        let &(_, t) = self.ready.iter().next()?;
+        let front = self.queues[t].front().expect("ready ⇒ non-empty");
+        Some((t, front.arrival, front.seq))
+    }
+
+    /// Remove the current steal candidate for `tenant` (its queue
+    /// front) so another shard can run it.
+    pub(crate) fn take_steal(&mut self, tenant: usize) -> Option<Queued> {
+        let q = self.queues[tenant].pop_front()?;
+        self.mark_admissible(tenant);
+        Some(q)
+    }
+
+    /// Accept work stolen from another shard: queue it under the same
+    /// tenant and settle admissions at the current clock.
+    pub(crate) fn accept_stolen(&mut self, tenant: usize, q: Queued) {
+        self.enqueue(tenant, q);
+        self.step_now();
     }
 }
 

@@ -27,6 +27,14 @@
 //! * [`ResultStore`] — content-addressed memoization of *physics* results
 //!   (encoded histogram sets keyed by cachename), so a warm resubmission
 //!   can return bit-identical histograms without recomputation.
+//! * [`ShardedFacility`] — the federation: N facility shards advanced in
+//!   deterministic lockstep, tenants routed to home shards by rendezvous
+//!   hashing ([`assign_shard`]), warm state shared through the
+//!   [`vine_store`] content-addressed object tier (a shard consults the
+//!   tier before recomputing, and publishes what it materializes), and
+//!   idle shards stealing queued submissions cross-shard under the
+//!   victim tenant's quotas. A 1-shard federation with the store
+//!   disabled is byte-identical to a plain [`Facility`].
 //!
 //! Everything is deterministic: identical seeds yield identical admission
 //! sequences, identical records, and byte-identical metric exports.
@@ -38,10 +46,12 @@ pub mod facility;
 pub mod loadgen;
 pub mod report;
 pub mod resultstore;
+pub mod sharded;
 pub mod tenant;
 
 pub use facility::{Facility, FacilityConfig, Submission, SubmissionRecord};
 pub use loadgen::LoadGen;
 pub use report::{FacilityReport, TenantSummary};
 pub use resultstore::ResultStore;
+pub use sharded::{assign_shard, ShardedConfig, ShardedFacility, ShardedReport};
 pub use tenant::{FairShare, TenantSpec};

@@ -34,6 +34,12 @@ pub struct LoadGen {
     /// Probability a submission is the previous one with an edited
     /// selection (process stage warm, reductions re-run).
     pub edit_prob: f64,
+    /// Rotate each tenant's *first* fresh workload by tenant index, so a
+    /// large population submits a mix from the start instead of everyone
+    /// opening with the same spec. Off (the default), every tenant's
+    /// first fresh submission is the rotation head — maximal
+    /// cross-tenant cache sharing, the historical behaviour.
+    pub first_spec_by_tenant: bool,
 }
 
 impl Default for LoadGen {
@@ -44,19 +50,24 @@ impl Default for LoadGen {
             scale_down: 40,
             resubmit_prob: 0.3,
             edit_prob: 0.2,
+            first_spec_by_tenant: false,
         }
     }
 }
 
 impl LoadGen {
-    /// The workload rotation fresh submissions cycle through.
-    fn rotation(&self, i: usize) -> WorkloadSpec {
+    /// The workload rotation fresh submissions cycle through. `tenant`
+    /// offsets the rotation when [`LoadGen::first_spec_by_tenant`] is
+    /// set; `i` is the tenant's fresh-submission ordinal.
+    fn rotation(&self, tenant: usize, i: usize) -> WorkloadSpec {
         let specs = [
             WorkloadSpec::dv3_small(),
             WorkloadSpec::dv3_medium(),
             WorkloadSpec::rs_triphoton(),
         ];
-        specs[i % specs.len()].clone().scaled_down(self.scale_down)
+        let base = if self.first_spec_by_tenant { tenant } else { 0 };
+        let spec = specs[(base + i) % specs.len()].clone();
+        spec.scaled_down(self.scale_down)
     }
 
     /// Generate the full schedule for `n_tenants` tenants, sorted by
@@ -85,7 +96,7 @@ impl LoadGen {
                         (prev.clone().with_edit_generation(generation), "edit")
                     }
                     _ => {
-                        let s = self.rotation(fresh_count);
+                        let s = self.rotation(tenant, fresh_count);
                         fresh_count += 1;
                         generation = 0;
                         (s, "fresh")
@@ -185,6 +196,35 @@ mod tests {
         for w in subs.windows(2) {
             assert_ne!(names(&w[0]), names(&w[1]));
         }
+    }
+
+    #[test]
+    fn first_spec_rotation_spreads_the_opening_mix() {
+        let lg = LoadGen {
+            resubmit_prob: 0.0,
+            edit_prob: 0.0,
+            submissions_per_tenant: 1,
+            first_spec_by_tenant: true,
+            ..LoadGen::default()
+        };
+        let openers: std::collections::BTreeSet<String> = lg
+            .generate(3, 11)
+            .iter()
+            .map(|s| s.label.split('.').nth(2).unwrap().to_string())
+            .collect();
+        assert_eq!(openers.len(), 3, "three tenants, three distinct openers");
+
+        // Off (the default), everyone opens with the rotation head.
+        let lg = LoadGen {
+            first_spec_by_tenant: false,
+            ..lg
+        };
+        let openers: std::collections::BTreeSet<String> = lg
+            .generate(3, 11)
+            .iter()
+            .map(|s| s.label.split('.').nth(2).unwrap().to_string())
+            .collect();
+        assert_eq!(openers.len(), 1, "default keeps the shared opener");
     }
 
     #[test]

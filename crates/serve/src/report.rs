@@ -152,11 +152,12 @@ impl FacilityReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "seq,tenant,label,arrival_s,admitted_s,finished_s,queue_wait_s,makespan_s,\
-             tasks_total,task_executions,memoized_tasks,warm_hit_bytes,overlap_bytes,completed\n",
+             tasks_total,task_executions,memoized_tasks,warm_hit_bytes,overlap_bytes,\
+             store_files,store_bytes,store_fetch_s,completed\n",
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{}\n",
+                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{:.6},{}\n",
                 r.seq,
                 self.tenants[r.tenant],
                 r.label,
@@ -170,6 +171,9 @@ impl FacilityReport {
                 r.stats.memoized_tasks,
                 r.stats.warm_hit_bytes,
                 r.overlap_bytes,
+                r.store_fetched_files,
+                r.store_fetch_bytes,
+                r.store_fetch.as_secs_f64(),
                 r.completed,
             ));
         }

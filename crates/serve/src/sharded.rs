@@ -1,0 +1,416 @@
+//! The federated facility: N independent [`Facility`] shards advanced in
+//! lockstep over a shared clock, backed by one shared content-addressed
+//! object tier ([`vine_store::ObjectStore`]).
+//!
+//! ## Model
+//!
+//! A production HEP facility is not one manager over one worker pool; it
+//! is several manager instances, each with its own pool, serving a common
+//! tenant population. This module federates the single-shard [`Facility`]:
+//!
+//! * **Routing** — each tenant has a home shard chosen by rendezvous
+//!   (highest-random-weight) hashing over `(tenant name, shard index)`.
+//!   Adding a shard reassigns only ~1/N of tenants, and the assignment
+//!   is a pure function of the name — stable across runs, machines, and
+//!   ingest order.
+//! * **Lockstep advancement** — shards are discrete-event simulations
+//!   with private clocks. The federation repeatedly settles every shard
+//!   at the global clock (in shard-index order), then advances the
+//!   global clock to the earliest next event across shards. Determinism
+//!   follows by induction: each settle round's outcome depends only on
+//!   shard states at the same global instant and the fixed iteration
+//!   order, never on wall-clock interleaving.
+//! * **Shared warm tier** — every shard consults the [`ObjectStore`]
+//!   during admission (a `MemoPlan` "warm-in-store" residency source):
+//!   intermediates produced on shard A satisfy recompute on shard B at
+//!   the cost of one simulated store→shard transfer, and every run's
+//!   intermediates are published back on writeback.
+//! * **Work stealing** — after each settle round, a shard with a free
+//!   worker slice and no admissible queue of its own takes the most
+//!   underserved admissible entry from the most backlogged competitor,
+//!   gated by the tenant's aggregate (federation-wide) in-flight core
+//!   quota, so stealing can never launder a quota violation across
+//!   shards.
+//!
+//! A single-shard federation with no store degenerates to exactly the
+//! plain [`Facility`] event loop — byte-identical reports, which
+//! `tests/sharded.rs` pins.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vine_lint::{lint_sharded, Report, ShardFacts};
+use vine_simcore::SimTime;
+use vine_store::{ObjectStore, StoreConfig};
+
+use crate::facility::{Facility, FacilityConfig, SharedStore, Submission};
+use crate::report::{percentile, FacilityReport};
+
+/// Knobs for a federated facility.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// The per-shard facility template: every shard runs this config
+    /// (cluster, tenants, stack, seed) over its own worker pool.
+    pub base: FacilityConfig,
+    /// Number of independent facility shards.
+    pub shards: usize,
+    /// The shared object tier; `None` leaves shards fully isolated
+    /// (each still warm within itself, cold across shards).
+    pub store: Option<StoreConfig>,
+    /// Allow idle shards to steal queued work from backlogged ones.
+    pub work_stealing: bool,
+}
+
+impl ShardedConfig {
+    /// A demonstration federation: the [`FacilityConfig::demo`] shard
+    /// template, four shards, the demo store tier, stealing on.
+    pub fn demo(seed: u64) -> Self {
+        ShardedConfig {
+            base: FacilityConfig::demo(seed),
+            shards: 4,
+            store: Some(StoreConfig::demo()),
+            work_stealing: true,
+        }
+    }
+
+    /// The snapshot [`vine_lint::lint_sharded`] reads.
+    pub fn shard_facts(&self) -> ShardFacts {
+        ShardFacts {
+            shards: self.shards,
+            store_enabled: self.store.is_some(),
+            store_capacity_bytes: self.store.as_ref().map_or(0, |s| s.capacity_bytes),
+            store_bw: self.store.as_ref().map_or(0.0, |s| s.store_bw),
+            shard_bw: self.store.as_ref().map_or(0.0, |s| s.shard_bw),
+            work_stealing: self.work_stealing,
+        }
+    }
+}
+
+/// 64-bit FNV-1a, the repo's standard content hash.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// The rendezvous (highest-random-weight) home shard for a tenant name:
+/// argmax over shards of `fnv64(name ‖ shard)`. Ties break on the lower
+/// shard index (FNV collisions, vanishingly rare).
+pub fn assign_shard(tenant_name: &str, shards: usize) -> usize {
+    assert!(shards > 0, "federation needs at least one shard");
+    (0..shards)
+        .max_by_key(|&s| {
+            let mut key = tenant_name.as_bytes().to_vec();
+            key.extend_from_slice(&(s as u64).to_le_bytes());
+            (fnv1a_64(&key), std::cmp::Reverse(s))
+        })
+        .expect("non-empty shard range")
+}
+
+/// The outcome of a federated session: one report per shard plus the
+/// tier's final accounting.
+#[derive(Clone, Debug)]
+pub struct ShardedReport {
+    /// Per-shard facility reports, in shard order.
+    pub shards: Vec<FacilityReport>,
+    /// The shared tier's metrics text export (sorted, byte-stable);
+    /// empty string when no store was attached.
+    pub store_metrics: String,
+    /// Cross-shard steals executed.
+    pub steals: u64,
+}
+
+impl ShardedReport {
+    /// Completed submissions across all shards.
+    pub fn total_records(&self) -> usize {
+        self.shards.iter().map(|s| s.records.len()).sum()
+    }
+
+    /// Fraction of all submitted tasks satisfied from warm caches
+    /// (local or store-prefetched), federation-wide.
+    pub fn warm_hit_ratio(&self) -> f64 {
+        let total: u64 = self
+            .shards
+            .iter()
+            .flat_map(|s| &s.records)
+            .map(|r| r.stats.tasks_total as u64)
+            .sum();
+        let memo: u64 = self
+            .shards
+            .iter()
+            .flat_map(|s| &s.records)
+            .map(|r| r.stats.memoized_tasks)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            memo as f64 / total as f64
+        }
+    }
+
+    /// The `q`-th percentile of queue wait across every record, seconds.
+    pub fn queue_wait_percentile(&self, q: f64) -> f64 {
+        let waits: Vec<f64> = self
+            .shards
+            .iter()
+            .flat_map(|s| &s.records)
+            .map(|r| r.queue_wait().as_secs_f64())
+            .collect();
+        percentile(&waits, q)
+    }
+
+    /// Bytes pre-fetched out of the shared tier, federation-wide.
+    pub fn store_fetch_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.records)
+            .map(|r| r.store_fetch_bytes)
+            .sum()
+    }
+
+    /// When the last run finished anywhere, seconds.
+    pub fn horizon_s(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(FacilityReport::horizon_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// The federation's full deterministic text form: every shard's CSV
+    /// (prefixed with a shard header) followed by the tier metrics and
+    /// the steal count. [`ShardedReport::digest`] hashes this.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!("# shard {i}\n"));
+            out.push_str(&s.to_csv());
+        }
+        out.push_str("# store\n");
+        out.push_str(&self.store_metrics);
+        out.push_str(&format!("# steals {}\n", self.steals));
+        out
+    }
+
+    /// FNV-1a content digest of [`ShardedReport::to_text`] — the replay
+    /// identity the shard gate compares across runs.
+    pub fn digest(&self) -> u64 {
+        fnv1a_64(self.to_text().as_bytes())
+    }
+}
+
+/// The federated facility. See the module docs for the model.
+pub struct ShardedFacility {
+    cfg: ShardedConfig,
+    facilities: Vec<Facility>,
+    store: Option<Rc<RefCell<ObjectStore>>>,
+    preflight: Report,
+    steals: u64,
+}
+
+impl ShardedFacility {
+    /// Build a federation, running the facility lints plus the sharding
+    /// lints (F006–F008) against the combined configuration. With
+    /// `base.enforce_preflight`, lint errors refuse service.
+    pub fn new(cfg: ShardedConfig) -> Result<Self, Report> {
+        let preflight = lint_sharded(&cfg.base.lint_facts(), &cfg.shard_facts());
+        if cfg.base.enforce_preflight && preflight.has_errors() {
+            return Err(preflight);
+        }
+        let store = cfg
+            .store
+            .as_ref()
+            .map(|sc| Rc::new(RefCell::new(ObjectStore::new(sc.clone(), cfg.shards))));
+        let mut facilities = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let mut inner = cfg.base.clone();
+            // The shards' own lint pass already ran above.
+            inner.enforce_preflight = false;
+            let mut f = Facility::new(inner).expect("per-shard lints subsumed by lint_sharded");
+            f.federate(
+                store.as_ref().map(|tier| SharedStore {
+                    tier: Rc::clone(tier),
+                    shard,
+                }),
+                shard,
+                cfg.shards,
+            );
+            facilities.push(f);
+        }
+        Ok(ShardedFacility {
+            cfg,
+            facilities,
+            store,
+            preflight,
+            steals: 0,
+        })
+    }
+
+    /// The combined pre-flight lint report.
+    pub fn preflight(&self) -> &Report {
+        &self.preflight
+    }
+
+    /// The shards, in index order.
+    pub fn shards(&self) -> &[Facility] {
+        &self.facilities
+    }
+
+    /// The shared tier, when configured.
+    pub fn store(&self) -> Option<&Rc<RefCell<ObjectStore>>> {
+        self.store.as_ref()
+    }
+
+    /// A tenant's home shard under this federation's routing.
+    pub fn home_shard(&self, tenant: usize) -> usize {
+        assign_shard(&self.cfg.base.tenants[tenant].name, self.cfg.shards)
+    }
+
+    /// Route submissions to their tenants' home shards. Relative order
+    /// within a shard follows the input order (seqs are assigned per
+    /// shard in stride, so they stay globally unique).
+    pub fn ingest(&mut self, subs: Vec<Submission>) {
+        let mut per_shard: Vec<Vec<Submission>> =
+            (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        for s in subs {
+            let home = self.home_shard(s.tenant);
+            per_shard[home].push(s);
+        }
+        for (f, batch) in self.facilities.iter_mut().zip(per_shard) {
+            f.ingest(batch);
+        }
+    }
+
+    /// Run the lockstep event loop until every shard is drained, then
+    /// return the combined report.
+    pub fn drain(&mut self) -> ShardedReport {
+        let mut now = SimTime::ZERO;
+        loop {
+            // Settle every shard at the global clock, in index order.
+            for f in &mut self.facilities {
+                f.advance_to(now);
+            }
+            if self.cfg.work_stealing {
+                while self.steal_once() {}
+            }
+            let next = self
+                .facilities
+                .iter()
+                .filter_map(Facility::next_event_time)
+                .min();
+            let Some(next) = next else { break };
+            now = now.max(next);
+        }
+        self.report()
+    }
+
+    /// The combined report so far.
+    pub fn report(&self) -> ShardedReport {
+        ShardedReport {
+            shards: self.facilities.iter().map(Facility::report).collect(),
+            store_metrics: self
+                .store
+                .as_ref()
+                .map(|s| s.borrow().metrics().to_text())
+                .unwrap_or_default(),
+            steals: self.steals,
+        }
+    }
+
+    /// One steal: the first idle shard (free slice, nothing admissible
+    /// of its own) takes the globally longest-waiting admissible entry
+    /// whose tenant has aggregate quota room, and admits it at the
+    /// current clock. Returns whether a steal happened.
+    fn steal_once(&mut self) -> bool {
+        let wpr = self.cfg.base.workers_per_run;
+        let thief = (0..self.facilities.len()).find(|&i| {
+            let f = &self.facilities[i];
+            !f.has_admissible_work() && f.free_workers() >= wpr
+        });
+        let Some(thief) = thief else { return false };
+
+        // The longest-waiting candidate across the other shards whose
+        // tenant's federation-wide in-flight cores leave quota room.
+        let run_cores = self.cfg.base.run_cores();
+        let victim = (0..self.facilities.len())
+            .filter(|&i| i != thief)
+            .filter_map(|i| {
+                let (tenant, arrival, seq) = self.facilities[i].steal_candidate()?;
+                let aggregate: u64 = self
+                    .facilities
+                    .iter()
+                    .map(|f| f.tenant_inflight_cores(tenant))
+                    .sum();
+                let quota = u64::from(self.cfg.base.tenants[tenant].max_inflight_cores);
+                (aggregate + run_cores <= quota).then_some((arrival, seq, i, tenant))
+            })
+            .min();
+        let Some((_, _, victim, tenant)) = victim else {
+            return false;
+        };
+        let Some(q) = self.facilities[victim].take_steal(tenant) else {
+            return false;
+        };
+        self.facilities[thief].accept_stolen(tenant, q);
+        self.steals += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_stable_and_spreading() {
+        // Pure function of the name: same answer twice.
+        assert_eq!(assign_shard("atlas", 4), assign_shard("atlas", 4));
+        // All shards of a reasonable federation get someone.
+        let shards = 4;
+        let mut seen = vec![false; shards];
+        for i in 0..64 {
+            seen[assign_shard(&format!("tenant-{i}"), shards)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 names must cover 4 shards");
+        // Single shard takes everyone.
+        assert_eq!(assign_shard("anyone", 1), 0);
+    }
+
+    #[test]
+    fn rendezvous_is_minimally_disruptive() {
+        // Growing N→N+1 only moves tenants whose new shard is the new
+        // one; nobody is shuffled between old shards.
+        for i in 0..128 {
+            let name = format!("tenant-{i}");
+            let old = assign_shard(&name, 4);
+            let new = assign_shard(&name, 5);
+            assert!(new == old || new == 4, "{name}: {old} -> {new}");
+        }
+    }
+
+    #[test]
+    fn zero_shards_refused() {
+        let mut cfg = ShardedConfig::demo(1);
+        cfg.shards = 0;
+        let err = ShardedFacility::new(cfg).err().expect("must refuse");
+        assert!(err.has_code(vine_lint::Code::F006));
+    }
+
+    #[test]
+    fn broken_store_refused() {
+        let mut cfg = ShardedConfig::demo(1);
+        cfg.store = Some(StoreConfig::demo().with_capacity(0));
+        let err = ShardedFacility::new(cfg).err().expect("must refuse");
+        assert!(err.has_code(vine_lint::Code::F007));
+    }
+
+    #[test]
+    fn single_shard_stealing_warns_but_serves() {
+        let mut cfg = ShardedConfig::demo(1);
+        cfg.shards = 1;
+        let fed = ShardedFacility::new(cfg).expect("warning is not refusal");
+        assert!(fed.preflight().has_code(vine_lint::Code::F008));
+    }
+}

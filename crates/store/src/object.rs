@@ -1,0 +1,449 @@
+//! The shared object tier: immutable content-addressed entries, LRU +
+//! refcount eviction, per-shard accounting, and a fabric-backed fetch
+//! cost model.
+//!
+//! The store holds *index* state only — `(cachename, size)` pairs — on
+//! the same grounds as [`vine_storage::LocalCache`]: the simulation
+//! reasons about bytes and time, not payloads. The facility's
+//! [`ResultStore`](https://docs.rs) keeps actual physics blobs; this
+//! tier is the inter-shard warm-cache fabric.
+
+use std::collections::BTreeMap;
+
+use vine_net::{Fabric, NodeId};
+use vine_obs::MetricsRegistry;
+use vine_simcore::units::{gbit_per_sec, GB};
+use vine_simcore::{SimDur, SimTime};
+use vine_storage::CacheName;
+
+/// Knobs for one shared store tier.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Byte capacity of the tier; LRU eviction keeps `used` under it.
+    pub capacity_bytes: u64,
+    /// Fixed per-fetch cost (request + metadata round trip).
+    pub fetch_latency: SimDur,
+    /// Store egress bandwidth, bytes/second (shared by all shards).
+    pub store_bw: f64,
+    /// Per-shard ingress bandwidth, bytes/second.
+    pub shard_bw: f64,
+}
+
+impl StoreConfig {
+    /// A VAST-class tier: 200 GB of index capacity, 100 Gb/s egress,
+    /// 10 Gb/s per shard, 1 ms request latency.
+    pub fn demo() -> Self {
+        StoreConfig {
+            capacity_bytes: 200 * GB,
+            fetch_latency: SimDur::from_millis(1),
+            store_bw: gbit_per_sec(100.0),
+            shard_bw: gbit_per_sec(10.0),
+        }
+    }
+
+    /// Same tier with a different capacity.
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.capacity_bytes = bytes;
+        self
+    }
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig::demo()
+    }
+}
+
+/// What a `put` did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// The object is now resident (it was not before).
+    Inserted,
+    /// An identical object was already resident; nothing changed.
+    AlreadyPresent,
+    /// An object with this name but a *different* size is resident —
+    /// a lineage-signature collision that immutability forbids. The
+    /// store keeps the original.
+    SizeMismatch,
+    /// The object exceeds what eviction could ever free (pinned bytes
+    /// plus the object exceed capacity); it was not admitted.
+    WontFit,
+}
+
+/// Per-shard accounting, exported through [`ObjectStore::export_metrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Lookups that found the object resident (size agreeing).
+    pub hits: u64,
+    /// Lookups that found nothing (or a size mismatch).
+    pub misses: u64,
+    /// Objects this shard's puts evicted to make room.
+    pub evictions: u64,
+    /// Objects this shard inserted.
+    pub puts: u64,
+    /// Bytes this shard fetched out of the store.
+    pub fetched_bytes: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    size: u64,
+    pins: u32,
+    last_use: u64,
+}
+
+/// The shared, immutable, content-addressed object tier. See the crate
+/// docs for the model.
+pub struct ObjectStore {
+    cfg: StoreConfig,
+    entries: BTreeMap<CacheName, Entry>,
+    used: u64,
+    peak_used: u64,
+    tick: u64,
+    counters: Vec<ShardCounters>,
+    /// Cost-model fabric: node 0 is the store, nodes 1..=N the shards.
+    fabric: Fabric,
+    store_node: NodeId,
+    shard_nodes: Vec<NodeId>,
+}
+
+impl ObjectStore {
+    /// An empty store serving `shards` shards.
+    pub fn new(cfg: StoreConfig, shards: usize) -> Self {
+        let mut fabric = Fabric::new();
+        let store_node = fabric.add_symmetric_node(cfg.store_bw);
+        let shard_nodes = (0..shards)
+            .map(|_| fabric.add_symmetric_node(cfg.shard_bw))
+            .collect();
+        ObjectStore {
+            cfg,
+            entries: BTreeMap::new(),
+            used: 0,
+            peak_used: 0,
+            tick: 0,
+            counters: vec![ShardCounters::default(); shards],
+            fabric,
+            store_node,
+            shard_nodes,
+        }
+    }
+
+    /// The configuration the store was built with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Number of shards the store serves.
+    pub fn shard_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Resident objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// High-water mark of `used`.
+    pub fn peak_used(&self) -> u64 {
+        self.peak_used
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.cfg.capacity_bytes
+    }
+
+    /// One shard's counters.
+    pub fn counters(&self, shard: usize) -> ShardCounters {
+        self.counters[shard]
+    }
+
+    /// Size of the resident object, without touching counters or LRU
+    /// state (planning probes).
+    pub fn size_of(&self, name: CacheName) -> Option<u64> {
+        self.entries.get(&name).map(|e| e.size)
+    }
+
+    /// Whether an object with this exact `(name, size)` is resident,
+    /// counted as a hit or miss for `shard` and refreshing LRU age on a
+    /// hit. A resident name with a *different* size is a miss: the
+    /// caller's lineage signature does not match the stored object.
+    pub fn lookup(&mut self, shard: usize, name: CacheName, size: u64) -> bool {
+        self.tick += 1;
+        match self.entries.get_mut(&name) {
+            Some(e) if e.size == size => {
+                e.last_use = self.tick;
+                self.counters[shard].hits += 1;
+                true
+            }
+            _ => {
+                self.counters[shard].misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Insert an immutable object on behalf of `shard`, evicting LRU
+    /// unpinned entries as needed. See [`PutOutcome`] for the verdicts;
+    /// the store's contents never change on `AlreadyPresent`,
+    /// `SizeMismatch`, or `WontFit`.
+    pub fn put(&mut self, shard: usize, name: CacheName, size: u64) -> PutOutcome {
+        self.tick += 1;
+        if let Some(e) = self.entries.get(&name) {
+            return if e.size == size {
+                PutOutcome::AlreadyPresent
+            } else {
+                PutOutcome::SizeMismatch
+            };
+        }
+        if size > self.cfg.capacity_bytes {
+            return PutOutcome::WontFit;
+        }
+        while self.used + size > self.cfg.capacity_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.pins == 0)
+                .min_by_key(|(n, e)| (e.last_use, **n))
+                .map(|(n, _)| *n);
+            let Some(v) = victim else {
+                return PutOutcome::WontFit;
+            };
+            let gone = self.entries.remove(&v).expect("victim is resident");
+            self.used -= gone.size;
+            self.counters[shard].evictions += 1;
+        }
+        self.entries.insert(
+            name,
+            Entry {
+                size,
+                pins: 0,
+                last_use: self.tick,
+            },
+        );
+        self.used += size;
+        self.peak_used = self.peak_used.max(self.used);
+        self.counters[shard].puts += 1;
+        PutOutcome::Inserted
+    }
+
+    /// Pin an object (refcount up); pinned objects are never evicted.
+    /// Returns false when the object is not resident.
+    pub fn pin(&mut self, name: CacheName) -> bool {
+        match self.entries.get_mut(&name) {
+            Some(e) => {
+                e.pins += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop one pin. Returns false when the object is not resident (an
+    /// unpin for an entry that was never pinned is a logic error and
+    /// panics in debug builds).
+    pub fn unpin(&mut self, name: CacheName) -> bool {
+        match self.entries.get_mut(&name) {
+            Some(e) => {
+                debug_assert!(e.pins > 0, "unpin without a matching pin");
+                e.pins = e.pins.saturating_sub(1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Forcibly drop an object (operator invalidation). Pinned objects
+    /// refuse. Returns the freed bytes.
+    pub fn evict(&mut self, name: CacheName) -> Option<u64> {
+        match self.entries.get(&name) {
+            Some(e) if e.pins == 0 => {
+                let size = e.size;
+                self.entries.remove(&name);
+                self.used -= size;
+                Some(size)
+            }
+            _ => None,
+        }
+    }
+
+    /// The simulated cost for `shard` to fetch `bytes` out of the store:
+    /// the max–min fair completion time of one store→shard flow on the
+    /// cost fabric (rate = min of store egress and shard ingress) plus
+    /// the fixed per-fetch latency. Zero bytes cost zero — the caller
+    /// batches one fetch per admission, not one per object.
+    ///
+    /// Also charges the bytes to the shard's `fetched_bytes` counter.
+    pub fn fetch_cost(&mut self, shard: usize, bytes: u64) -> SimDur {
+        if bytes == 0 {
+            return SimDur::ZERO;
+        }
+        self.counters[shard].fetched_bytes += bytes;
+        let flow = self.fabric.start_flow(
+            SimTime::ZERO,
+            self.store_node,
+            self.shard_nodes[shard],
+            bytes,
+            f64::INFINITY,
+        );
+        let (finish, id) = self
+            .fabric
+            .next_completion()
+            .expect("a just-started flow has a completion");
+        debug_assert_eq!(id, flow);
+        self.fabric.complete_flow(finish, id);
+        self.cfg.fetch_latency + finish.saturating_since(SimTime::ZERO)
+    }
+
+    /// Fold the store's state and per-shard counters into `m`. Metric
+    /// names sort deterministically, so the registry's text export is
+    /// byte-stable.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.counter_add("store.entries", self.entries.len() as u64);
+        m.counter_add("store.used_bytes", self.used);
+        m.counter_add("store.peak_used_bytes", self.peak_used);
+        m.counter_add("store.capacity_bytes", self.cfg.capacity_bytes);
+        for (s, c) in self.counters.iter().enumerate() {
+            let k = |suffix: &str| format!("store.shard{s}.{suffix}");
+            m.counter_add(&k("hits"), c.hits);
+            m.counter_add(&k("misses"), c.misses);
+            m.counter_add(&k("evictions"), c.evictions);
+            m.counter_add(&k("puts"), c.puts);
+            m.counter_add(&k("fetched_bytes"), c.fetched_bytes);
+        }
+    }
+
+    /// The export as a fresh registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        self.export_metrics(&mut m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(i: u32) -> CacheName {
+        CacheName::for_dataset_file("store-test", i)
+    }
+
+    fn small_store(capacity: u64) -> ObjectStore {
+        ObjectStore::new(StoreConfig::demo().with_capacity(capacity), 2)
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_counters() {
+        let mut s = small_store(1000);
+        assert!(!s.lookup(0, name(1), 100), "cold store misses");
+        assert_eq!(s.put(0, name(1), 100), PutOutcome::Inserted);
+        assert!(s.lookup(1, name(1), 100), "shard 1 sees shard 0's object");
+        assert!(!s.lookup(1, name(1), 999), "size mismatch is a miss");
+        assert_eq!(s.counters(0).misses, 1);
+        assert_eq!(s.counters(1).hits, 1);
+        assert_eq!(s.counters(1).misses, 1);
+        assert_eq!(s.used(), 100);
+    }
+
+    #[test]
+    fn puts_are_immutable() {
+        let mut s = small_store(1000);
+        assert_eq!(s.put(0, name(1), 100), PutOutcome::Inserted);
+        assert_eq!(s.put(1, name(1), 100), PutOutcome::AlreadyPresent);
+        assert_eq!(s.put(1, name(1), 200), PutOutcome::SizeMismatch);
+        assert_eq!(s.size_of(name(1)), Some(100), "original object kept");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_capacity() {
+        let mut s = small_store(300);
+        s.put(0, name(1), 100);
+        s.put(0, name(2), 100);
+        s.put(0, name(3), 100);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(s.lookup(0, name(1), 100));
+        assert_eq!(s.put(0, name(4), 100), PutOutcome::Inserted);
+        assert!(s.size_of(name(2)).is_none(), "LRU entry evicted");
+        assert!(s.size_of(name(1)).is_some());
+        assert_eq!(s.counters(0).evictions, 1);
+        assert_eq!(s.used(), 300);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_pressure() {
+        let mut s = small_store(200);
+        s.put(0, name(1), 100);
+        s.put(0, name(2), 100);
+        assert!(s.pin(name(1)));
+        assert!(s.pin(name(2)));
+        // Everything pinned: nothing can be evicted, the put bounces.
+        assert_eq!(s.put(0, name(3), 100), PutOutcome::WontFit);
+        assert!(s.unpin(name(2)));
+        assert_eq!(s.put(0, name(3), 100), PutOutcome::Inserted);
+        assert!(s.size_of(name(2)).is_none(), "unpinned entry evicted");
+        assert!(s.size_of(name(1)).is_some(), "pinned entry survives");
+    }
+
+    #[test]
+    fn oversized_objects_refuse() {
+        let mut s = small_store(100);
+        assert_eq!(s.put(0, name(1), 101), PutOutcome::WontFit);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn forced_evict_respects_pins() {
+        let mut s = small_store(1000);
+        s.put(0, name(1), 100);
+        s.pin(name(1));
+        assert_eq!(s.evict(name(1)), None, "pinned objects refuse");
+        s.unpin(name(1));
+        assert_eq!(s.evict(name(1)), Some(100));
+        assert_eq!(s.used(), 0);
+    }
+
+    #[test]
+    fn fetch_cost_is_bandwidth_bound_plus_latency() {
+        let mut s = ObjectStore::new(
+            StoreConfig {
+                capacity_bytes: GB,
+                fetch_latency: SimDur::from_millis(1),
+                store_bw: 100e6,
+                shard_bw: 50e6,
+            },
+            2,
+        );
+        // 50 MB at min(100, 50) MB/s = 1 s, plus 1 ms latency.
+        let d = s.fetch_cost(0, 50_000_000);
+        assert!((d.as_secs_f64() - 1.001).abs() < 1e-3, "{d:?}");
+        assert_eq!(s.counters(0).fetched_bytes, 50_000_000);
+        assert_eq!(s.fetch_cost(1, 0), SimDur::ZERO);
+    }
+
+    #[test]
+    fn metrics_export_is_deterministic() {
+        let build = || {
+            let mut s = small_store(1000);
+            s.put(0, name(1), 100);
+            s.lookup(1, name(1), 100);
+            s.lookup(1, name(2), 50);
+            s.metrics().to_text()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("store.shard1.hits"));
+        assert!(a.contains("store.used_bytes"));
+    }
+}

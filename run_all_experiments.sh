@@ -38,4 +38,5 @@ run fig14b
 run fig15
 run ablations
 run facility
+run fig-shards
 echo "ALL EXPERIMENTS DONE"

@@ -68,4 +68,36 @@ cargo build --release -p vine-bench --bin fig-stream
 ./target/release/fig-stream
 echo "stream gate: early-stop saving >= 20%"
 
+# Shard gate (ISSUE 8): the federated facility's CI cell (shards=4,
+# 1000 tenants, seed 42) must replay bit-identically across two process
+# invocations, and its warm-hit ratio must stay within 2% of the
+# committed baseline (results/shards_gate.txt). fig-shards --gate also
+# replays the cell twice in-process and asserts digest equality itself.
+# To refresh the baseline after an intentional change:
+#   ./target/release/fig-shards --gate > results/shards_gate.txt
+SHARD_BASELINE=results/shards_gate.txt
+if [ ! -s "$SHARD_BASELINE" ]; then
+  echo "shard gate: no baseline at $SHARD_BASELINE" >&2
+  exit 1
+fi
+cargo build --release -p vine-bench --bin fig-shards
+a=$(./target/release/fig-shards --gate)
+b=$(./target/release/fig-shards --gate)
+echo "shard gate: $a"
+if [ "${a%% *}" != "${b%% *}" ]; then
+  echo "shard gate: digests differ across process invocations" >&2
+  echo "  first:  $a" >&2
+  echo "  second: $b" >&2
+  exit 1
+fi
+echo "shard gate: cross-process replay bit-identical"
+wh_new=${a##*warm_hit=}
+wh_old=$(sed 's/.*warm_hit=//' "$SHARD_BASELINE")
+awk -v new="$wh_new" -v old="$wh_old" 'BEGIN {
+  if (old + 0 <= 0) { print "shard gate: bad baseline warm-hit"; exit 1 }
+  drift = (new - old) / old; if (drift < 0) drift = -drift
+  printf "shard gate: warm-hit %.6f vs baseline %.6f (drift %.4f, fails above 0.02)\n", new, old, drift
+  exit (drift > 0.02) ? 1 : 0
+}'
+
 echo "bench gate: ok"

@@ -2,12 +2,6 @@
 # Workspace hygiene gate: formatting, clippy (warnings are errors), tests.
 # Run from the repository root. Pass extra cargo args through, e.g.
 #   scripts/check.sh --offline
-#
-# Note on the `deprecated` lint family: the legacy `Engine::run*` entry
-# points are `#[deprecated]` shims over `RunRequest` (DESIGN.md §11).
-# `-D warnings` below promotes any in-tree use of them to a hard error,
-# so new code cannot reintroduce the old entry points — migrate callers
-# to `RunRequest::new(cfg, graph)...run()` instead of allowing the lint.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
