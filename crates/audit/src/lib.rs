@@ -326,10 +326,16 @@ impl Default for AuditConfig {
             ]),
         );
         layering.insert(
+            "watch".into(),
+            dep(&[
+                "simcore", "storage", "dag", "lint", "obs", "data", "analysis", "core", "serve",
+            ]),
+        );
+        layering.insert(
             "bench".into(),
             dep(&[
                 "simcore", "storage", "store", "net", "cluster", "chaos", "dag", "lint", "obs",
-                "data", "analysis", "core", "serve", "exec",
+                "data", "analysis", "core", "serve", "exec", "watch",
             ]),
         );
         AuditConfig {
@@ -451,7 +457,7 @@ mod tests {
         let cfg = AuditConfig::default();
         for k in [
             "simcore", "storage", "store", "net", "cluster", "chaos", "dag", "lint", "obs", "data",
-            "analysis", "core", "serve", "exec", "bench", "audit",
+            "analysis", "core", "serve", "exec", "watch", "bench", "audit",
         ] {
             assert!(cfg.layering.contains_key(k), "{k} missing from layering");
         }

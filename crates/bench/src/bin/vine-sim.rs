@@ -6,6 +6,7 @@
 //!          [--scale N] [--seed N] [--single-node-reduction]
 //!          [--no-peer-transfers] [--placement round-robin]
 //!          [--replicas N] [--remote-inputs] [--dot FILE]
+//!          [--explain-memo FILE]
 //!          [--chaos PRESET|SPEC] [--recovery default|hardened|fragile]
 //!          [--lint] [--lint-deny=warn] [--no-preflight]
 //!          [--trace-out DIR] [--metrics] [--bench-json FILE]
@@ -23,6 +24,12 @@
 //!
 //! `--bench-json FILE` writes a small machine-readable summary (makespan,
 //! events processed, events/sec, peak cache bytes) for CI perf gates.
+//!
+//! `--explain-memo FILE` threads the run through a warm session, then asks
+//! what an *edited resubmission* (final selection changed) would re-run:
+//! the memo plan's per-task disposition — must-run vs. resident vs.
+//! warm-in-store — is overlaid on the DOT export written to FILE, and the
+//! counts are printed.
 //!
 //! `--stream-threshold T` attaches a convergence observer: the run
 //! streams a partial histogram after every partition and stops early
@@ -62,6 +69,7 @@ struct Args {
     replicas: Option<u32>,
     remote_inputs: bool,
     dot: Option<String>,
+    explain_memo: Option<String>,
     lint_only: bool,
     lint_deny_warn: bool,
     no_preflight: bool,
@@ -81,6 +89,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         replicas: None,
         remote_inputs: false,
         dot: None,
+        explain_memo: None,
         lint_only: false,
         lint_deny_warn: false,
         no_preflight: false,
@@ -138,6 +147,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             }
             "--remote-inputs" => args.remote_inputs = true,
             "--dot" => args.dot = Some(value("--dot")?),
+            "--explain-memo" => args.explain_memo = Some(value("--explain-memo")?),
             "--lint" => args.lint_only = true,
             "--lint-deny=warn" => args.lint_deny_warn = true,
             "--lint-deny" => match value("--lint-deny")?.as_str() {
@@ -269,6 +279,12 @@ fn main() {
 
     let mut rec = vine_obs::MemoryRecorder::new();
     let mut conv = cli.stream_threshold.map(ConvergenceObserver::new);
+    // --explain-memo needs the post-run caches, so that run (and only
+    // that run) is threaded through a session.
+    let mut session = args
+        .explain_memo
+        .as_ref()
+        .map(|_| vine_core::SessionState::new(&cluster));
     // vine-audit: allow(A103) -- CLI wall-time report for the human at the terminal; simulated time comes exclusively from the sim clock
     let wall_start = std::time::Instant::now();
     let mut request = RunRequest::new(cfg, graph);
@@ -277,6 +293,9 @@ fn main() {
     }
     if let Some(conv) = &mut conv {
         request = request.observer(conv);
+    }
+    if let Some(session) = &mut session {
+        request = request.session(session);
     }
     let r = request.run();
     let wall = wall_start.elapsed();
@@ -343,6 +362,31 @@ fn main() {
         if let Some(o) = &r.obs {
             println!();
             print!("{}", o.digest.to_text());
+        }
+    }
+    if let (Some(path), Some(session)) = (&args.explain_memo, &session) {
+        // What would a warm resubmission with an edited final selection
+        // re-run? Overlay the memo dispositions on the edited graph: the
+        // process stage is resident (palegreen), evicted-but-needed and
+        // edited tasks must run (tomato).
+        let gen = spec.edit_generation + 1;
+        let edited = spec.clone().with_edit_generation(gen).to_graph();
+        let plan = vine_dag::MemoPlan::compute(&edited, |f| {
+            session.contains(vine_core::graph_file_cachename(&edited, f))
+        });
+        let explain = plan.explain(&edited);
+        let dot =
+            vine_dag::dot::to_dot_with_memo(&edited, vine_dag::dot::DotOptions::default(), &plan);
+        match std::fs::write(path, dot) {
+            Ok(()) => {
+                println!();
+                println!(
+                    "memo explain (edited resubmission): {} must-run, {} resident, {} warm-in-store",
+                    explain.must_run, explain.resident, explain.warm_in_store
+                );
+                println!("[wrote {path}]");
+            }
+            Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
     cli.write_bench_json(&args.workload, args.seed, &r, wall);

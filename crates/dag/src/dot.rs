@@ -7,6 +7,7 @@
 use std::fmt::Write as _;
 
 use crate::graph::{TaskGraph, TaskKind};
+use crate::memo::{MemoPlan, NodeDisposition};
 
 /// Options for DOT rendering.
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +29,19 @@ impl Default for DotOptions {
 
 /// Render the graph in DOT syntax.
 pub fn to_dot(graph: &TaskGraph, opts: DotOptions) -> String {
+    render(graph, opts, None)
+}
+
+/// Render the graph with a [`MemoPlan`] overlay: task fill colors encode
+/// the plan's disposition — tomato for must-run, palegreen for skipped on
+/// local residency, khaki for skipped on store warmth — so the affected
+/// cone of an incremental run is visible at a glance. Shapes still encode
+/// the task kind.
+pub fn to_dot_with_memo(graph: &TaskGraph, opts: DotOptions, plan: &MemoPlan) -> String {
+    render(graph, opts, Some(plan))
+}
+
+fn render(graph: &TaskGraph, opts: DotOptions, plan: Option<&MemoPlan>) -> String {
     let limit = if opts.max_tasks == 0 {
         usize::MAX
     } else {
@@ -39,10 +53,16 @@ pub fn to_dot(graph: &TaskGraph, opts: DotOptions) -> String {
     let mut included_files = std::collections::BTreeSet::new();
 
     for t in graph.tasks().iter().take(limit) {
-        let (shape, color) = match t.kind {
+        let (shape, kind_color) = match t.kind {
             TaskKind::Process => ("box", "lightblue"),
             TaskKind::Accumulate => ("ellipse", "lightsalmon"),
             TaskKind::Generic => ("box", "lightgray"),
+        };
+        let color = match plan.map(|p| p.disposition(t.id, graph)) {
+            None => kind_color,
+            Some(NodeDisposition::MustRun) => "tomato",
+            Some(NodeDisposition::Resident) => "palegreen",
+            Some(NodeDisposition::WarmInStore) => "khaki",
         };
         let _ = writeln!(
             out,
@@ -159,6 +179,25 @@ mod tests {
         );
         assert!(dot.contains("... 7 more tasks"));
         assert!(!dot.contains("t9 ["));
+    }
+
+    #[test]
+    fn memo_overlay_colors_by_disposition() {
+        let g = small();
+        let partial = g.tasks()[0].outputs[0];
+        // map's output is warm in the store; reduce's sink is cold → map
+        // skipped (warm-in-store), reduce must run.
+        let plan = MemoPlan::compute_with_store(&g, |_| false, |f| f == partial);
+        let dot = to_dot_with_memo(&g, DotOptions::default(), &plan);
+        assert!(dot.contains("t0 [label=\"map\", shape=box, style=filled, fillcolor=khaki]"));
+        assert!(
+            dot.contains("t1 [label=\"reduce\", shape=ellipse, style=filled, fillcolor=tomato]")
+        );
+
+        // Locally resident instead → palegreen.
+        let plan = MemoPlan::compute(&g, |f| f == partial);
+        let dot = to_dot_with_memo(&g, DotOptions::default(), &plan);
+        assert!(dot.contains("fillcolor=palegreen"));
     }
 
     #[test]

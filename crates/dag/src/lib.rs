@@ -27,5 +27,5 @@ pub mod rewrite;
 pub mod tracker;
 
 pub use graph::{FileId, FileNode, TaskGraph, TaskId, TaskKind, TaskNode, ValidateError};
-pub use memo::MemoPlan;
+pub use memo::{MemoExplain, MemoPlan, NodeDisposition};
 pub use tracker::{ReadyTracker, TaskState};

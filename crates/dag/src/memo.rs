@@ -47,6 +47,7 @@ use crate::graph::{FileId, TaskGraph, TaskId};
 pub struct MemoPlan {
     skip: Vec<bool>,
     resident: Vec<bool>,
+    store_only: Vec<bool>,
     /// Tasks satisfied from cache (skipped).
     pub skipped_tasks: usize,
     /// Resident output files of skipped tasks (warm hits).
@@ -158,6 +159,7 @@ impl MemoPlan {
         MemoPlan {
             skip: must_run.iter().map(|&m| !m).collect(),
             resident: is_resident,
+            store_only,
             skipped_tasks,
             warm_files,
             warm_bytes,
@@ -171,6 +173,7 @@ impl MemoPlan {
         MemoPlan {
             skip: vec![false; graph.task_count()],
             resident: vec![false; graph.file_count()],
+            store_only: vec![false; graph.file_count()],
             skipped_tasks: 0,
             warm_files: 0,
             warm_bytes: 0,
@@ -197,6 +200,89 @@ impl MemoPlan {
     /// The per-file residency mask (indexed by file id).
     pub fn resident_mask(&self) -> &[bool] {
         &self.resident
+    }
+
+    /// How this plan treats one task: must-run, or one of the two ways a
+    /// skip can be satisfied.
+    pub fn disposition(&self, t: TaskId, graph: &TaskGraph) -> NodeDisposition {
+        if !self.skips(t) {
+            return NodeDisposition::MustRun;
+        }
+        let from_store = graph
+            .task(t)
+            .outputs
+            .iter()
+            .any(|&f| self.store_only[f.0 as usize]);
+        if from_store {
+            NodeDisposition::WarmInStore
+        } else {
+            NodeDisposition::Resident
+        }
+    }
+
+    /// A human-readable account of the plan: per-task dispositions plus
+    /// summary counts — the cone-selection debugging companion to the DOT
+    /// overlay in [`crate::dot::to_dot_with_memo`].
+    pub fn explain(&self, graph: &TaskGraph) -> MemoExplain {
+        let dispositions: Vec<NodeDisposition> = graph
+            .tasks()
+            .iter()
+            .map(|t| self.disposition(t.id, graph))
+            .collect();
+        let count = |d: NodeDisposition| dispositions.iter().filter(|&&x| x == d).count();
+        MemoExplain {
+            must_run: count(NodeDisposition::MustRun),
+            resident: count(NodeDisposition::Resident),
+            warm_in_store: count(NodeDisposition::WarmInStore),
+            dispositions,
+        }
+    }
+}
+
+/// What a [`MemoPlan`] decided about one task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeDisposition {
+    /// The task executes this run.
+    MustRun,
+    /// Skipped: every needed output is resident in the local session.
+    Resident,
+    /// Skipped: satisfied only by the shared object tier (a store fetch
+    /// stands in for re-execution).
+    WarmInStore,
+}
+
+/// Per-task view of a [`MemoPlan`], from [`MemoPlan::explain`].
+#[derive(Clone, Debug)]
+pub struct MemoExplain {
+    /// Disposition of each task, indexed by task id.
+    pub dispositions: Vec<NodeDisposition>,
+    /// Tasks that execute.
+    pub must_run: usize,
+    /// Tasks skipped on local residency.
+    pub resident: usize,
+    /// Tasks skipped on store residency.
+    pub warm_in_store: usize,
+}
+
+impl MemoExplain {
+    /// One line per task plus a summary, deterministic, for logs or CLI.
+    pub fn to_text(&self, graph: &TaskGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (ti, d) in self.dispositions.iter().enumerate() {
+            let tag = match d {
+                NodeDisposition::MustRun => "must-run",
+                NodeDisposition::Resident => "resident",
+                NodeDisposition::WarmInStore => "warm-in-store",
+            };
+            let _ = writeln!(out, "{tag:13} t{ti} {}", graph.tasks()[ti].name);
+        }
+        let _ = writeln!(
+            out,
+            "memo: {} must-run, {} resident, {} warm-in-store",
+            self.must_run, self.resident, self.warm_in_store
+        );
+        out
     }
 }
 
@@ -377,6 +463,34 @@ mod tests {
         let t = ReadyTracker::with_warm_state(&g, plan.resident_mask(), plan.skip_mask());
         assert!(t.is_complete());
         assert_eq!(t.total_completions(), 0, "memo hits are not completions");
+    }
+
+    #[test]
+    fn explain_classifies_all_three_dispositions() {
+        // f0 local, f1 only in the store, sink cold: acc must run, p0 is
+        // resident, p1 is warm-in-store.
+        let (g, p0, p1, acc) = chain();
+        let f0 = g.task(p0).outputs[0];
+        let f1 = g.task(p1).outputs[0];
+        let plan = MemoPlan::compute_with_store(&g, |f| f == f0, |f| f == f1);
+        assert_eq!(plan.disposition(p0, &g), NodeDisposition::Resident);
+        assert_eq!(plan.disposition(p1, &g), NodeDisposition::WarmInStore);
+        assert_eq!(plan.disposition(acc, &g), NodeDisposition::MustRun);
+        let ex = plan.explain(&g);
+        assert_eq!((ex.must_run, ex.resident, ex.warm_in_store), (1, 1, 1));
+        let text = ex.to_text(&g);
+        assert!(text.contains("resident      t0 p0"));
+        assert!(text.contains("warm-in-store t1 p1"));
+        assert!(text.contains("must-run      t2 acc"));
+        assert!(text.contains("memo: 1 must-run, 1 resident, 1 warm-in-store"));
+    }
+
+    #[test]
+    fn cold_explain_is_all_must_run() {
+        let (g, _, _, _) = chain();
+        let ex = MemoPlan::cold(&g).explain(&g);
+        assert_eq!(ex.must_run, g.task_count());
+        assert_eq!(ex.resident + ex.warm_in_store, 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod events;
 pub mod gen;
 pub mod hist;
 pub mod jagged;
+pub mod log;
 pub mod rootfile;
 pub mod stream;
 
@@ -34,5 +35,6 @@ pub use events::EventBatch;
 pub use gen::EventGenerator;
 pub use hist::{Hist1D, Hist2D, HistogramSet};
 pub use jagged::Jagged;
+pub use log::{DatasetLog, GrowthEvent, GrowthKind};
 pub use rootfile::{Chunk, Dataset, RootFile};
 pub use stream::{fnv1a64, partition_delta, STREAM_HIST};

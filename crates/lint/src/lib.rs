@@ -27,7 +27,11 @@
 //! * [`facility`] — multi-tenant serving lints (F codes): tenant quotas
 //!   or fair-share weights that can never be satisfied, and per-run
 //!   worker slices the cluster cannot provide (checked by `vine-serve`
-//!   before a facility accepts submissions).
+//!   before a facility accepts submissions);
+//! * [`watch`] — standing-submission lints (W codes): reactive
+//!   configurations that silently go stale, watch datasets the template
+//!   never reads, or debounce without a bound (checked by `vine-watch`
+//!   when a standing submission registers).
 //!
 //! The scheduler side of the world arrives as [`EngineFacts`], a plain
 //! snapshot of the engine knobs this crate needs. `vine-core` provides
@@ -45,8 +49,10 @@ pub mod facility;
 pub mod graph;
 pub mod recovery;
 pub mod resources;
+pub mod watch;
 
 pub use facility::{lint_facility, lint_sharded, FacilityFacts, ShardFacts, TenantFacts};
+pub use watch::{lint_watch, StandingFacts, WatchFacts};
 
 use std::fmt;
 
@@ -153,11 +159,20 @@ pub enum Code {
     /// Cross-shard work stealing enabled on a single-shard federation:
     /// there is never another shard to steal from.
     F008,
+    /// A standing submission has no automatic trigger (`Manual`): results
+    /// go stale silently as the dataset grows.
+    W001,
+    /// A standing submission watches a dataset its graph template never
+    /// reads: appends fire refreshes that recompute nothing.
+    W002,
+    /// A debounced trigger with no pending cap: a steady trickle of
+    /// appends postpones the refresh forever.
+    W003,
 }
 
 impl Code {
     /// Every code, in report order — drives the README reference table.
-    pub const ALL: [Code; 33] = [
+    pub const ALL: [Code; 36] = [
         Code::G001,
         Code::G002,
         Code::G003,
@@ -191,6 +206,9 @@ impl Code {
         Code::F006,
         Code::F007,
         Code::F008,
+        Code::W001,
+        Code::W002,
+        Code::W003,
     ];
 
     /// One-line description (the README reference text).
@@ -229,6 +247,9 @@ impl Code {
             Code::F006 => "federation has zero shards; nothing can ever run",
             Code::F007 => "shared object tier with zero capacity or invalid bandwidth",
             Code::F008 => "work stealing on a single-shard federation has no victim",
+            Code::W001 => "standing submission without an automatic trigger goes stale silently",
+            Code::W002 => "standing submission watches a dataset its template never reads",
+            Code::W003 => "unbounded debounce: a steady trickle postpones refresh forever",
         }
     }
 }

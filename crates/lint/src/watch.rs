@@ -1,0 +1,165 @@
+//! Standing-submission lints (W codes).
+//!
+//! A standing submission pairs a graph template with a trigger policy and
+//! re-runs as its datasets grow. The failure modes are quiet: a `Manual`
+//! trigger never fires and the served histograms silently fall behind the
+//! data; a watch list wider than what the template reads burns refreshes
+//! that recompute nothing; an unbounded debounce lets a steady trickle of
+//! appends postpone the refresh forever. None of these abort a run, so
+//! they are exactly the class of mistake a pre-flight lint should catch.
+//!
+//! `vine-watch` builds a [`WatchFacts`] snapshot when a submission
+//! registers and runs [`lint_watch`] — the dependency arrow stays
+//! `vine-watch → vine-lint`, mirroring how `vine-serve` uses the F codes.
+
+use crate::{Code, Diagnostic, Locus, Report, Severity};
+
+/// Facts about one standing submission, as plain data.
+#[derive(Clone, Debug)]
+pub struct StandingFacts {
+    /// Display label (appears in diagnostics).
+    pub label: String,
+    /// Owning tenant index.
+    pub tenant: usize,
+    /// True unless the trigger policy is `Manual`.
+    pub has_trigger: bool,
+    /// How many datasets the submission watches for growth.
+    pub watched_datasets: usize,
+    /// How many datasets the graph template actually reads.
+    pub graph_datasets: usize,
+    /// For debounced triggers: false when `max_pending` is `None`.
+    /// Non-debounced policies report true.
+    pub debounce_bounded: bool,
+}
+
+/// Facts about every standing submission registered with a watch session.
+#[derive(Clone, Debug, Default)]
+pub struct WatchFacts {
+    /// One entry per standing submission, in registration order.
+    pub submissions: Vec<StandingFacts>,
+}
+
+/// Run the W-family lints over a watch session's standing submissions.
+pub fn lint_watch(facts: &WatchFacts) -> Report {
+    let mut report = Report::new();
+    for s in &facts.submissions {
+        if !s.has_trigger {
+            report.push(Diagnostic {
+                code: Code::W001,
+                severity: Severity::Warn,
+                locus: Locus::Tenant(s.tenant),
+                message: format!(
+                    "standing submission '{}' has no automatic trigger: \
+                     served results go stale as the dataset grows",
+                    s.label
+                ),
+                suggestion: Some(
+                    "pick EveryEpoch, BatchedAppends, or Debounced — or drive \
+                     refresh_now from an external clock"
+                        .into(),
+                ),
+            });
+        }
+        if s.watched_datasets > s.graph_datasets {
+            report.push(Diagnostic {
+                code: Code::W002,
+                severity: Severity::Error,
+                locus: Locus::Tenant(s.tenant),
+                message: format!(
+                    "standing submission '{}' watches {} dataset(s) but its \
+                     template reads only {}: appends to the extras fire \
+                     refreshes that recompute nothing",
+                    s.label, s.watched_datasets, s.graph_datasets
+                ),
+                suggestion: Some("narrow the watch list to the datasets the template reads".into()),
+            });
+        }
+        if !s.debounce_bounded {
+            report.push(Diagnostic {
+                code: Code::W003,
+                severity: Severity::Warn,
+                locus: Locus::Tenant(s.tenant),
+                message: format!(
+                    "standing submission '{}' debounces with no pending cap: \
+                     a steady trickle of appends postpones the refresh forever",
+                    s.label
+                ),
+                suggestion: Some("set max_pending to bound the postponement".into()),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> StandingFacts {
+        StandingFacts {
+            label: "dv3.muon".into(),
+            tenant: 0,
+            has_trigger: true,
+            watched_datasets: 2,
+            graph_datasets: 2,
+            debounce_bounded: true,
+        }
+    }
+
+    #[test]
+    fn healthy_submission_is_clean() {
+        let facts = WatchFacts {
+            submissions: vec![healthy()],
+        };
+        assert!(lint_watch(&facts).is_clean());
+    }
+
+    #[test]
+    fn manual_trigger_warns_w001() {
+        let mut s = healthy();
+        s.has_trigger = false;
+        let r = lint_watch(&WatchFacts {
+            submissions: vec![s],
+        });
+        assert!(r.has_code(Code::W001) && !r.has_errors());
+    }
+
+    #[test]
+    fn overwide_watch_list_errors_w002() {
+        let mut s = healthy();
+        s.watched_datasets = 3;
+        let r = lint_watch(&WatchFacts {
+            submissions: vec![s],
+        });
+        assert!(r.has_code(Code::W002) && r.has_errors());
+    }
+
+    #[test]
+    fn unbounded_debounce_warns_w003() {
+        let mut s = healthy();
+        s.debounce_bounded = false;
+        let r = lint_watch(&WatchFacts {
+            submissions: vec![s],
+        });
+        assert!(r.has_code(Code::W003) && !r.has_errors());
+        let d = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::W003)
+            .unwrap();
+        assert_eq!(d.locus, Locus::Tenant(0));
+    }
+
+    #[test]
+    fn diagnostics_accumulate_across_submissions() {
+        let mut a = healthy();
+        a.has_trigger = false;
+        let mut b = healthy();
+        b.tenant = 1;
+        b.debounce_bounded = false;
+        let r = lint_watch(&WatchFacts {
+            submissions: vec![a, b],
+        });
+        assert_eq!(r.counts(), (0, 2, 0));
+    }
+}

@@ -29,8 +29,8 @@ use std::rc::Rc;
 use vine_analysis::ConvergenceObserver;
 use vine_cluster::ClusterSpec;
 use vine_core::{
-    graph_file_cachename, EngineConfig, FaultPlan, RecoveryPolicy, RunRequest, RunStats,
-    SessionState,
+    graph_file_cachename, EngineConfig, FaultPlan, RecoveryPolicy, RunObserver, RunRequest,
+    RunStats, SessionState,
 };
 use vine_dag::{FileId, MemoPlan, TaskGraph};
 use vine_lint::{lint_facility, FacilityFacts, Report, SchedulerFamily};
@@ -224,6 +224,31 @@ struct ActiveRun {
     caches: Vec<LocalCache>,
     /// Shared-tier entries pinned for this run's duration.
     pinned: Vec<CacheName>,
+}
+
+/// Caller-supplied streaming hooks for an externally driven (standing)
+/// admission: the observer receives every partition delta, and the
+/// recorder — when present — the inner run's full span/metric stream.
+pub(crate) struct ExternalHooks<'a> {
+    pub(crate) observer: &'a mut dyn RunObserver,
+    pub(crate) recorder: Option<&'a mut dyn vine_obs::Recorder>,
+}
+
+/// The cachename a graph's final answer lives under: its first produced
+/// file that no task consumes. `None` for graphs with no produced sink
+/// (degenerate; lint G004 flags them).
+pub fn graph_result_name(graph: &TaskGraph) -> Option<CacheName> {
+    let consumed: BTreeSet<u32> = graph
+        .tasks()
+        .iter()
+        .flat_map(|t| t.inputs.iter().map(|f| f.0))
+        .collect();
+    graph
+        .files()
+        .iter()
+        .enumerate()
+        .find(|(i, f)| f.producer.is_some() && !consumed.contains(&(*i as u32)))
+        .map(|(i, _)| graph_file_cachename(graph, FileId(i as u32)))
 }
 
 /// This facility's handle onto a federation's shared object tier.
@@ -483,6 +508,92 @@ impl Facility {
             .clone()
     }
 
+    /// Run a standing (reactive) submission right now: like
+    /// [`run_now`](Self::run_now), but every partition delta streams into
+    /// the caller's `observer` instead of a facility-owned convergence
+    /// loop, so a reactive scheduler can fold refresh deltas into a
+    /// persistent accumulator. The run is charged against `tenant`'s
+    /// fair share and core quota exactly like a queued admission.
+    pub fn run_standing(
+        &mut self,
+        tenant: usize,
+        graph: TaskGraph,
+        label: &str,
+        observer: &mut dyn RunObserver,
+    ) -> SubmissionRecord {
+        self.run_standing_recorded(tenant, graph, label, observer, None)
+    }
+
+    /// [`run_standing`](Self::run_standing) with the inner run's full
+    /// span/metric stream forwarded to `recorder` (for executed-task-set
+    /// introspection and per-epoch digests).
+    pub fn run_standing_recorded<'a>(
+        &mut self,
+        tenant: usize,
+        graph: TaskGraph,
+        label: &str,
+        observer: &'a mut dyn RunObserver,
+        recorder: Option<&'a mut dyn vine_obs::Recorder>,
+    ) -> SubmissionRecord {
+        assert!(tenant < self.cfg.tenants.len(), "unknown tenant");
+        self.step_now();
+        // A standing run needs an exclusive slice and quota room like any
+        // other; advance the clock through queued work until both hold.
+        while self.free_workers() < self.cfg.workers_per_run || !self.tenant_has_quota_room(tenant)
+        {
+            let next = self
+                .next_event_time()
+                .expect("no future event can free a slice for the standing run");
+            self.now = self.now.max(next);
+            self.step_now();
+        }
+        let seq = self.next_seq;
+        self.next_seq += self.seq_stride;
+        // Charge the refresh against the owning tenant: remove its (stale
+        // after the charge) ready entry first, exactly as admit_all does.
+        self.ready.remove(&(self.share.vtime(tenant), tenant));
+        self.share.activate(tenant);
+        self.share.charge(tenant, self.cfg.run_cores());
+        let free: Vec<usize> = (0..self.busy.len()).filter(|&w| !self.busy[w]).collect();
+        self.admit(
+            tenant,
+            Queued {
+                seq,
+                priority: 0,
+                arrival: self.now,
+                graph,
+                label: label.to_string(),
+                stream_threshold: None,
+            },
+            &free,
+            Some(ExternalHooks { observer, recorder }),
+        );
+        self.mark_admissible(tenant);
+        loop {
+            self.step_now();
+            if let Some(r) = self.records.iter().find(|r| r.seq == seq) {
+                return r.clone();
+            }
+            let next = self
+                .next_event_time()
+                .expect("admitted standing run must complete");
+            self.now = self.now.max(next);
+        }
+    }
+
+    /// Swap the fault plan and recovery policy injected into *subsequent*
+    /// inner runs — mid-timeline chaos for reactive sessions. Runs
+    /// already in flight keep the plan they started with.
+    pub fn inject_chaos(&mut self, chaos: FaultPlan, recovery: RecoveryPolicy) {
+        self.cfg.chaos = chaos;
+        self.cfg.recovery = recovery;
+    }
+
+    /// Mutable access to the result store (epoch publication).
+    pub fn results_mut(&mut self) -> &mut ResultStore {
+        &mut self.results
+    }
+
     /// The report so far (records in seq order).
     pub fn report(&self) -> FacilityReport {
         let mut records = self.records.clone();
@@ -679,14 +790,14 @@ impl Facility {
             self.ready.remove(&(vt, t));
             let q = self.queues[t].pop_front().expect("ready ⇒ non-empty");
             self.share.charge(t, self.cfg.run_cores());
-            self.admit(t, q, &free);
+            self.admit(t, q, &free, None);
             admitted += 1;
             self.mark_admissible(t);
         }
         admitted
     }
 
-    fn admit(&mut self, tenant: usize, q: Queued, free: &[usize]) {
+    fn admit(&mut self, tenant: usize, q: Queued, free: &[usize], hooks: Option<ExternalHooks>) {
         // Cachenames of every produced file, indexed by file id (the
         // slice scorer and the store consult both read them).
         let mut names: Vec<Option<(CacheName, u64)>> = vec![None; q.graph.file_count()];
@@ -792,25 +903,23 @@ impl Facility {
 
         // The cachename the run's final answer lives under: the produced
         // file nothing consumes. Live partial entries are keyed by it.
-        let result_name = q.stream_threshold.and_then(|_| {
-            let consumed: std::collections::BTreeSet<u32> = q
-                .graph
-                .tasks()
-                .iter()
-                .flat_map(|t| t.inputs.iter().map(|f| f.0))
-                .collect();
-            q.graph
-                .files()
-                .iter()
-                .enumerate()
-                .find(|(i, f)| f.producer.is_some() && !consumed.contains(&(*i as u32)))
-                .map(|(i, _)| graph_file_cachename(&q.graph, vine_dag::FileId(i as u32)))
-        });
+        let result_name = q.stream_threshold.and_then(|_| graph_result_name(&q.graph));
 
         let request = RunRequest::new(ecfg, q.graph).session(&mut session);
         let (result, stream_stopped_at, stream_digest, partials_published) =
-            match q.stream_threshold {
-                Some(threshold) => {
+            match (hooks, q.stream_threshold) {
+                (Some(h), _) => {
+                    // Externally driven (standing) admission: the caller's
+                    // observer folds every partition delta itself, and the
+                    // caller decides what to publish, so no convergence
+                    // logic or partial publication happens here.
+                    let mut request = request.observer(h.observer);
+                    if let Some(rec) = h.recorder {
+                        request = request.recorder(rec);
+                    }
+                    (request.run(), None, None, 0)
+                }
+                (None, Some(threshold)) => {
                     let mut obs = ConvergenceObserver::new(threshold);
                     let result = request.observer(&mut obs).run();
                     let mut published = 0;
@@ -825,7 +934,7 @@ impl Facility {
                     let digest = obs.accumulator().digest();
                     (result, Some(stopped_at), Some(digest), published)
                 }
-                None => (request.run(), None, None, 0),
+                (None, None) => (request.run(), None, None, 0),
             };
 
         self.inflight_cores[tenant] += self.cfg.run_cores();

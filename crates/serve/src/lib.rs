@@ -49,7 +49,7 @@ pub mod resultstore;
 pub mod sharded;
 pub mod tenant;
 
-pub use facility::{Facility, FacilityConfig, Submission, SubmissionRecord};
+pub use facility::{graph_result_name, Facility, FacilityConfig, Submission, SubmissionRecord};
 pub use loadgen::LoadGen;
 pub use report::{FacilityReport, TenantSummary};
 pub use resultstore::ResultStore;

@@ -38,6 +38,14 @@ pub struct ResultStore {
     /// `(name, 300)` is the estimate at 30% complete. Replaced wholesale
     /// when the same run re-executes.
     partials: BTreeMap<(CacheName, u32), Vec<u8>>,
+    /// Epoch-versioned results: logical key (e.g. a standing submission
+    /// label) → the epoch and cachename of its current blob. A growing
+    /// dataset changes the result's *cachename* every refresh; this map
+    /// links the generations so publishing a newer epoch invalidates the
+    /// superseded blob **and its live partials** — without it, a client
+    /// polling the old cachename would keep reading stale partials
+    /// forever.
+    versioned: BTreeMap<String, (u64, CacheName)>,
     hits: Cell<u64>,
     misses: Cell<u64>,
 }
@@ -135,6 +143,44 @@ impl ResultStore {
     pub fn invalidate(&mut self, name: CacheName) -> bool {
         self.drop_partials(name);
         self.entries.remove(&name).is_some()
+    }
+
+    /// Publish the result of `key` at `epoch` under `name`. When a blob
+    /// of an older (or equal) epoch exists under a different cachename,
+    /// that blob and every live partial keyed by it are invalidated — the
+    /// stale-partial fix for growing datasets. Publishing an epoch older
+    /// than the current one is refused (returns `false`): replays must
+    /// never roll a served result backward.
+    pub fn publish_epoch(
+        &mut self,
+        key: &str,
+        epoch: u64,
+        name: CacheName,
+        bytes: Vec<u8>,
+    ) -> bool {
+        if let Some(&(cur_epoch, cur_name)) = self.versioned.get(key) {
+            if epoch < cur_epoch {
+                return false;
+            }
+            if cur_name != name {
+                self.invalidate(cur_name);
+            }
+        }
+        self.versioned.insert(key.to_string(), (epoch, name));
+        self.put(name, bytes);
+        true
+    }
+
+    /// The epoch of `key`'s current result, if one was published.
+    pub fn current_epoch(&self, key: &str) -> Option<u64> {
+        self.versioned.get(key).map(|&(e, _)| e)
+    }
+
+    /// `key`'s current result: its epoch, cachename, and blob. Counts a
+    /// hit or miss like [`get`](Self::get).
+    pub fn get_versioned(&self, key: &str) -> Option<(u64, CacheName, &[u8])> {
+        let &(epoch, name) = self.versioned.get(key)?;
+        self.get(name).map(|b| (epoch, name, b))
     }
 
     /// Stored (final) blob count.
@@ -279,5 +325,50 @@ mod tests {
         store.put(name(1), vec![10]);
         assert_eq!(store.partial_count(), 0, "final publish drops partials");
         assert_eq!(store.get(name(1)), Some(&[10u8][..]));
+    }
+
+    #[test]
+    fn newer_epoch_invalidates_stale_blob_and_partials() {
+        // Regression: a streaming run published live partials under the
+        // epoch-1 cachename; the dataset then grew and epoch 2 finished
+        // under a *different* cachename. Without the versioned link, the
+        // epoch-1 partials survived and a client polling the old name
+        // read a stale 90% estimate of a superseded result.
+        let mut store = ResultStore::new();
+        assert!(store.publish_epoch("dv3.watch", 1, name(1), vec![1]));
+        store.put_partial(name(1), 900, vec![9]);
+        assert_eq!(store.current_epoch("dv3.watch"), Some(1));
+
+        assert!(store.publish_epoch("dv3.watch", 2, name(2), vec![2]));
+        assert_eq!(store.current_epoch("dv3.watch"), Some(2));
+        assert!(store.get(name(1)).is_none(), "stale blob gone");
+        assert_eq!(
+            store.get_partial(name(1), 1000),
+            None,
+            "stale partials gone"
+        );
+        let (epoch, n, blob) = store.get_versioned("dv3.watch").unwrap();
+        assert_eq!((epoch, n, blob), (2, name(2), &[2u8][..]));
+    }
+
+    #[test]
+    fn same_name_republish_keeps_the_blob_fresh() {
+        // A quiet epoch may republish under the same cachename; the blob
+        // is replaced (put drops same-name partials) without a spurious
+        // invalidation of itself.
+        let mut store = ResultStore::new();
+        assert!(store.publish_epoch("k", 1, name(1), vec![1]));
+        assert!(store.publish_epoch("k", 2, name(1), vec![2]));
+        assert_eq!(store.get(name(1)), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn stale_epoch_publish_is_refused() {
+        let mut store = ResultStore::new();
+        assert!(store.publish_epoch("k", 3, name(3), vec![3]));
+        assert!(!store.publish_epoch("k", 2, name(2), vec![2]));
+        assert_eq!(store.current_epoch("k"), Some(3));
+        assert_eq!(store.get(name(3)), Some(&[3u8][..]));
+        assert!(store.get(name(2)).is_none());
     }
 }

@@ -158,6 +158,47 @@ proptest! {
         prop_assert_eq!(metrics_a, metrics_b);
     }
 
+    /// Growing a federation N → N+1 shards remaps at most roughly a
+    /// 1/(N+1) fraction of tenants — rendezvous hashing's minimal
+    /// disruption bound (with slack for hash variance on small samples).
+    #[test]
+    fn shard_growth_remaps_at_most_its_fair_share(
+        n in 2usize..9,
+        salt in 0u64..1000,
+    ) {
+        let tenants: Vec<String> =
+            (0..600).map(|i| format!("group-{salt}-{i}")).collect();
+        let moved = tenants
+            .iter()
+            .filter(|t| vine_serve::assign_shard(t, n) != vine_serve::assign_shard(t, n + 1))
+            .count();
+        // Expected fraction is 1/(n+1); allow 2× for sampling noise.
+        let bound = 2.0 * tenants.len() as f64 / (n as f64 + 1.0);
+        prop_assert!(
+            (moved as f64) <= bound,
+            "{moved} of {} tenants remapped at {n}→{} shards (bound {bound:.0})",
+            tenants.len(),
+            n + 1
+        );
+    }
+
+    /// A tenant that moves when a shard is added always moves TO the new
+    /// shard — never between two pre-existing shards.
+    #[test]
+    fn shard_growth_never_remaps_between_old_shards(
+        n in 1usize..10,
+        name in "[a-z]{1,12}",
+        salt in 0u64..1_000_000,
+    ) {
+        let tenant = format!("{name}-{salt}");
+        let before = vine_serve::assign_shard(&tenant, n);
+        let after = vine_serve::assign_shard(&tenant, n + 1);
+        prop_assert!(
+            after == before || after == n,
+            "tenant {tenant} moved {before} → {after} with new shard {n}"
+        );
+    }
+
     /// Weights steer throughput: with a saturated facility and weights
     /// k:1, the heavy tenant's admissions among the first half are at
     /// least as numerous as the light tenant's.

@@ -1,0 +1,165 @@
+//! Trigger policies: when a standing submission refreshes.
+//!
+//! A policy looks at the growth events committed since the submission's
+//! last completed epoch and decides whether a refresh fires *now* (at the
+//! newly committed epoch). Policies are pure over the log, so replaying
+//! the same timeline fires the same refreshes at the same epochs.
+
+use vine_data::{DatasetLog, GrowthKind};
+
+/// When a standing submission re-runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriggerPolicy {
+    /// Refresh at every committed epoch that changed anything the
+    /// submission reads (appends to its datasets, or spec edits).
+    EveryEpoch,
+    /// Refresh once at least `n` partition appends are pending.
+    BatchedAppends(usize),
+    /// Refresh after `quiet_epochs` consecutive epochs without pending
+    /// growth — the "let the burst finish" policy. `max_pending` caps how
+    /// long a steady trickle can postpone the refresh; `None` is unbounded
+    /// (flagged by lint `W003`).
+    Debounced {
+        /// Consecutive quiet epochs required before firing.
+        quiet_epochs: u64,
+        /// Fire regardless once this many events are pending.
+        max_pending: Option<usize>,
+    },
+    /// Never fires on its own; only explicit
+    /// [`WatchSession::refresh_now`](crate::WatchSession::refresh_now)
+    /// runs it (flagged by lint `W001`).
+    Manual,
+}
+
+impl TriggerPolicy {
+    /// Whether a refresh fires at `epoch`, given the submission last
+    /// completed at `last_epoch` and reads `datasets` of the template.
+    /// `epoch` must be committed in `log`.
+    pub fn fires(&self, log: &DatasetLog, last_epoch: u64, epoch: u64, datasets: usize) -> bool {
+        let pending: Vec<_> = log
+            .events()
+            .iter()
+            .filter(|e| {
+                e.epoch > last_epoch && e.epoch <= epoch && relevant(e.dataset, e.kind, datasets)
+            })
+            .collect();
+        match *self {
+            TriggerPolicy::EveryEpoch => pending.iter().any(|e| e.epoch == epoch),
+            TriggerPolicy::BatchedAppends(n) => {
+                let appends = pending
+                    .iter()
+                    .filter(|e| matches!(e.kind, GrowthKind::AppendPartition { .. }))
+                    .count();
+                appends >= n.max(1)
+            }
+            TriggerPolicy::Debounced {
+                quiet_epochs,
+                max_pending,
+            } => {
+                if pending.is_empty() {
+                    return false;
+                }
+                if let Some(cap) = max_pending {
+                    if pending.len() >= cap.max(1) {
+                        return true;
+                    }
+                }
+                let last_growth = pending.iter().map(|e| e.epoch).max().unwrap_or(last_epoch);
+                epoch >= last_growth + quiet_epochs
+            }
+            TriggerPolicy::Manual => false,
+        }
+    }
+}
+
+fn relevant(dataset: usize, kind: GrowthKind, datasets: usize) -> bool {
+    match kind {
+        GrowthKind::AppendPartition { .. } => dataset < datasets,
+        GrowthKind::EditSpec { .. } => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with_bursts() -> DatasetLog {
+        let mut log = DatasetLog::new(1);
+        log.append_partition(0, 1_000);
+        log.commit(); // epoch 1: one append
+        log.append_partition(0, 1_000);
+        log.append_partition(1, 1_000);
+        log.commit(); // epoch 2: two appends
+        log.commit(); // epoch 3: quiet
+        log.commit(); // epoch 4: quiet
+        log
+    }
+
+    #[test]
+    fn every_epoch_fires_on_growth_only() {
+        let log = log_with_bursts();
+        let p = TriggerPolicy::EveryEpoch;
+        assert!(p.fires(&log, 0, 1, 2));
+        assert!(p.fires(&log, 1, 2, 2));
+        assert!(!p.fires(&log, 2, 3, 2), "quiet epoch must not fire");
+    }
+
+    #[test]
+    fn batched_waits_for_enough_appends() {
+        let log = log_with_bursts();
+        let p = TriggerPolicy::BatchedAppends(3);
+        assert!(!p.fires(&log, 0, 1, 2), "1 < 3 pending");
+        assert!(p.fires(&log, 0, 2, 2), "3 pending");
+        assert!(!p.fires(&log, 2, 4, 2), "batch reset after refresh");
+    }
+
+    #[test]
+    fn debounce_waits_for_quiet_then_fires() {
+        let log = log_with_bursts();
+        let p = TriggerPolicy::Debounced {
+            quiet_epochs: 2,
+            max_pending: None,
+        };
+        assert!(!p.fires(&log, 0, 2, 2), "growth is still arriving");
+        assert!(!p.fires(&log, 0, 3, 2), "only one quiet epoch so far");
+        assert!(p.fires(&log, 0, 4, 2), "two quiet epochs");
+        assert!(!p.fires(&log, 4, 4, 2), "nothing pending after refresh");
+    }
+
+    #[test]
+    fn debounce_cap_bounds_the_postponement() {
+        let mut log = DatasetLog::new(2);
+        for _ in 0..5 {
+            log.append_partition(0, 1_000);
+            log.commit(); // a steady trickle: never a quiet epoch
+        }
+        let unbounded = TriggerPolicy::Debounced {
+            quiet_epochs: 1,
+            max_pending: None,
+        };
+        let capped = TriggerPolicy::Debounced {
+            quiet_epochs: 1,
+            max_pending: Some(3),
+        };
+        assert!(!unbounded.fires(&log, 0, 5, 1), "trickle postpones forever");
+        assert!(capped.fires(&log, 0, 3, 1), "cap forces the refresh");
+    }
+
+    #[test]
+    fn events_outside_watched_datasets_are_ignored() {
+        let mut log = DatasetLog::new(3);
+        log.append_partition(7, 1_000); // dataset the template never reads
+        log.commit();
+        assert!(!TriggerPolicy::EveryEpoch.fires(&log, 0, 1, 2));
+        // ...but a spec edit is always relevant.
+        log.edit_spec();
+        log.commit();
+        assert!(TriggerPolicy::EveryEpoch.fires(&log, 1, 2, 2));
+    }
+
+    #[test]
+    fn manual_never_fires() {
+        let log = log_with_bursts();
+        assert!(!TriggerPolicy::Manual.fires(&log, 0, 2, 2));
+    }
+}

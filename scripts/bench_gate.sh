@@ -100,4 +100,37 @@ awk -v new="$wh_new" -v old="$wh_old" 'BEGIN {
   exit (drift > 0.02) ? 1 : 0
 }'
 
+# Watch gate (ISSUE 9): the reactive standing-analysis CI cell (batched
+# growth preset, seed 42) must replay bit-identically across two process
+# invocations, its served estimate must match a cold full recompute
+# bit-for-bit (asserted inside the binary), and the reactive path must
+# save >= 60% of task executions vs cold re-runs. The saved ratio must
+# also stay within 2% of the committed baseline (results/watch_gate.txt).
+# To refresh the baseline after an intentional change:
+#   ./target/release/fig-watch --gate > results/watch_gate.txt
+WATCH_BASELINE=results/watch_gate.txt
+if [ ! -s "$WATCH_BASELINE" ]; then
+  echo "watch gate: no baseline at $WATCH_BASELINE" >&2
+  exit 1
+fi
+cargo build --release -p vine-bench --bin fig-watch
+a=$(./target/release/fig-watch --gate)
+b=$(./target/release/fig-watch --gate)
+echo "watch gate: $a"
+if [ "${a%% *}" != "${b%% *}" ]; then
+  echo "watch gate: digests differ across process invocations" >&2
+  echo "  first:  $a" >&2
+  echo "  second: $b" >&2
+  exit 1
+fi
+echo "watch gate: cross-process replay bit-identical"
+sv_new=${a##*saved=}
+sv_old=$(sed 's/.*saved=//' "$WATCH_BASELINE")
+awk -v new="$sv_new" -v old="$sv_old" 'BEGIN {
+  if (old + 0 <= 0) { print "watch gate: bad baseline saved ratio"; exit 1 }
+  drift = (new - old) / old; if (drift < 0) drift = -drift
+  printf "watch gate: saved %.6f vs baseline %.6f (drift %.4f, fails above 0.02)\n", new, old, drift
+  exit (drift > 0.02) ? 1 : 0
+}'
+
 echo "bench gate: ok"
