@@ -72,6 +72,12 @@ pub struct WorkloadSpec {
     /// of an interactive "tweak the cuts and resubmit" iteration, where a
     /// warm facility re-runs only the reductions.
     pub edit_generation: u32,
+    /// Systematic variations per chunk (AGC style). With `1`, the graph
+    /// is the plain map+reduce above. With `S > 1`, every chunk is
+    /// processed `S` times — the nominal pass plus `S - 1` shifted
+    /// replays — and each variation gets its own reduction, the fan-out
+    /// shape of `results/systematics_dag.dot`.
+    pub systematics: usize,
 }
 
 impl WorkloadSpec {
@@ -88,6 +94,7 @@ impl WorkloadSpec {
             work_scale: 1.0,
             reduction: ReductionShape::Tree { arity: 16 },
             edit_generation: 0,
+            systematics: 1,
         }
     }
 
@@ -104,6 +111,7 @@ impl WorkloadSpec {
             work_scale: 1.0,
             reduction: ReductionShape::Tree { arity: 16 },
             edit_generation: 0,
+            systematics: 1,
         }
     }
 
@@ -120,6 +128,7 @@ impl WorkloadSpec {
             work_scale: 1.0,
             reduction: ReductionShape::Tree { arity: 16 },
             edit_generation: 0,
+            systematics: 1,
         }
     }
 
@@ -136,6 +145,7 @@ impl WorkloadSpec {
             work_scale: 1.0,
             reduction: ReductionShape::Tree { arity: 16 },
             edit_generation: 0,
+            systematics: 1,
         }
     }
 
@@ -155,6 +165,49 @@ impl WorkloadSpec {
             work_scale: 1.8,
             reduction: ReductionShape::Tree { arity: 8 },
             edit_generation: 0,
+            systematics: 1,
+        }
+    }
+
+    /// DV3-Full: the campus-scale replay of the full 1.2 TB DV3 input,
+    /// chunked finer than DV3-Large so it fans out over 1000+ workers —
+    /// ≈ 21 000 tasks (20 000 process + tree accumulation). The wall-clock
+    /// throughput gate runs this shape to exercise the engine at the
+    /// facility scale of §VI.
+    pub fn dv3_full() -> Self {
+        WorkloadSpec {
+            name: "DV3-Full",
+            kind: AppKind::Dv3,
+            input_bytes: 1_200 * GB,
+            process_tasks: 20_000, // + tree accumulation ≈ 21 300 total
+            n_datasets: 16,
+            process_output_bytes: 160 * MB,
+            accum_output_bytes: 160 * MB,
+            work_scale: 1.0,
+            reduction: ReductionShape::Tree { arity: 16 },
+            edit_generation: 0,
+            systematics: 1,
+        }
+    }
+
+    /// AGC-Scale: the Analysis-Grand-Challenge-style systematics family.
+    /// Each of 800 chunks is processed once per systematic variation (the
+    /// nominal plus 24 shifted replays, matching the 25-way fan-out of
+    /// `results/systematics_dag.dot`), and every variation reduces through
+    /// its own arity-8 tree: 20 000 process tasks + ≈ 2 900 accumulations.
+    pub fn agc_scale() -> Self {
+        WorkloadSpec {
+            name: "AGC-Scale",
+            kind: AppKind::Dv3,
+            input_bytes: 400 * GB,
+            process_tasks: 800, // chunks; ×25 systematics = 20 000 process tasks
+            n_datasets: 8,
+            process_output_bytes: 50 * MB,
+            accum_output_bytes: 50 * MB,
+            work_scale: 0.8,
+            reduction: ReductionShape::Tree { arity: 8 },
+            edit_generation: 0,
+            systematics: 25,
         }
     }
 
@@ -183,6 +236,12 @@ impl WorkloadSpec {
         self
     }
 
+    /// Set the systematics fan-out (`1` = plain map+reduce).
+    pub fn with_systematics(mut self, n: usize) -> Self {
+        self.systematics = n.max(1);
+        self
+    }
+
     /// Scale the workload down by `factor` (fewer tasks, less data) while
     /// preserving its shape — used by quick tests and Criterion benches.
     pub fn scaled_down(mut self, factor: usize) -> Self {
@@ -207,47 +266,87 @@ impl WorkloadSpec {
 
         for d in 0..self.n_datasets {
             let n_chunks = per_dataset + usize::from(d < remainder);
-            let mut partials = Vec::with_capacity(n_chunks);
-            for c in 0..n_chunks {
-                let input = g.add_external_file(format!("{}.ds{d}.chunk{c}", self.name), chunk);
-                let (_, outs) = g.add_task(
-                    format!("{}.ds{d}.process{c}", self.name),
-                    TaskKind::Process,
-                    vec![input],
-                    &[self.process_output_bytes],
-                    self.work_scale,
-                );
-                partials.push(outs[0]);
-            }
-            let reduce_prefix = if self.edit_generation == 0 {
-                format!("{}.ds{d}.reduce", self.name)
-            } else {
-                format!("{}.ds{d}.reduce.g{}", self.name, self.edit_generation)
-            };
-            match self.reduction {
-                ReductionShape::SingleNode => {
-                    g.add_task(
-                        reduce_prefix,
-                        TaskKind::Accumulate,
-                        partials.clone(),
-                        &[self.accum_output_bytes],
-                        accum_work_per_input * partials.len() as f64,
+            if self.systematics <= 1 {
+                // Plain map+reduce. Files and tasks are added interleaved,
+                // exactly as they always were: id assignment (and thus
+                // scheduling order and digests) must not move.
+                let mut partials = Vec::with_capacity(n_chunks);
+                for c in 0..n_chunks {
+                    let input = g.add_external_file(format!("{}.ds{d}.chunk{c}", self.name), chunk);
+                    let (_, outs) = g.add_task(
+                        format!("{}.ds{d}.process{c}", self.name),
+                        TaskKind::Process,
+                        vec![input],
+                        &[self.process_output_bytes],
+                        self.work_scale,
                     );
+                    partials.push(outs[0]);
                 }
-                ReductionShape::Tree { arity } => {
-                    add_tree_reduce(
-                        &mut g,
-                        &reduce_prefix,
-                        &partials,
-                        arity,
-                        self.accum_output_bytes,
-                        accum_work_per_input,
-                    );
+                self.add_reduction(&mut g, d, None, partials, accum_work_per_input);
+            } else {
+                // Systematics fan-out: every chunk is shared input to one
+                // process task per variation; each variation reduces
+                // separately (the `systematics_dag.dot` shape).
+                let chunks: Vec<_> = (0..n_chunks)
+                    .map(|c| g.add_external_file(format!("{}.ds{d}.chunk{c}", self.name), chunk))
+                    .collect();
+                for s in 0..self.systematics {
+                    let mut partials = Vec::with_capacity(n_chunks);
+                    for (c, &input) in chunks.iter().enumerate() {
+                        let (_, outs) = g.add_task(
+                            format!("{}.ds{d}.syst{s}.process{c}", self.name),
+                            TaskKind::Process,
+                            vec![input],
+                            &[self.process_output_bytes],
+                            self.work_scale,
+                        );
+                        partials.push(outs[0]);
+                    }
+                    self.add_reduction(&mut g, d, Some(s), partials, accum_work_per_input);
                 }
             }
         }
         debug_assert!(g.validate().is_ok());
         g
+    }
+
+    /// Close one (dataset, variation) group with its reduction stage.
+    fn add_reduction(
+        &self,
+        g: &mut TaskGraph,
+        d: usize,
+        syst: Option<usize>,
+        partials: Vec<vine_dag::FileId>,
+        accum_work_per_input: f64,
+    ) {
+        let mut reduce_prefix = match syst {
+            None => format!("{}.ds{d}.reduce", self.name),
+            Some(s) => format!("{}.ds{d}.syst{s}.reduce", self.name),
+        };
+        if self.edit_generation != 0 {
+            reduce_prefix = format!("{reduce_prefix}.g{}", self.edit_generation);
+        }
+        match self.reduction {
+            ReductionShape::SingleNode => {
+                g.add_task(
+                    reduce_prefix,
+                    TaskKind::Accumulate,
+                    partials.clone(),
+                    &[self.accum_output_bytes],
+                    accum_work_per_input * partials.len() as f64,
+                );
+            }
+            ReductionShape::Tree { arity } => {
+                add_tree_reduce(
+                    g,
+                    &reduce_prefix,
+                    &partials,
+                    arity,
+                    self.accum_output_bytes,
+                    accum_work_per_input,
+                );
+            }
+        }
     }
 
     /// Build the matching dataset catalogs (for the real executor), one
@@ -392,6 +491,47 @@ mod tests {
     fn chunk_bytes_near_70mb_for_dv3_large() {
         let c = WorkloadSpec::dv3_large().chunk_bytes();
         assert!((60 * MB..90 * MB).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn dv3_full_is_campus_scale() {
+        let g = WorkloadSpec::dv3_full().to_graph();
+        assert!(g.task_count() >= 20_000, "{}", g.task_count());
+        assert_eq!(g.external_bytes() / GB, 1_200); // divides evenly
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn agc_scale_fans_out_per_systematic() {
+        let spec = WorkloadSpec::agc_scale();
+        let g = spec.to_graph();
+        let (p, a, _) = g.kind_counts();
+        assert_eq!(p, spec.process_tasks * spec.systematics);
+        assert!(a > 0);
+        // Chunks are shared across variations: external bytes stay at the
+        // spec's input size instead of multiplying by the fan-out.
+        assert!(g.external_bytes() <= spec.input_bytes);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn systematics_fan_out_scales_down() {
+        let spec = WorkloadSpec::agc_scale().scaled_down(40);
+        let g = spec.to_graph();
+        let (p, _, _) = g.kind_counts();
+        assert_eq!(p, spec.process_tasks * 25);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn with_systematics_one_is_the_plain_graph() {
+        let base = WorkloadSpec::dv3_small().scaled_down(20);
+        let a = base.clone().to_graph();
+        let b = base.with_systematics(1).to_graph();
+        let names =
+            |g: &TaskGraph| -> Vec<String> { g.tasks().iter().map(|t| t.name.clone()).collect() };
+        assert_eq!(names(&a), names(&b));
+        assert_eq!(a.task_count(), b.task_count());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!
 //! Code inside `#[cfg(test)]` items is skipped: tests may use ambient
 //! collections and clocks freely, because nothing in a test feeds a
-//! digest that replay must reproduce.
+//! digest that replay must reproduce. A file named `tests.rs` is the
+//! out-of-line form of the same idiom (its `#[cfg(test)] mod tests;`
+//! declaration lives in the parent module), so it is skipped wholesale.
 
 use crate::lexer::{lex, Lexed, Tok};
 use crate::{AuditConfig, Code, Finding};
@@ -162,7 +164,15 @@ fn is_float_literal(s: &str) -> bool {
 pub fn audit_file(crate_name: &str, rel_path: &str, source: &str, cfg: &AuditConfig) -> FileAudit {
     let lexed = lex(source);
     let mut waivers = parse_waivers(&lexed);
-    let mask = test_mask(&lexed.toks);
+    // An out-of-line `tests.rs` is the file form of `#[cfg(test)] mod
+    // tests;` — the gating attribute sits at the declaration site in the
+    // parent module, so the whole file is test code, exactly as an inline
+    // `#[cfg(test)] mod tests { .. }` block would be.
+    let mask = if rel_path == "tests.rs" || rel_path.ends_with("/tests.rs") {
+        vec![true; lexed.toks.len()]
+    } else {
+        test_mask(&lexed.toks)
+    };
     let toks = &lexed.toks;
 
     let in_exec_boundary = cfg.exec_boundary_crates.iter().any(|c| c == crate_name);
@@ -446,6 +456,18 @@ mod tests {
     fn cfg_test_blocks_are_exempt() {
         let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn g() { let _m: HashMap<u8, u8> = HashMap::new(); }\n}\n";
         let fa = audit_file("core", "crates/core/src/x.rs", src, &cfg());
+        assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+    }
+
+    #[test]
+    fn out_of_line_tests_rs_is_exempt_wholesale() {
+        // The same source in a non-test path is flagged ...
+        let src = "fn g() { let _m = std::collections::HashMap::<u8, u8>::new(); }\n";
+        let hot = audit_file("core", "crates/core/src/engine/x.rs", src, &cfg());
+        assert!(!hot.findings.is_empty());
+        // ... but a `tests.rs` module (declared `#[cfg(test)] mod tests;`
+        // in its parent) is test code, like an inline tests block.
+        let fa = audit_file("core", "crates/core/src/engine/tests.rs", src, &cfg());
         assert!(fa.findings.is_empty(), "{:?}", fa.findings);
     }
 

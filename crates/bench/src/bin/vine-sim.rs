@@ -10,11 +10,11 @@
 //!          [--chaos PRESET|SPEC] [--recovery default|hardened|fragile]
 //!          [--lint] [--lint-deny=warn] [--no-preflight]
 //!          [--trace-out DIR] [--metrics] [--bench-json FILE]
-//!          [--stream-threshold T]
+//!          [--bench-reps N] [--stream-threshold T]
 //! ```
 //!
-//! Workloads: dv3-small, dv3-medium, dv3-large (default), dv3-huge,
-//! rs-triphoton.
+//! Workloads: dv3-small, dv3-medium, dv3-large (default), dv3-full,
+//! dv3-huge, agc-scale, rs-triphoton.
 //!
 //! `--chaos` injects deterministic faults: a preset name (`campus`,
 //! `storm`, `stragglers`, `flaky-net`, `bitrot`) or a spec string such as
@@ -23,7 +23,11 @@
 //! when it *finishes* — completed or gracefully degraded.
 //!
 //! `--bench-json FILE` writes a small machine-readable summary (makespan,
-//! events processed, events/sec, peak cache bytes) for CI perf gates.
+//! events processed, events/sec, simulation wall-clock, peak cache bytes)
+//! for CI perf gates. `--bench-reps N` runs the simulation N times and
+//! reports the fastest repetition's wall-clock (the noise-robust minimum),
+//! which steadies the number for workloads that simulate in well under a
+//! millisecond.
 //!
 //! `--explain-memo FILE` threads the run through a warm session, then asks
 //! what an *edited resubmission* (final selection changed) would re-run:
@@ -73,6 +77,7 @@ struct Args {
     lint_only: bool,
     lint_deny_warn: bool,
     no_preflight: bool,
+    bench_reps: usize,
 }
 
 fn parse_args(argv: Vec<String>) -> Result<Args, String> {
@@ -93,6 +98,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         lint_only: false,
         lint_deny_warn: false,
         no_preflight: false,
+        bench_reps: 1,
     };
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
@@ -155,6 +161,12 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
                 other => return Err(format!("unknown --lint-deny level {other}")),
             },
             "--no-preflight" => args.no_preflight = true,
+            "--bench-reps" => {
+                args.bench_reps = value("--bench-reps")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--bench-reps: {e}"))?
+                    .max(1)
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: see module docs (vine-sim --workload dv3-large --stack 4 ...)"
@@ -182,7 +194,9 @@ fn main() {
         "dv3-small" => WorkloadSpec::dv3_small(),
         "dv3-medium" => WorkloadSpec::dv3_medium(),
         "dv3-large" => WorkloadSpec::dv3_large(),
+        "dv3-full" => WorkloadSpec::dv3_full(),
         "dv3-huge" => WorkloadSpec::dv3_huge(),
+        "agc-scale" => WorkloadSpec::agc_scale(),
         "rs-triphoton" => WorkloadSpec::rs_triphoton(),
         other => {
             eprintln!("unknown workload {other}");
@@ -195,7 +209,9 @@ fn main() {
     }
 
     let default_workers = match args.workload.as_str() {
+        "dv3-full" => 1200,
         "dv3-huge" => 600,
+        "agc-scale" => 300,
         "rs-triphoton" => 40,
         _ => 200,
     };
@@ -287,6 +303,21 @@ fn main() {
         .map(|_| vine_core::SessionState::new(&cluster));
     // vine-audit: allow(A103) -- CLI wall-time report for the human at the terminal; simulated time comes exclusively from the sim clock
     let wall_start = std::time::Instant::now();
+    // --bench-reps: extra identical plain runs; the *fastest* repetition is
+    // what --bench-json reports. The minimum is the standard noise-robust
+    // statistic (scheduler preemption and cache pollution only ever add
+    // time), so sub-millisecond workloads — dv3-small's gate cell simulates
+    // in ~0.5ms — produce a wall-clock number the CI throughput gate can
+    // compare without drowning in timer jitter.
+    let mut best_rep_wall: Option<std::time::Duration> = None;
+    for _ in 1..args.bench_reps {
+        let rep = RunRequest::new(cfg.clone(), spec.to_graph());
+        // vine-audit: allow(A103) -- benchmark repetition timing for --bench-json; simulated time is untouched
+        let t = std::time::Instant::now();
+        let _ = rep.run();
+        let d = t.elapsed();
+        best_rep_wall = Some(best_rep_wall.map_or(d, |b| b.min(d)));
+    }
     let mut request = RunRequest::new(cfg, graph);
     if obs.enabled() {
         request = request.recorder(&mut rec);
@@ -297,7 +328,11 @@ fn main() {
     if let Some(session) = &mut session {
         request = request.session(session);
     }
+    // vine-audit: allow(A103) -- wall-clock of the simulation proper, reported via --bench-json for the CI throughput gate; simulated time is untouched
+    let sim_start = std::time::Instant::now();
     let r = request.run();
+    let final_sim_wall = sim_start.elapsed();
+    let sim_wall = best_rep_wall.map_or(final_sim_wall, |b| b.min(final_sim_wall));
     let wall = wall_start.elapsed();
     println!();
     if !r.finished() {
@@ -389,6 +424,6 @@ fn main() {
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
-    cli.write_bench_json(&args.workload, args.seed, &r, wall);
+    cli.write_bench_json(&args.workload, args.seed, &r, wall, sim_wall);
     std::process::exit(if r.finished() { 0 } else { 1 });
 }

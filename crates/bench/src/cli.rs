@@ -128,30 +128,43 @@ impl BenchCli {
     }
 
     /// Write the `--bench-json` summary for a finished run, if the flag
-    /// was given. `wall` is the host wall-clock the run took (engine
-    /// throughput is informational; `makespan_s` is simulated time and
-    /// deterministic for a fixed workload and seed, which is what a CI
-    /// regression gate needs).
+    /// was given.
+    ///
+    /// `wall` is the host wall-clock of the whole invocation (graph
+    /// build + simulate + report); `sim_wall` is the wall-clock of the
+    /// simulation proper (`RunRequest::run`), which is what the CI
+    /// throughput gate tracks as `sim_wall_ms` /
+    /// `sim_events_per_wall_sec`. `makespan_s` is simulated time and
+    /// deterministic for a fixed workload and seed, which is what the
+    /// behavioral regression gate needs.
     pub fn write_bench_json(
         &self,
         workload: &str,
         seed: u64,
         r: &RunResult,
         wall: std::time::Duration,
+        sim_wall: std::time::Duration,
     ) {
         let Some(path) = &self.bench_json else { return };
         let makespan_s = r.makespan_secs();
         let events = r.stats.events_processed;
-        let wall_s = wall.as_secs_f64();
-        let events_per_sec = if wall_s > 0.0 {
-            events as f64 / wall_s
-        } else {
-            0.0
+        let per_sec = |secs: f64| {
+            if secs > 0.0 {
+                events as f64 / secs
+            } else {
+                0.0
+            }
         };
+        let events_per_sec = per_sec(wall.as_secs_f64());
+        let sim_wall_ms = sim_wall.as_secs_f64() * 1e3;
+        let sim_events_per_wall_sec = per_sec(sim_wall.as_secs_f64());
         let json = format!(
             "{{\n  \"workload\": \"{workload}\",\n  \"seed\": {seed},\n  \
              \"makespan_s\": {makespan_s:.6},\n  \"events\": {events},\n  \
-             \"events_per_sec\": {events_per_sec:.3},\n  \"peak_cache_bytes\": {}\n}}\n",
+             \"events_per_sec\": {events_per_sec:.3},\n  \
+             \"sim_wall_ms\": {sim_wall_ms:.3},\n  \
+             \"sim_events_per_wall_sec\": {sim_events_per_wall_sec:.3},\n  \
+             \"peak_cache_bytes\": {}\n}}\n",
             r.stats.peak_cache_bytes
         );
         match std::fs::write(path, json) {

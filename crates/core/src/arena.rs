@@ -1,0 +1,221 @@
+//! Dense index-keyed maps for the engine's hot paths.
+//!
+//! The engine keys almost everything by small dense ids (`TaskId`,
+//! `FileId`, worker index) that are fixed at plan-build time, so ordered
+//! tree maps pay pointer-chasing and rebalancing for nothing. These
+//! arenas keep the *observable* contract of `BTreeMap` — iteration in
+//! ascending key order, insert-replaces, remove-returns — while lookups
+//! become O(1) slot reads. Swapping them in is a pure representation
+//! change: every digest stays bit-identical.
+
+/// A map from a dense `u32` id space (size fixed at construction) to `T`.
+///
+/// Lookups index a slot vector directly; iteration walks a sorted list of
+/// live ids, matching `BTreeMap`'s ascending-key order exactly.
+pub struct IdMap<T> {
+    slots: Vec<Option<T>>,
+    /// Live ids, ascending. Insert/remove keep it sorted; the id spaces
+    /// involved (concurrent assignments, staged files) are small relative
+    /// to the slot space, so the memmoves are cheap.
+    live: Vec<u32>,
+}
+
+impl<T> IdMap<T> {
+    pub fn new(capacity: usize) -> Self {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        IdMap {
+            slots,
+            live: Vec::new(),
+        }
+    }
+
+    pub fn get(&self, id: u32) -> Option<&T> {
+        self.slots.get(id as usize).and_then(Option::as_ref)
+    }
+
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut T> {
+        self.slots.get_mut(id as usize).and_then(Option::as_mut)
+    }
+
+    pub fn contains(&self, id: u32) -> bool {
+        self.slots.get(id as usize).is_some_and(Option::is_some)
+    }
+
+    /// Insert, returning the previous value (like `BTreeMap::insert`).
+    pub fn insert(&mut self, id: u32, value: T) -> Option<T> {
+        let prev = self.slots[id as usize].replace(value);
+        if prev.is_none() {
+            if let Err(pos) = self.live.binary_search(&id) {
+                self.live.insert(pos, id);
+            }
+        }
+        prev
+    }
+
+    pub fn remove(&mut self, id: u32) -> Option<T> {
+        let prev = self.slots.get_mut(id as usize).and_then(Option::take);
+        if prev.is_some() {
+            if let Ok(pos) = self.live.binary_search(&id) {
+                self.live.remove(pos);
+            }
+        }
+        prev
+    }
+
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Live entries in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> + '_ {
+        self.live.iter().map(move |&id| {
+            let v = self.slots[id as usize]
+                .as_ref()
+                .unwrap_or_else(|| unreachable!("live id {id} has no slot"));
+            (id, v)
+        })
+    }
+}
+
+impl<T> IdMap<Vec<T>> {
+    /// The entry for `id`, inserting an empty vector first if absent
+    /// (`BTreeMap::entry(..).or_default()`).
+    pub fn get_or_insert_default(&mut self, id: u32) -> &mut Vec<T> {
+        let slot = &mut self.slots[id as usize];
+        if slot.is_none() {
+            *slot = Some(Vec::new());
+            if let Err(pos) = self.live.binary_search(&id) {
+                self.live.insert(pos, id);
+            }
+        }
+        slot.as_mut().unwrap_or_else(|| unreachable!("just filled"))
+    }
+}
+
+/// A small sorted-vector map for sparse per-worker state (e.g. in-flight
+/// file arrivals). Entries stay sorted by key, so iteration order matches
+/// the `BTreeMap` it replaces; the handful of live entries per worker
+/// makes binary search + memmove faster than any tree.
+#[derive(Clone)]
+pub struct SmallMap<K: Ord + Copy, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Ord + Copy, V> Default for SmallMap<K, V> {
+    fn default() -> Self {
+        SmallMap {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord + Copy, V> SmallMap<K, V> {
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.entries
+            .binary_search_by_key(&key, |e| e.0)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    pub fn contains(&self, key: K) -> bool {
+        self.entries.binary_search_by_key(&key, |e| e.0).is_ok()
+    }
+
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> + '_ {
+        self.entries.iter_mut().map(|e| (e.0, &mut e.1))
+    }
+}
+
+impl<K: Ord + Copy, V: Default> SmallMap<K, V> {
+    pub fn get_or_insert_default(&mut self, key: K) -> &mut V {
+        let i = match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (key, V::default()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn idmap_matches_btreemap_semantics() {
+        let mut arena: IdMap<&str> = IdMap::new(16);
+        let mut tree: BTreeMap<u32, &str> = BTreeMap::new();
+        for (id, v) in [(7, "a"), (2, "b"), (11, "c"), (2, "b2"), (0, "d")] {
+            assert_eq!(arena.insert(id, v), tree.insert(id, v));
+        }
+        assert_eq!(arena.len(), tree.len());
+        let got: Vec<(u32, &str)> = arena.iter().map(|(k, &v)| (k, v)).collect();
+        let want: Vec<(u32, &str)> = tree.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want, "iteration must be ascending-id like BTreeMap");
+        assert_eq!(arena.remove(2), tree.remove(&2));
+        assert_eq!(arena.remove(2), None);
+        assert_eq!(arena.get(7), Some(&"a"));
+        assert!(arena.contains(11) && !arena.contains(2));
+        assert_eq!(arena.len(), tree.len());
+    }
+
+    #[test]
+    fn idmap_or_default_behaves_like_entry() {
+        let mut m: IdMap<Vec<u32>> = IdMap::new(4);
+        m.get_or_insert_default(3).push(1);
+        m.get_or_insert_default(3).push(2);
+        assert_eq!(m.get(3), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn smallmap_keeps_sorted_order() {
+        let mut m: SmallMap<u32, u32> = SmallMap::default();
+        for k in [9, 1, 5, 3] {
+            *m.get_or_insert_default(k) = k * 10;
+        }
+        assert!(m.contains(5));
+        assert_eq!(m.remove(5), Some(50));
+        assert_eq!(m.remove(5), None);
+        let keys: Vec<u32> = m.iter_mut().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 3, 9]);
+        assert_eq!(m.get(9), Some(&90));
+        assert_eq!(m.len(), 3);
+        m.clear();
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,543 @@
+//! Data-movement half of the engine: staging, replication, peer
+//! transfers, and flow-completion handling.
+//!
+//! These methods execute the placement the scheduler decided on: pulling
+//! inputs from the manager or shared FS, queueing throttled peer
+//! transfers, draining the batched flow-completion events, and keeping
+//! worker caches (eviction, corruption detection) honest.
+
+use super::*;
+
+impl<'g, 'r, 'o> Sim<'g, 'r, 'o> {
+    // ----- input staging ---------------------------------------------------
+
+    pub(super) fn stage_inputs(&mut self, task: TaskId, w: usize) {
+        let inputs = self.graph.task(task).inputs.clone();
+        let mut missing = 0;
+        for f in inputs {
+            let name = self.cnames[f.0 as usize];
+            if self.workers[w].cache.contains(name) && !self.detect_corruption(w, f, name) {
+                self.workers[w].cache.touch(name);
+                let _ = self.workers[w].cache.pin(name);
+                if let Some(a) = self.assignments.get_mut(task.0) {
+                    a.pinned.push(f);
+                }
+            } else {
+                missing += 1;
+                self.stage_one_input(task, f, w);
+            }
+            if !self.assignments.contains(task.0) {
+                return; // staging failed hard; assignment was torn down
+            }
+        }
+        let a = self.assignments.get_mut(task.0).expect("still assigned");
+        a.missing = missing;
+        if missing == 0 {
+            self.maybe_start_compute(task, w);
+        }
+    }
+
+    /// Begin moving file `f` toward worker `w` for `task`.
+    pub(super) fn stage_one_input(&mut self, task: TaskId, f: FileId, w: usize) {
+        if let Some(waiters) = self.inflight[w].get_mut(f) {
+            waiters.push(task);
+            return;
+        }
+        let external = self.graph.file(f).producer.is_none();
+        match self.cfg.scheduler {
+            SchedulerKind::WorkQueue => {
+                if self.at_manager[f.0 as usize] {
+                    self.start_input_flow(f, w, task, Source::Manager);
+                } else {
+                    debug_assert!(external, "WQ intermediates live at the manager");
+                    let queued_or_active =
+                        self.staging[f.0 as usize] || self.staging_waitq.contains(&f);
+                    self.awaiting_manager
+                        .get_or_insert_default(f.0)
+                        .push((w, task));
+                    if !queued_or_active {
+                        if self.staging_count < self.cfg.max_concurrent_stagings {
+                            self.begin_staging(f);
+                        } else {
+                            self.staging_waitq.push_back(f);
+                        }
+                    }
+                }
+            }
+            SchedulerKind::TaskVine | SchedulerKind::DaskDistributed => {
+                if external {
+                    self.start_input_flow(f, w, task, Source::SharedFs);
+                } else {
+                    self.start_peer_or_queue(f, w, task);
+                }
+            }
+        }
+    }
+
+    /// Where external inputs come from: `(endpoint, per-stream cap,
+    /// equivalent-latency bytes)`.
+    pub(super) fn external_endpoint(&self) -> (NodeId, f64, u64) {
+        match self.cfg.data_source {
+            DataSource::SharedFilesystem => (
+                self.fs_node,
+                self.cfg.shared_fs.per_stream_bw,
+                (self.cfg.shared_fs.open_latency_s * self.cfg.shared_fs.per_stream_bw) as u64,
+            ),
+            DataSource::RemoteXrootd { per_stream, .. } => (
+                self.remote_node.expect("remote endpoint attached"),
+                per_stream,
+                // XRootD redirector round trips over the WAN: ~200 ms.
+                (0.2 * per_stream) as u64,
+            ),
+        }
+    }
+
+    /// Start one external-source → manager staging stream (Work Queue).
+    pub(super) fn begin_staging(&mut self, f: FileId) {
+        if !self.staging[f.0 as usize] {
+            self.staging[f.0 as usize] = true;
+            self.staging_count += 1;
+        }
+        let (from, cap, latency_bytes) = self.external_endpoint();
+        let size = self.graph.file(f).size_hint + latency_bytes;
+        let id = self
+            .fabric
+            .start_flow(self.now, from, self.mgr_node, size, cap);
+        self.flow_note(id, FlowWhy::StageToManager { file: f });
+        self.reschedule_flow_event();
+    }
+
+    /// Opportunistically replicate a freshly-produced file to one more
+    /// worker (§IV: the manager "compensates by replicating data").
+    /// Skipped when throttled — replication is best-effort.
+    pub(super) fn maybe_replicate(&mut self, f: FileId, src: usize) {
+        if self.cfg.replica_target < 2
+            || !self.cfg.peer_transfers
+            || self.remaining_consumers[f.0 as usize] == 0
+            || self.graph.file(f).size_hint > self.cfg.replicate_max_bytes
+        {
+            return;
+        }
+        let have = self.replicas[f.0 as usize].len() as u32;
+        if have >= self.cfg.replica_target {
+            return;
+        }
+        if self.workers[src].outgoing >= self.cfg.max_peer_transfers_per_worker {
+            return;
+        }
+        // Destination: least-loaded alive worker without a copy.
+        let dst = least_loaded_pick(&self.workers, |w| {
+            w != src
+                && self.workers[w].alive
+                && !self.replicas[f.0 as usize].contains(&w)
+                && !self.inflight[w].contains(f)
+        });
+        let Some(dst) = dst else {
+            return;
+        };
+        self.workers[src].outgoing += 1;
+        let size = self.graph.file(f).size_hint;
+        let id = self.fabric.start_flow(
+            self.now,
+            self.workers[src].node,
+            self.workers[dst].node,
+            size,
+            f64::INFINITY,
+        );
+        self.flow_note(
+            id,
+            FlowWhy::InputArrive {
+                file: f,
+                w: dst,
+                peer_src: Some(src),
+            },
+        );
+        self.inflight[dst].get_or_insert_default(f);
+        self.reschedule_flow_event();
+    }
+
+    pub(super) fn start_peer_or_queue(&mut self, f: FileId, w: usize, task: TaskId) {
+        let any_live = self.replicas[f.0 as usize]
+            .iter()
+            .any(|&src| src != w && self.workers[src].alive);
+        if !any_live {
+            // No copy exists anywhere (e.g. the file was consumed, its
+            // copies evicted as garbage, and now a revived consumer needs
+            // it again). Declare the loss so the tracker re-runs the
+            // producer, then tear this assignment down; the task
+            // re-dispatches once the file is regenerated.
+            self.declare_file_lost(f);
+            if self.tracker.state(task) == TaskState::Running {
+                self.tracker.mark_task_failed(task);
+            }
+            self.release_assignment(task);
+            return;
+        }
+        if !self.cfg.peer_transfers {
+            // Relay through the manager (worker → manager → worker); we
+            // charge the manager-side hop, which dominates.
+            self.start_input_flow(f, w, task, Source::Manager);
+            return;
+        }
+        let best = self.replicas[f.0 as usize]
+            .iter()
+            .copied()
+            .filter(|&src| {
+                src != w
+                    && self.workers[src].alive
+                    && self.workers[src].outgoing < self.cfg.max_peer_transfers_per_worker
+            })
+            .min_by_key(|&src| (self.workers[src].outgoing, src));
+        match best {
+            Some(src) => {
+                self.workers[src].outgoing += 1;
+                self.start_input_flow(f, w, task, Source::Peer(src));
+            }
+            None => {
+                // All sources throttled: queue until a slot frees. No
+                // inflight entry is created — the wait queue owns this
+                // request until a flow actually starts.
+                self.peer_waitq.push_back((f, w, task));
+            }
+        }
+    }
+
+    pub(super) fn drain_peer_waitq(&mut self) {
+        let n = self.peer_waitq.len();
+        for _ in 0..n {
+            let Some((f, w, task)) = self.peer_waitq.pop_front() else {
+                break;
+            };
+            if !self.workers[w].alive || !self.assignments.contains(task.0) {
+                continue; // request is moot
+            }
+            // Arrived meanwhile via another task's transfer?
+            let name = self.cnames[f.0 as usize];
+            if self.workers[w].cache.contains(name) && !self.detect_corruption(w, f, name) {
+                self.workers[w].cache.touch(name);
+                let _ = self.workers[w].cache.pin(name);
+                let a = self.assignments.get_mut(task.0).expect("checked above");
+                a.pinned.push(f);
+                a.missing = a.missing.saturating_sub(1);
+                if a.missing == 0 {
+                    self.maybe_start_compute(task, w);
+                }
+                continue;
+            }
+            // A flow toward (w, f) is already active: join its waiters.
+            if let Some(ws) = self.inflight[w].get_mut(f) {
+                ws.push(task);
+                continue;
+            }
+            let live_exists = self.replicas[f.0 as usize]
+                .iter()
+                .any(|&src| src != w && self.workers[src].alive);
+            if !live_exists {
+                // Sole replica died while queued; make sure the tracker
+                // knows (it may still believe the file exists if the last
+                // copy was evicted after consumption), then fail over.
+                self.declare_file_lost(f);
+                if self.tracker.state(task) == TaskState::Running {
+                    self.tracker.mark_task_failed(task);
+                }
+                self.release_assignment(task);
+                continue;
+            }
+            let best = self.replicas[f.0 as usize]
+                .iter()
+                .copied()
+                .filter(|&src| {
+                    src != w
+                        && self.workers[src].alive
+                        && self.workers[src].outgoing < self.cfg.max_peer_transfers_per_worker
+                })
+                .min_by_key(|&src| (self.workers[src].outgoing, src));
+            if let Some(src) = best {
+                self.workers[src].outgoing += 1;
+                self.start_input_flow(f, w, task, Source::Peer(src));
+            } else {
+                self.peer_waitq.push_back((f, w, task));
+            }
+        }
+    }
+
+    pub(super) fn start_input_flow(&mut self, f: FileId, w: usize, task: TaskId, src: Source) {
+        let mut size = self.graph.file(f).size_hint;
+        let (from, cap, peer_src) = match src {
+            Source::SharedFs => {
+                // Fold the source's access latency into the flow as
+                // equivalent bytes at the per-stream rate (monotone
+                // approximation).
+                let (node, cap, latency_bytes) = self.external_endpoint();
+                size += latency_bytes;
+                (node, cap, None)
+            }
+            Source::Manager => (self.mgr_node, f64::INFINITY, None),
+            Source::Peer(p) => (self.workers[p].node, f64::INFINITY, Some(p)),
+        };
+        let id = self
+            .fabric
+            .start_flow(self.now, from, self.workers[w].node, size, cap);
+        self.flow_note(
+            id,
+            FlowWhy::InputArrive {
+                file: f,
+                w,
+                peer_src,
+            },
+        );
+        self.inflight[w].get_or_insert_default(f).push(task);
+        self.reschedule_flow_event();
+    }
+
+    /// Record why a freshly-started flow exists. `FlowId`s are handed out
+    /// monotonically by the fabric, so appending keeps the list sorted.
+    pub(super) fn flow_note(&mut self, id: FlowId, why: FlowWhy) {
+        debug_assert!(self.flow_why.last().is_none_or(|&(last, _)| last < id));
+        self.flow_why.push((id, why));
+    }
+
+    /// Remove and return the reason for flow `id` (binary search on the
+    /// sorted-by-id list).
+    pub(super) fn flow_take(&mut self, id: FlowId) -> Option<FlowWhy> {
+        match self.flow_why.binary_search_by_key(&id, |e| e.0) {
+            Ok(pos) => Some(self.flow_why.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+
+    // ----- flows -----------------------------------------------------------
+
+    pub(super) fn reschedule_flow_event(&mut self) {
+        if let Some(ev) = self.flow_event.take() {
+            self.queue.cancel(ev);
+        }
+        if let Some((t, _)) = self.fabric.next_completion() {
+            self.flow_event = Some(self.queue.schedule(t.max(self.now), Ev::FlowDone));
+        }
+    }
+
+    /// Drain due transfer completions. The per-completion sequence
+    /// (complete → reschedule FlowDone → manager kick) is byte-identical
+    /// to the historical one-completion-per-event handler; the only
+    /// change is that when our own just-scheduled FlowDone is *provably*
+    /// the queue's next event (nothing else due at `now`, the kick didn't
+    /// touch it), the round trip through the queue is elided and the next
+    /// completion is processed inline — a pure event-count optimization
+    /// for same-instant transfer storms.
+    pub(super) fn on_flow_done(&mut self) {
+        loop {
+            self.flow_event = None;
+            let Some((t, id)) = self.fabric.next_completion() else {
+                return;
+            };
+            if t > self.now {
+                self.flow_event = Some(self.queue.schedule(t, Ev::FlowDone));
+                return;
+            }
+            self.complete_one_flow(id);
+            // Handlers above may have scheduled their own FlowDone; the
+            // historical path cancels and reschedules from scratch.
+            if let Some(ev) = self.flow_event.take() {
+                self.queue.cancel(ev);
+            }
+            let quiet = self.queue.peek_time().is_none_or(|qt| qt > self.now);
+            let next_t = self.fabric.next_completion().map(|(t2, _)| t2);
+            if let Some(t2) = next_t {
+                self.flow_event = Some(self.queue.schedule(t2.max(self.now), Ev::FlowDone));
+            }
+            let saved = self.flow_event;
+            self.mgr_kick();
+            let inline_next =
+                quiet && next_t.is_some_and(|t2| t2 <= self.now) && self.flow_event == saved;
+            if !inline_next {
+                return;
+            }
+            if let Some(ev) = self.flow_event.take() {
+                self.queue.cancel(ev);
+            }
+        }
+    }
+
+    /// Complete one due transfer and run its bookkeeping (the body of the
+    /// historical FlowDone handler, minus rescheduling and the kick).
+    pub(super) fn complete_one_flow(&mut self, id: FlowId) {
+        let record = self.fabric.complete_flow(self.now, id);
+        self.stats.flows_completed += 1;
+        self.account_flow(record.src, record.dst, record.bytes_moved);
+        let why = self.flow_take(id).expect("known flow");
+        match why {
+            FlowWhy::StageToManager { file } => {
+                if self.staging[file.0 as usize] {
+                    self.staging[file.0 as usize] = false;
+                    self.staging_count -= 1;
+                }
+                self.at_manager[file.0 as usize] = true;
+                if let Some(next) = self.staging_waitq.pop_front() {
+                    self.begin_staging(next);
+                }
+                if let Some(waiters) = self.awaiting_manager.remove(file.0) {
+                    for (w, task) in waiters {
+                        if self.assignments.contains(task.0) && self.workers[w].alive {
+                            self.stage_one_input(task, file, w);
+                        }
+                    }
+                }
+            }
+            FlowWhy::InputArrive { file, w, peer_src } => {
+                if let Some(src) = peer_src {
+                    self.workers[src].outgoing = self.workers[src].outgoing.saturating_sub(1);
+                    self.stats.peer_bytes += record.bytes_moved;
+                }
+                self.on_input_arrived(file, w);
+                self.drain_peer_waitq();
+            }
+            FlowWhy::OutputToManager { task, .. } => {
+                for &f in &self.graph.task(task).outputs {
+                    self.at_manager[f.0 as usize] = true;
+                }
+                // Work Queue: the execution's wall ends when its outputs
+                // reach the manager.
+                self.finalize_attribution(task, self.now.as_micros());
+                self.mgr_queue.push_back(MgrOp::Collect(task));
+            }
+        }
+    }
+
+    pub(super) fn account_flow(&mut self, src: NodeId, dst: NodeId, bytes: u64) {
+        if src == self.mgr_node || dst == self.mgr_node {
+            self.stats.manager_bytes += bytes;
+        }
+        if src == self.fs_node || Some(src) == self.remote_node {
+            self.stats.shared_fs_bytes += bytes;
+        }
+        if self.figures.wants_transfers() || self.rec.is_enabled() {
+            let n_workers = self.workers.len();
+            let mgr = self.mgr_node;
+            let fs = self.fs_node;
+            let remote = self.remote_node;
+            let map = move |n: NodeId| {
+                if n == mgr {
+                    0
+                } else if n == fs || Some(n) == remote {
+                    n_workers + 1
+                } else {
+                    n.0 // workers were added right after the manager
+                }
+            };
+            self.emit_instant(InstantEvent {
+                name: "transfer".into(),
+                category: category::TRANSFER,
+                t_us: self.now.as_micros(),
+                track: MANAGER_TRACK,
+                attrs: vec![
+                    Attr::u64("src", map(src) as u64),
+                    Attr::u64("dst", map(dst) as u64),
+                    Attr::u64("bytes", bytes),
+                ],
+            });
+        }
+    }
+
+    pub(super) fn on_input_arrived(&mut self, f: FileId, w: usize) {
+        if !self.workers[w].alive {
+            return;
+        }
+        let name = self.cnames[f.0 as usize];
+        let size = self.graph.file(f).size_hint;
+        let kind = if self.graph.file(f).producer.is_none() {
+            CacheEntryKind::Input
+        } else {
+            CacheEntryKind::Intermediate
+        };
+        match self.workers[w].cache.insert(name, size, kind) {
+            Ok(evicted) => {
+                for victim in evicted {
+                    self.handle_eviction(w, victim);
+                }
+                self.replicas[f.0 as usize].push(w);
+                self.record_cache(w);
+            }
+            Err(_) => {
+                let has_waiters = self.inflight[w].get(f).is_some_and(|ws| !ws.is_empty());
+                if has_waiters {
+                    // A task pinned more than this disk can hold (Fig 11):
+                    // the worker fails.
+                    self.worker_cache_overflow(w);
+                } else {
+                    // A best-effort replica that doesn't fit is dropped.
+                    self.inflight[w].remove(f);
+                }
+                return;
+            }
+        }
+        let waiters = self.inflight[w].remove(f).unwrap_or_default();
+        for task in waiters {
+            let Some(a) = self.assignments.get_mut(task.0) else {
+                continue;
+            };
+            if a.w != w {
+                continue;
+            }
+            let _ = self.workers[w].cache.pin(name);
+            a.pinned.push(f);
+            a.missing = a.missing.saturating_sub(1);
+            if a.missing == 0 {
+                self.maybe_start_compute(task, w);
+            }
+        }
+    }
+
+    pub(super) fn worker_cache_overflow(&mut self, w: usize) {
+        // Fig 11: the worker's disk cannot hold its pinned set; the worker
+        // fails and is re-submitted.
+        self.stats.cache_overflow_failures += 1;
+        self.crash_count += 1;
+        self.emit_instant(InstantEvent {
+            name: CACHE_OVERFLOW.into(),
+            category: category::WORKER,
+            t_us: self.now.as_micros(),
+            track: worker_track(w),
+            attrs: Vec::new(),
+        });
+        self.kill_worker(w);
+    }
+
+    /// A cache-hit read found the entry's bytes no longer match its
+    /// cachename checksum (chaos bitrot). Drop the copy and fix placement;
+    /// the caller treats the input as missing, and the normal staging /
+    /// lineage-recovery machinery takes it from there. Returns true when
+    /// the hit was corrupt.
+    pub(super) fn detect_corruption(&mut self, w: usize, f: FileId, name: CacheName) -> bool {
+        if !self.workers[w].cache.is_corrupt(name) {
+            return false;
+        }
+        self.stats.corruptions_detected += 1;
+        let _ = self.workers[w].cache.remove(name);
+        let reps = &mut self.replicas[f.0 as usize];
+        if let Some(pos) = reps.iter().position(|&rw| rw == w) {
+            reps.remove(pos);
+        }
+        self.record_cache(w);
+        true
+    }
+
+    /// An unpinned cache entry was evicted to make room. Update placement
+    /// and recover if it was the last copy of a needed file.
+    pub(super) fn handle_eviction(&mut self, w: usize, victim: CacheName) {
+        let Some(&f) = self.name_to_file.get(&victim) else {
+            return;
+        };
+        let fi = f.0 as usize;
+        if let Some(pos) = self.replicas[fi].iter().position(|&rw| rw == w) {
+            self.replicas[fi].remove(pos);
+            if self.replicas[fi].is_empty()
+                && !self.at_manager[fi]
+                && self.graph.file(f).producer.is_some()
+                && self.file_needed(f)
+            {
+                self.declare_file_lost(f);
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@
 //! worker ramp-up and preemption processes. [`RunResult`] carries the
 //! traces behind every figure in the paper.
 
+pub mod arena;
 pub mod config;
 pub mod cost;
 pub mod engine;

@@ -15,11 +15,9 @@
 //! changes. The engine keeps exactly one "flow completion" event scheduled
 //! and reschedules it whenever `next_completion()` moves.
 
-use std::collections::BTreeMap;
-
 use vine_simcore::{SimDur, SimTime};
 
-use crate::fairshare::{max_min_fair, FlowSpec};
+use crate::fairshare::{max_min_fair_into, FairScratch, FlowSpec};
 
 /// Identifies a node (endpoint) attached to the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -59,12 +57,22 @@ struct Flow {
 pub struct Fabric {
     /// (egress capacity, ingress capacity) per node, bytes/second.
     links: Vec<(f64, f64)>,
-    flows: BTreeMap<FlowId, Flow>,
+    /// Active flows in ascending-id order. Ids are handed out
+    /// monotonically, so inserts are appends and the order — which fixes
+    /// float-summation and tie-break behaviour — matches the ordered map
+    /// this replaced.
+    flows: Vec<(FlowId, Flow)>,
     next_flow_id: u64,
     /// Instant to which all flow progress has been advanced.
     now: SimTime,
     /// Monotone counter of rate recomputations (for tests/diagnostics).
     recomputes: u64,
+    /// Reusable buffers for `recompute_rates`, which runs on every
+    /// flow-set change and dominated allocation in the hot path.
+    cap_scratch: Vec<f64>,
+    spec_scratch: Vec<FlowSpec>,
+    rate_scratch: Vec<f64>,
+    fair_scratch: FairScratch,
 }
 
 impl Fabric {
@@ -72,11 +80,20 @@ impl Fabric {
     pub fn new() -> Self {
         Fabric {
             links: Vec::new(),
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
             next_flow_id: 0,
             now: SimTime::ZERO,
             recomputes: 0,
+            cap_scratch: Vec::new(),
+            spec_scratch: Vec::new(),
+            rate_scratch: Vec::new(),
+            fair_scratch: FairScratch::default(),
         }
+    }
+
+    /// Index of `id` in the sorted flow list.
+    fn flow_index(&self, id: FlowId) -> Result<usize, usize> {
+        self.flows.binary_search_by_key(&id, |e| e.0)
     }
 
     /// Attach a node with the given egress/ingress link capacities
@@ -108,7 +125,7 @@ impl Fabric {
 
     /// The current rate of an active flow, bytes/second.
     pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate)
+        self.flow_index(id).ok().map(|i| self.flows[i].1.rate)
     }
 
     /// Begin moving `bytes` from `src` to `dst` at `now`, with an optional
@@ -130,7 +147,8 @@ impl Fabric {
         self.advance(now);
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
-        self.flows.insert(
+        debug_assert!(self.flows.last().is_none_or(|&(last, _)| last < id));
+        self.flows.push((
             id,
             Flow {
                 src,
@@ -141,7 +159,7 @@ impl Fabric {
                 rate_cap,
                 started: now,
             },
-        );
+        ));
         self.recompute_rates();
         id
     }
@@ -151,7 +169,7 @@ impl Fabric {
     /// never complete and are skipped.
     pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
         let mut best: Option<(SimTime, FlowId)> = None;
-        for (&id, f) in &self.flows {
+        for &(id, ref f) in &self.flows {
             if f.rate <= 0.0 {
                 continue;
             }
@@ -175,7 +193,8 @@ impl Fabric {
     /// If the flow is unknown.
     pub fn complete_flow(&mut self, now: SimTime, id: FlowId) -> FlowRecord {
         self.advance(now);
-        let f = self.flows.remove(&id).expect("unknown flow");
+        let i = self.flow_index(id).expect("unknown flow");
+        let (_, f) = self.flows.remove(i);
         debug_assert!(
             // Tolerance: one microsecond of drain at the final rate, plus
             // relative float error.
@@ -197,7 +216,8 @@ impl Fabric {
     /// actually delivered so far.
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<FlowRecord> {
         self.advance(now);
-        let f = self.flows.remove(&id)?;
+        let i = self.flow_index(id).ok()?;
+        let (_, f) = self.flows.remove(i);
         self.recompute_rates();
         Some(FlowRecord {
             src: f.src,
@@ -212,17 +232,13 @@ impl Fabric {
     /// records.
     pub fn cancel_flows_touching(&mut self, now: SimTime, node: NodeId) -> Vec<FlowRecord> {
         self.advance(now);
-        // Ordered map: ids come out sorted, so the record order is
-        // deterministic without an explicit sort.
-        let ids: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.src == node || f.dst == node)
-            .map(|(&id, _)| id)
-            .collect();
-        let mut records = Vec::with_capacity(ids.len());
-        for id in ids {
-            let f = self.flows.remove(&id).expect("listed above");
+        // The flow list is id-sorted and `retain` visits in order, so the
+        // record order is deterministic without an explicit sort.
+        let mut records = Vec::new();
+        self.flows.retain(|(_, f)| {
+            if f.src != node && f.dst != node {
+                return true;
+            }
             records.push(FlowRecord {
                 src: f.src,
                 dst: f.dst,
@@ -230,7 +246,8 @@ impl Fabric {
                 size: f.size as u64,
                 started: f.started,
             });
-        }
+            false
+        });
         self.recompute_rates();
         records
     }
@@ -264,7 +281,7 @@ impl Fabric {
         debug_assert!(now >= self.now, "fabric time moved backwards");
         let dt = now.saturating_since(self.now).as_secs_f64();
         if dt > 0.0 {
-            for f in self.flows.values_mut() {
+            for (_, f) in &mut self.flows {
                 f.remaining = (f.remaining - f.rate * dt).max(0.0);
             }
         }
@@ -278,27 +295,27 @@ impl Fabric {
             return;
         }
         // Link layout: node i egress = 2i, ingress = 2i + 1.
-        let mut capacities = Vec::with_capacity(self.links.len() * 2);
+        self.cap_scratch.clear();
         for &(e, i) in &self.links {
-            capacities.push(e);
-            capacities.push(i);
+            self.cap_scratch.push(e);
+            self.cap_scratch.push(i);
         }
-        // Deterministic flow order: the ordered map iterates by id.
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let specs: Vec<FlowSpec> = ids
-            .iter()
-            .map(|id| {
-                let f = &self.flows[id];
-                FlowSpec {
-                    egress_link: f.src.0 * 2,
-                    ingress_link: f.dst.0 * 2 + 1,
-                    rate_cap: f.rate_cap,
-                }
-            })
-            .collect();
-        let rates = max_min_fair(&specs, &capacities);
-        for (id, r) in ids.iter().zip(rates) {
-            self.flows.get_mut(id).expect("listed above").rate = r;
+        // Deterministic flow order: the list is id-sorted.
+        self.spec_scratch.clear();
+        self.spec_scratch
+            .extend(self.flows.iter().map(|(_, f)| FlowSpec {
+                egress_link: f.src.0 * 2,
+                ingress_link: f.dst.0 * 2 + 1,
+                rate_cap: f.rate_cap,
+            }));
+        max_min_fair_into(
+            &self.spec_scratch,
+            &self.cap_scratch,
+            &mut self.rate_scratch,
+            &mut self.fair_scratch,
+        );
+        for ((_, f), &r) in self.flows.iter_mut().zip(&self.rate_scratch) {
+            f.rate = r;
         }
     }
 }

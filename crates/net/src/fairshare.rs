@@ -25,22 +25,53 @@ pub struct FlowSpec {
     pub rate_cap: f64,
 }
 
+/// Reusable working memory for [`max_min_fair_into`], so the per-event
+/// recompute in the fabric hot path allocates nothing.
+#[derive(Default)]
+pub struct FairScratch {
+    remaining: Vec<f64>,
+    active: Vec<bool>,
+    load: Vec<usize>,
+}
+
 /// Compute max–min fair rates for `flows` over links with the given
 /// capacities (bytes/second; may be `f64::INFINITY`).
 ///
 /// Returns one rate per flow, in order.
 pub fn max_min_fair(flows: &[FlowSpec], link_capacity: &[f64]) -> Vec<f64> {
+    let mut rate = Vec::new();
+    max_min_fair_into(flows, link_capacity, &mut rate, &mut FairScratch::default());
+    rate
+}
+
+/// Allocation-free variant of [`max_min_fair`]: writes one rate per flow
+/// (in order) into `rate`, reusing `scratch` across calls.
+pub fn max_min_fair_into(
+    flows: &[FlowSpec],
+    link_capacity: &[f64],
+    rate: &mut Vec<f64>,
+    scratch: &mut FairScratch,
+) {
     let n = flows.len();
-    let mut rate = vec![0.0f64; n];
+    rate.clear();
+    rate.resize(n, 0.0);
     if n == 0 {
-        return rate;
+        return;
     }
 
-    let mut remaining: Vec<f64> = link_capacity.to_vec();
-    let mut active: Vec<bool> = vec![true; n];
+    let FairScratch {
+        remaining,
+        active,
+        load,
+    } = scratch;
+    remaining.clear();
+    remaining.extend_from_slice(link_capacity);
+    active.clear();
+    active.resize(n, true);
     let mut active_count = n;
     // Number of active flows on each link.
-    let mut load = vec![0usize; link_capacity.len()];
+    load.clear();
+    load.resize(link_capacity.len(), 0);
     for f in flows {
         load[f.egress_link] += 1;
         load[f.ingress_link] += 1;
@@ -65,15 +96,7 @@ pub fn max_min_fair(flows: &[FlowSpec], link_capacity: &[f64]) -> Vec<f64> {
                 && flows[i].rate_cap.is_finite()
                 && flows[i].rate_cap <= bottleneck_share + EPS
             {
-                fix_flow(
-                    i,
-                    flows[i].rate_cap,
-                    flows,
-                    &mut rate,
-                    &mut remaining,
-                    &mut load,
-                    &mut active,
-                );
+                fix_flow(i, flows[i].rate_cap, flows, rate, remaining, load, active);
                 active_count -= 1;
                 fixed_any_cap = true;
             }
@@ -106,15 +129,7 @@ pub fn max_min_fair(flows: &[FlowSpec], link_capacity: &[f64]) -> Vec<f64> {
         let mut fixed_any = false;
         for i in 0..n {
             if active[i] && (flows[i].egress_link == l || flows[i].ingress_link == l) {
-                fix_flow(
-                    i,
-                    bottleneck_share,
-                    flows,
-                    &mut rate,
-                    &mut remaining,
-                    &mut load,
-                    &mut active,
-                );
+                fix_flow(i, bottleneck_share, flows, rate, remaining, load, active);
                 active_count -= 1;
                 fixed_any = true;
             }
@@ -124,8 +139,6 @@ pub fn max_min_fair(flows: &[FlowSpec], link_capacity: &[f64]) -> Vec<f64> {
             break;
         }
     }
-
-    rate
 }
 
 fn fix_flow(

@@ -1,27 +1,43 @@
 #!/usr/bin/env bash
-# CI perf gate: run the DV3-Small smoke benchmark and fail on a >10%
-# simulated-makespan regression against the committed baseline.
+# CI perf gate, two halves:
 #
-# The gated number is the *simulated* makespan, which is deterministic for
-# a fixed (workload, seed) — the gate therefore catches behavioral
-# regressions (scheduling, staging, recovery changes), not runner noise.
-# events_per_sec in the JSON is wall-clock engine throughput and is
-# informational only.
+# 1. Behavioral gate — run the DV3-Small smoke benchmark and fail on a
+#    >10% *simulated-makespan* regression against the committed baseline.
+#    Simulated makespan is deterministic for a fixed (workload, seed), so
+#    this catches scheduling/staging/recovery changes, not runner noise.
 #
-# Also runs the streaming gates (ISSUE 6): a no-observer run's obs digest
-# must be byte-identical to the committed pre-streaming baseline
-# (results/stream_baseline_digest.txt), and fig-stream's early stop must
-# save >= 20% core-seconds on the stragglers preset (asserted inside the
-# binary).
+# 2. Throughput gate (ISSUE 10) — run dv3-small, dv3-full, and agc-scale
+#    three times each, keep the best (lowest) wall-clock of the simulation
+#    proper, write the per-workload array to BENCH_ci.json, and fail on a
+#    >25% sim_wall_ms regression against the baseline array. Wall clock is
+#    noisy on shared runners, hence best-of-three and the wide margin; the
+#    tracked fields are sim_wall_ms and sim_events_per_wall_sec.
 #
-# Usage: scripts/bench_gate.sh [baseline.json] [out.json]
+# Also runs the streaming gates (ISSUE 6), the shard gate (ISSUE 8), and
+# the watch gate (ISSUE 9) — see the sections below.
+#
+# Usage: scripts/bench_gate.sh [--throughput-only|--no-throughput]
+#                              [baseline.json] [out.json]
+#   --throughput-only  build + throughput section only (the perf-gate CI job)
+#   --no-throughput    everything except the throughput section (bench-gate
+#                      CI job; measures makespan from a single run and does
+#                      not rewrite BENCH_ci.json)
 # To refresh the baseline after an intentional change:
 #   scripts/bench_gate.sh && cp BENCH_ci.json results/bench_baseline.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=${1:-results/bench_baseline.json}
-OUT=${2:-BENCH_ci.json}
+MODE=all
+POS=()
+for arg in "$@"; do
+  case "$arg" in
+    --throughput-only) MODE=throughput ;;
+    --no-throughput) MODE=classic ;;
+    *) POS+=("$arg") ;;
+  esac
+done
+BASELINE=${POS[0]-results/bench_baseline.json}
+OUT=${POS[1]-BENCH_ci.json}
 
 if [ ! -s "$BASELINE" ]; then
   echo "bench gate: no baseline at $BASELINE" >&2
@@ -29,15 +45,102 @@ if [ ! -s "$BASELINE" ]; then
 fi
 
 cargo build --release -p vine-bench --bin vine-sim
-./target/release/vine-sim --workload dv3-small --scale 4 --workers 6 \
-  --stack 3 --bench-json "$OUT"
 
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# extract KEY FILE — first value of KEY in a single-object JSON file.
 extract() {
   awk -F'[:,]' -v key="\"$1\"" '$0 ~ key { gsub(/[ \t]/, "", $2); print $2; exit }' "$2"
 }
 
-new=$(extract makespan_s "$OUT")
-old=$(extract makespan_s "$BASELINE")
+# extract_wl KEY WORKLOAD FILE — value of KEY inside the entry of a
+# per-workload JSON array whose "workload" field equals WORKLOAD.
+# Relies on vine-sim's one-field-per-line output; "workload" opens each
+# entry, so tracking the most recent one scopes the key match.
+extract_wl() {
+  awk -v key="\"$1\"" -v wl="$2" '
+    /"workload"/ { cur = $0; sub(/.*: *"/, "", cur); sub(/".*/, "", cur) }
+    $0 ~ key && cur == wl {
+      v = $0; sub(/.*: */, "", v); gsub(/[ ,\t]/, "", v); print v; exit
+    }' "$3"
+}
+
+# bench_best WORKLOAD [vine-sim args...] — run the workload three times,
+# keep the JSON of the run with the lowest sim_wall_ms (wall-clock of the
+# simulation proper) in $TMP/WORKLOAD.best.json.
+bench_best() {
+  wl=$1
+  shift
+  best_ms=""
+  for i in 1 2 3; do
+    ./target/release/vine-sim --workload "$wl" "$@" --no-preflight \
+      --bench-json "$TMP/run.json" > /dev/null
+    ms=$(extract sim_wall_ms "$TMP/run.json")
+    if [ -z "$best_ms" ] || awk -v a="$ms" -v b="$best_ms" 'BEGIN { exit !(a + 0 < b + 0) }'; then
+      best_ms=$ms
+      cp "$TMP/run.json" "$TMP/$wl.best.json"
+    fi
+  done
+  echo "throughput: $wl best-of-3 sim_wall ${best_ms}ms" \
+    "($(extract sim_events_per_wall_sec "$TMP/$wl.best.json") events/s)"
+}
+
+WORKLOADS="dv3-small dv3-full agc-scale"
+
+if [ "$MODE" != classic ]; then
+  # ---- Throughput section: best-of-3 wall clock per workload ----------
+  # dv3-small's gate cell simulates in ~0.5ms, far below timer noise, so
+  # it averages 200 in-process repetitions per invocation (--bench-reps);
+  # the campus-scale workloads run long enough to be measured singly.
+  bench_best dv3-small --scale 4 --workers 6 --stack 3 --bench-reps 200
+  bench_best dv3-full
+  bench_best agc-scale
+
+  {
+    echo '['
+    n=0
+    for wl in $WORKLOADS; do
+      n=$((n + 1))
+      [ "$n" -gt 1 ] && echo ','
+      sed 's/^/  /' "$TMP/$wl.best.json"
+    done
+    echo ']'
+  } > "$OUT"
+  echo "throughput: wrote $OUT"
+
+  for wl in $WORKLOADS; do
+    new=$(extract_wl sim_wall_ms "$wl" "$OUT")
+    old=$(extract_wl sim_wall_ms "$wl" "$BASELINE")
+    if [ -z "$old" ]; then
+      echo "throughput gate: $wl missing from baseline $BASELINE (refresh it)" >&2
+      exit 1
+    fi
+    awk -v wl="$wl" -v new="$new" -v old="$old" 'BEGIN {
+      if (old + 0 <= 0) { print "throughput gate: bad baseline sim_wall_ms for " wl; exit 1 }
+      ratio = new / old
+      printf "throughput gate: %s sim_wall %.3fms vs baseline %.3fms (ratio %.3f, fails above 1.25)\n", wl, new, old, ratio
+      exit (ratio > 1.25) ? 1 : 0
+    }'
+  done
+fi
+
+if [ "$MODE" = throughput ]; then
+  echo "bench gate: throughput ok"
+  exit 0
+fi
+
+# ---- Behavioral gate: simulated makespan is deterministic -------------
+if [ "$MODE" = classic ]; then
+  # No throughput section ran; take makespan from a fresh single run so
+  # this job does not rewrite $OUT.
+  ./target/release/vine-sim --workload dv3-small --scale 4 --workers 6 \
+    --stack 3 --bench-json "$TMP/makespan.json" > /dev/null
+  new=$(extract makespan_s "$TMP/makespan.json")
+else
+  new=$(extract_wl makespan_s dv3-small "$OUT")
+fi
+old=$(extract_wl makespan_s dv3-small "$BASELINE")
 echo "makespan: baseline ${old}s, current ${new}s"
 
 awk -v new="$new" -v old="$old" 'BEGIN {

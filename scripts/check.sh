@@ -17,6 +17,9 @@ cargo build --workspace --all-targets "$@"
 echo "== cargo test =="
 cargo test --workspace -q "$@"
 
+echo "== criterion microbench smoke (--test mode) =="
+cargo bench -q -p vine-bench --bench event_queue --bench arena_lookup "$@" -- --test
+
 echo "== vine-audit (determinism/concurrency gate, ratcheted baseline) =="
 cargo run -q -p vine-audit "$@" -- --deny --baseline results/audit_baseline.txt
 

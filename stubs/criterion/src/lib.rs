@@ -42,7 +42,12 @@ impl Criterion {
         }
     }
 
-    pub fn configure_from_args(self) -> Self {
+    /// Honors `--test` (as real Criterion does): run each benchmark body
+    /// once, as a smoke test, instead of sampling it.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.sample_size = 1;
+        }
         self
     }
 
